@@ -1,0 +1,374 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations for the design choices called out in
+// DESIGN.md and micro-benchmarks of the hot components.
+//
+// Figure/table benches wrap the calibrated discrete-event experiments;
+// their custom metrics (tiles/s, MB/s, virtual seconds) are the numbers
+// EXPERIMENTS.md compares against the paper. Run with:
+//
+//	go test -bench=. -benchmem ./...
+package eoml_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/eoml/eoml/internal/cluster42"
+	"github.com/eoml/eoml/internal/experiments"
+	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/netcdf"
+	"github.com/eoml/eoml/internal/ricc"
+	"github.com/eoml/eoml/internal/tensor"
+	"github.com/eoml/eoml/internal/tile"
+)
+
+// ---- Fig. 3: download speed vs product size ------------------------------
+
+func BenchmarkFig3Download(b *testing.B) {
+	model := experiments.DefaultDownloadModel()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		points := experiments.Fig3(model, 3, int64(i)+1)
+		by := map[int]map[float64]experiments.Fig3Point{3: {}, 6: {}}
+		for _, p := range points {
+			by[p.Workers][p.PerProductGB] = p
+		}
+		gain = by[6][30].MeanMBps - by[3][30].MeanMBps
+	}
+	b.ReportMetric(gain, "MB/s-gain-6v3-workers")
+}
+
+// ---- Fig. 4 / Fig. 5 / Table I: preprocessing scaling --------------------
+
+func scalingBench(b *testing.B, run func(experiments.ScalingConfig) []experiments.ScalingPoint) {
+	cfg := experiments.DefaultScalingConfig()
+	cfg.Iterations = 2
+	var last []experiments.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		last = run(cfg)
+	}
+	b.ReportMetric(last[0].TilesPerSec, "tiles/s-min-scale")
+	b.ReportMetric(last[len(last)-1].TilesPerSec, "tiles/s-max-scale")
+}
+
+func BenchmarkFig4StrongWorkers(b *testing.B) {
+	scalingBench(b, experiments.Fig4StrongWorkers)
+}
+
+func BenchmarkFig4StrongNodes(b *testing.B) {
+	scalingBench(b, experiments.Fig4StrongNodes)
+}
+
+func BenchmarkFig5WeakWorkers(b *testing.B) {
+	scalingBench(b, experiments.Fig5WeakWorkers)
+}
+
+func BenchmarkFig5WeakNodes(b *testing.B) {
+	scalingBench(b, experiments.Fig5WeakNodes)
+}
+
+func BenchmarkTable1Throughput(b *testing.B) {
+	cfg := experiments.DefaultScalingConfig()
+	cfg.Iterations = 1
+	var tab experiments.Table1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		tab = experiments.RunTable1(cfg)
+	}
+	b.ReportMetric(tab.StrongWorkers[0].TilesPerSec, "tiles/s-1-worker")
+	b.ReportMetric(tab.StrongNodes[9].TilesPerSec, "tiles/s-10-nodes")
+	b.ReportMetric(tab.WeakNodes[9].TilesPerSec, "tiles/s-10-nodes-weak")
+}
+
+// ---- Fig. 6 / Fig. 7: pipeline timeline and latency breakdown ------------
+
+func BenchmarkFig6Timeline(b *testing.B) {
+	cfg := experiments.DefaultPipelineConfig()
+	var res *experiments.PipelineResult
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		r, err := experiments.RunPipeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.TotalSeconds, "virtual-s-pipeline")
+	b.ReportMetric(float64(res.Timeline.PeakCount("preprocess")), "peak-preprocess-workers")
+}
+
+func BenchmarkFig7Latency(b *testing.B) {
+	cfg := experiments.DefaultPipelineConfig()
+	var res *experiments.PipelineResult
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		r, err := experiments.RunPipeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if dl, ok := res.Spans.Get("download.launch"); ok {
+		b.ReportMetric(dl.Duration(), "virtual-s-download-launch")
+	}
+	b.ReportMetric(res.MeanFlowOverhead*1000, "ms-flow-action-overhead")
+}
+
+// ---- Headline: 12,000 tiles / 80 workers / 10 nodes ----------------------
+
+func BenchmarkHeadline12k(b *testing.B) {
+	cfg := experiments.DefaultScalingConfig()
+	var secs, rate float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i) + 1
+		secs, rate = experiments.Headline(cfg)
+	}
+	b.ReportMetric(secs, "virtual-s-12k-tiles")
+	b.ReportMetric(rate, "tiles/s")
+}
+
+// ---- Ablations ------------------------------------------------------------
+
+func BenchmarkAblationContention(b *testing.B) {
+	var points []experiments.ContentionPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.AblationContention(100, nil)
+	}
+	last := points[len(points)-1]
+	b.ReportMetric(last.EfficiencyShared, "efficiency-64-workers")
+}
+
+func BenchmarkAblationPoll(b *testing.B) {
+	var points []experiments.PollPoint
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.AblationPoll([]float64{0.1, 2.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = p
+	}
+	b.ReportMetric(points[1].TotalSeconds-points[0].TotalSeconds, "virtual-s-cost-of-slow-poll")
+}
+
+func BenchmarkAblationConv(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g, err := tensor.NewConvGeom(6, 16, 3, 2, 1, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(8, 6, 32, 32)
+	x.Randn(r, 1)
+	w := tensor.New(16, 6, 3, 3)
+	w.Randn(r, 0.5)
+	wmat := tensor.New(6*3*3, 16)
+	for oc := 0; oc < 16; oc++ {
+		for i := 0; i < 6*3*3; i++ {
+			wmat.Data[i*16+oc] = w.Data[oc*6*3*3+i]
+		}
+	}
+	b.Run("im2col", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cols := tensor.Im2Col(x, g)
+			_ = tensor.MatMul(cols, wmat)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tensor.ConvDirect(x, w, nil, g)
+		}
+	})
+}
+
+func BenchmarkAblationLinkage(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	data := make([][]float32, 300)
+	for i := range data {
+		row := make([]float32, 16)
+		center := float32(i % 6 * 10)
+		for d := range row {
+			row[d] = center + float32(r.NormFloat64())
+		}
+		data[i] = row
+	}
+	for _, linkage := range []cluster42.Linkage{cluster42.Ward, cluster42.Average} {
+		linkage := linkage
+		b.Run(linkage.String(), func(b *testing.B) {
+			var sse float64
+			for i := 0; i < b.N; i++ {
+				res, err := cluster42.Agglomerate(data, 6, linkage)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sse, err = cluster42.WithinSSE(data, res.Centroids, res.Labels)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sse, "within-SSE")
+		})
+	}
+}
+
+func BenchmarkAblationRotLoss(b *testing.B) {
+	tiles := benchTiles(64, 8, 3, 5)
+	eval := benchTiles(16, 8, 3, 6)
+	for _, beta := range []float64{0, 0.5} {
+		beta := beta
+		name := "beta0"
+		if beta > 0 {
+			name = "beta0.5"
+		}
+		b.Run(name, func(b *testing.B) {
+			var invErr float64
+			for i := 0; i < b.N; i++ {
+				cfg := ricc.Config{
+					TileSize: 8, Channels: 3, LatentDim: 8, Beta: beta,
+					LR: 2e-3, Epochs: 4, BatchSize: 16, Rotations: 2, Seed: 7,
+				}
+				m, err := ricc.NewModel(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Train(tiles); err != nil {
+					b.Fatal(err)
+				}
+				invErr, err = m.InvarianceError(eval)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(invErr, "rotation-invariance-error")
+		})
+	}
+}
+
+// ---- Component micro-benchmarks -------------------------------------------
+
+func benchTriple(b *testing.B) (*hdf.File, *hdf.File, *hdf.File, *modis.Generator) {
+	b.Helper()
+	gen, err := modis.NewGenerator(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Index 2 is a verified daytime slot on the synthetic Terra orbit.
+	g := modis.GranuleID{Satellite: modis.Terra, Year: 2022, DOY: 1, Index: 2}
+	mod02, err := gen.Generate(modis.MOD021KM, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod03, _ := gen.Generate(modis.MOD03, g)
+	mod06, _ := gen.Generate(modis.MOD06L2, g)
+	return mod02, mod03, mod06, gen
+}
+
+func BenchmarkGranuleGenerate(b *testing.B) {
+	gen, err := modis.NewGenerator(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := modis.GranuleID{Satellite: modis.Terra, Year: 2022, DOY: 1, Index: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(modis.MOD021KM, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTileExtract(b *testing.B) {
+	mod02, mod03, mod06, gen := benchTriple(b)
+	opts := tile.Options{TileSize: gen.TilePixels()}
+	b.ResetTimer()
+	var tiles int
+	for i := 0; i < b.N; i++ {
+		res, err := tile.Extract(mod02, mod03, mod06, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tiles = len(res.Tiles)
+	}
+	b.ReportMetric(float64(tiles), "tiles/granule")
+}
+
+func BenchmarkNetCDFRoundTrip(b *testing.B) {
+	mod02, mod03, mod06, gen := benchTriple(b)
+	res, err := tile.Extract(mod02, mod03, mod06, tile.Options{TileSize: gen.TilePixels()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Tiles) == 0 {
+		b.Fatal("no tiles")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := tile.ToNetCDF(res.Tiles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := netcdf.Encode(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netcdf.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRICCEncode(b *testing.B) {
+	tiles := benchTiles(256, 16, 6, 9)
+	cfg := ricc.Config{
+		TileSize: 16, Channels: 6, LatentDim: 32, Beta: 0.5,
+		LR: 1e-3, Epochs: 1, BatchSize: 32, Rotations: 1, Seed: 1,
+	}
+	m, err := ricc.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Train(tiles[:64]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(tiles); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tiles)), "tiles/op")
+}
+
+func BenchmarkHDFDecode(b *testing.B) {
+	gen, _ := modis.NewGenerator(8)
+	g := modis.GranuleID{Satellite: modis.Terra, Year: 2022, DOY: 1, Index: 2}
+	data, err := gen.GenerateBytes(modis.MOD021KM, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hdf.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTiles fabricates synthetic tiles for ML benches.
+func benchTiles(n, ts, nb int, seed int64) []*tile.Tile {
+	r := rand.New(rand.NewSource(seed))
+	bands := make([]int, nb)
+	for b := range bands {
+		bands[b] = b
+	}
+	tiles := make([]*tile.Tile, n)
+	for i := range tiles {
+		data := make([]float32, nb*ts*ts)
+		for j := range data {
+			data[j] = float32(r.Float64())
+		}
+		tiles[i] = &tile.Tile{Data: data, Bands: bands, TileSize: ts, Label: -1}
+	}
+	return tiles
+}

@@ -1,0 +1,74 @@
+// Command benchtab regenerates the paper's tables and figures on the
+// calibrated discrete-event simulator:
+//
+//	benchtab fig3       download speed vs product size (3 vs 6 workers)
+//	benchtab fig4       strong scaling (workers, nodes)
+//	benchtab fig5       weak scaling (workers, nodes)
+//	benchtab table1     tile throughput table
+//	benchtab fig6       dynamic worker-allocation timeline
+//	benchtab fig7       latency breakdown
+//	benchtab headline   12,000 tiles / 80 workers / 10 nodes
+//	benchtab ablations  design-choice ablations
+//	benchtab all        everything above
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/eoml/eoml"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		usage()
+	}
+	run(os.Args[1])
+}
+
+func run(what string) {
+	switch what {
+	case "fig3":
+		fmt.Print(eoml.ReproduceFig3())
+	case "fig4":
+		fmt.Print(eoml.ReproduceFig4())
+	case "fig5":
+		fmt.Print(eoml.ReproduceFig5())
+	case "table1":
+		fmt.Print(eoml.ReproduceTable1())
+	case "fig6":
+		out, err := eoml.ReproduceFig6()
+		if err != nil {
+			log.Fatalf("benchtab: %v", err)
+		}
+		fmt.Print(out)
+	case "fig7":
+		out, err := eoml.ReproduceFig7()
+		if err != nil {
+			log.Fatalf("benchtab: %v", err)
+		}
+		fmt.Print(out)
+	case "headline":
+		fmt.Print(eoml.ReproduceHeadline())
+	case "ablations":
+		out, err := eoml.ReproduceAblations()
+		if err != nil {
+			log.Fatalf("benchtab: %v", err)
+		}
+		fmt.Print(out)
+	case "all":
+		for _, w := range []string{"fig3", "fig4", "fig5", "table1", "fig6", "fig7", "headline", "ablations"} {
+			fmt.Printf("==== %s ====\n", w)
+			run(w)
+			fmt.Println()
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchtab fig3|fig4|fig5|table1|fig6|fig7|headline|ablations|all")
+	os.Exit(2)
+}

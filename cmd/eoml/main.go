@@ -1,0 +1,161 @@
+// Command eoml runs the five-stage EO-ML workflow from a YAML
+// declaration, in the spirit of the paper's user-facing configuration:
+//
+//	eoml -config workflow.yaml [-train] [-train-classes 8]
+//
+// With -train, the tool first performs the offline stages (download
+// training granules, fit the RICC autoencoder, cluster the AICCA
+// codebook) and saves the artifacts to the paths named under `model:` in
+// the config; otherwise it loads them from those paths.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/eoml/eoml"
+)
+
+// sampleConfig is the declaration written by -init, mirroring the YAML
+// interface the paper describes for its users.
+const sampleConfig = `# EO-ML workflow declaration
+satellite: Terra
+year: 2022
+doy: 1
+granules: [0, 1, 2]   # five-minute slots; omit for the whole day
+
+archive:
+  url: http://localhost:8900
+  token: demo
+
+paths:
+  data: /tmp/eoml/data      # downloaded MODIS granules
+  tiles: /tmp/eoml/tiles    # preprocessed ocean-cloud tiles (NetCDF)
+  outbox: /tmp/eoml/outbox  # labeled files staged for shipment
+  dest: /tmp/eoml/orion     # destination filesystem
+
+workers:
+  download: 3
+  preprocess: 8
+  inference: 1
+
+tile:
+  pixels: 8                # 128 / archive scale (laads-server -scale 16)
+  min_cloud_fraction: 0.3
+
+poll_interval_ms: 50
+
+model:
+  weights: /tmp/eoml/ricc.hdf
+  codebook: /tmp/eoml/aicca-codebook.hdf
+`
+
+func main() {
+	configPath := flag.String("config", "workflow.yaml", "YAML workflow declaration")
+	train := flag.Bool("train", false, "train the model and codebook before running")
+	trainClasses := flag.Int("train-classes", 8, "AICCA codebook size when training")
+	trainEpochs := flag.Int("train-epochs", 4, "autoencoder epochs when training")
+	timeline := flag.Bool("timeline", false, "print the worker-activity timeline after the run")
+	stream := flag.Bool("stream", false, "process granules as a stream instead of a batch")
+	streamGapMS := flag.Int("stream-gap-ms", 100, "inter-arrival gap in streaming mode")
+	provPath := flag.String("provenance", "", "write the run's provenance graph (JSON) to this file")
+	initConfig := flag.Bool("init", false, "write a sample workflow declaration to -config and exit")
+	flag.Parse()
+
+	if *initConfig {
+		if _, err := os.Stat(*configPath); err == nil {
+			log.Fatalf("eoml: %s already exists; refusing to overwrite", *configPath)
+		}
+		if err := os.WriteFile(*configPath, []byte(sampleConfig), 0o644); err != nil {
+			log.Fatalf("eoml: %v", err)
+		}
+		fmt.Printf("eoml: wrote sample workflow to %s\n", *configPath)
+		fmt.Println("eoml: start an archive with `laads-server -addr :8900 -token demo`, then run `eoml -config", *configPath, "-train`")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg, err := eoml.LoadConfigFile(*configPath)
+	if err != nil {
+		log.Fatalf("eoml: %v", err)
+	}
+
+	var labeler *eoml.Labeler
+	if *train {
+		fmt.Println("eoml: training RICC model and AICCA codebook…")
+		labeler, err = eoml.TrainFromArchive(ctx, *cfg, eoml.TrainOptions{
+			Classes: *trainClasses,
+			Epochs:  *trainEpochs,
+		})
+		if err != nil {
+			log.Fatalf("eoml: training: %v", err)
+		}
+		if cfg.ModelPath != "" && cfg.CodebookPath != "" {
+			if err := eoml.SaveLabeler(labeler, cfg.ModelPath, cfg.CodebookPath); err != nil {
+				log.Fatalf("eoml: saving model: %v", err)
+			}
+			fmt.Printf("eoml: saved %s and %s\n", cfg.ModelPath, cfg.CodebookPath)
+		}
+	}
+
+	pipe, err := eoml.NewPipeline(*cfg, labeler)
+	if err != nil {
+		log.Fatalf("eoml: %v", err)
+	}
+	var prov *eoml.ProvenanceStore
+	if *provPath != "" {
+		prov = eoml.NewProvenanceStore()
+		pipe.SetProvenance(prov)
+	}
+
+	var rep *eoml.Report
+	if *stream {
+		fmt.Printf("eoml: streaming %d granules…\n", len(cfg.GranuleIDs()))
+		arrivals := make(chan int)
+		go func() {
+			defer close(arrivals)
+			for _, g := range cfg.GranuleIDs() {
+				select {
+				case arrivals <- g.Index:
+				case <-ctx.Done():
+					return
+				}
+				time.Sleep(time.Duration(*streamGapMS) * time.Millisecond)
+			}
+		}()
+		rep, err = pipe.RunStream(ctx, arrivals)
+	} else {
+		fmt.Printf("eoml: running workflow for %d granules…\n", len(cfg.GranuleIDs()))
+		rep, err = pipe.Run(ctx)
+	}
+	if err != nil {
+		log.Fatalf("eoml: %v", err)
+	}
+	if prov != nil {
+		out, err := os.Create(*provPath)
+		if err != nil {
+			log.Fatalf("eoml: %v", err)
+		}
+		if err := prov.Export(out); err != nil {
+			log.Fatalf("eoml: provenance export: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatalf("eoml: %v", err)
+		}
+		fmt.Printf("eoml: wrote provenance graph to %s\n", *provPath)
+	}
+	fmt.Println("eoml:", rep.Summary())
+	fmt.Println("\nstage latency breakdown:")
+	fmt.Print(rep.Spans.Render())
+	if *timeline {
+		fmt.Println("\nworker activity timeline:")
+		fmt.Print(rep.Timeline.Render(rep.Elapsed.Seconds(), 72))
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/eoml/eoml"
+)
+
+// The -init sample must always parse and validate: a user's very first
+// contact with the tool cannot be a config error.
+func TestSampleConfigParses(t *testing.T) {
+	cfg, err := eoml.LoadConfig([]byte(sampleConfig))
+	if err != nil {
+		t.Fatalf("sample config invalid: %v", err)
+	}
+	if cfg.ArchiveURL == "" || len(cfg.Granules) == 0 {
+		t.Fatalf("sample config incomplete: %+v", cfg)
+	}
+	if cfg.ModelPath == "" || cfg.CodebookPath == "" {
+		t.Fatal("sample config must name model artifacts so -train can save them")
+	}
+}

@@ -1,0 +1,44 @@
+// Command laads-server runs the simulated NASA LAADS DAAC archive: an
+// HTTP server generating synthetic MODIS granules on demand, with
+// LAADS-style listing and download endpoints, optional token auth, and
+// bandwidth shaping.
+//
+// Usage:
+//
+//	laads-server -addr :8900 -scale 16 -token secret \
+//	    -per-conn-mbps 4.2 -aggregate-mbps 15.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"github.com/eoml/eoml/internal/laads"
+)
+
+func main() {
+	addr := flag.String("addr", ":8900", "listen address")
+	scale := flag.Int("scale", 16, "granule resolution divisor (1 = full 2030x1354 swaths)")
+	token := flag.String("token", "", "require this Bearer token (empty disables auth)")
+	perConn := flag.Float64("per-conn-mbps", 0, "per-connection bandwidth cap in MB/s (0 = unlimited)")
+	aggregate := flag.Float64("aggregate-mbps", 0, "server-wide bandwidth cap in MB/s (0 = unlimited)")
+	failRate := flag.Float64("fail-rate", 0, "inject 503 responses with this probability")
+	flag.Parse()
+
+	srv, err := laads.NewServer(laads.ServerConfig{
+		ScaleDown:            *scale,
+		Token:                *token,
+		PerConnBytesPerSec:   int64(*perConn * 1e6),
+		AggregateBytesPerSec: int64(*aggregate * 1e6),
+		FailureRate:          *failRate,
+	})
+	if err != nil {
+		log.Fatalf("laads-server: %v", err)
+	}
+	fmt.Printf("laads-server: serving synthetic MODIS archive on %s (%s)\n", *addr, srv)
+	fmt.Printf("  listing:  GET /archive/MOD021KM/2022/1/\n")
+	fmt.Printf("  download: GET /archive/MOD021KM/2022/1/<file>.hdf\n")
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

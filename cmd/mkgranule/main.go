@@ -1,0 +1,77 @@
+// Command mkgranule writes synthetic MODIS granules to disk — handy for
+// inspecting the data model without running the archive server.
+//
+// Usage:
+//
+//	mkgranule -out /tmp/granules -year 2022 -doy 1 -index 150 -scale 16 \
+//	    -products MOD021KM,MOD03,MOD06_L2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/modis"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	year := flag.Int("year", 2022, "acquisition year")
+	doy := flag.Int("doy", 1, "day of year")
+	index := flag.Int("index", 150, "five-minute granule slot (0..287)")
+	count := flag.Int("count", 1, "number of consecutive granules")
+	scale := flag.Int("scale", 16, "resolution divisor")
+	sat := flag.String("satellite", "Terra", "Terra or Aqua")
+	productsArg := flag.String("products", "MOD021KM,MOD03,MOD06_L2", "comma-separated product short names")
+	flag.Parse()
+
+	satellite := modis.Terra
+	if strings.EqualFold(*sat, "aqua") {
+		satellite = modis.Aqua
+	}
+	gen, err := modis.NewGenerator(*scale)
+	if err != nil {
+		log.Fatalf("mkgranule: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("mkgranule: %v", err)
+	}
+
+	var products []modis.Product
+	for _, name := range strings.Split(*productsArg, ",") {
+		p, err := modis.ParseProduct(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatalf("mkgranule: %v", err)
+		}
+		if p.Satellite != satellite {
+			log.Fatalf("mkgranule: product %s does not match satellite %s", name, satellite)
+		}
+		products = append(products, p)
+	}
+
+	for i := 0; i < *count; i++ {
+		g := modis.GranuleID{Satellite: satellite, Year: *year, DOY: *doy, Index: *index + i}
+		if err := g.Validate(); err != nil {
+			log.Fatalf("mkgranule: %v", err)
+		}
+		for _, p := range products {
+			f, err := gen.Generate(p, g)
+			if err != nil {
+				log.Fatalf("mkgranule: %v", err)
+			}
+			name := modis.FileName(p, g)
+			path := filepath.Join(*out, name)
+			if err := hdf.WriteFile(path, f); err != nil {
+				log.Fatalf("mkgranule: %v", err)
+			}
+			info, _ := os.Stat(path)
+			flag, _ := f.AttrString("DayNightFlag")
+			fmt.Printf("wrote %s (%d bytes, %s)\n", path, info.Size(), flag)
+		}
+	}
+}

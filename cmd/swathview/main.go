@@ -1,0 +1,157 @@
+// Command swathview renders a synthetic MODIS swath as ASCII — the
+// reproduction's answer to the paper's Fig. 1: panel (a) shows the
+// radiance/cloud field with land masked, panel (b) the ocean-cloud tile
+// grid with either the kept/rejected decision or, with a trained model
+// (-model/-codebook), the AICCA class assigned to each kept tile.
+//
+//	swathview -year 2022 -doy 1 -index 150 -scale 16
+//	swathview -index 150 -model ricc.hdf -codebook aicca-codebook.hdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/eoml/eoml/internal/aicca"
+	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/ricc"
+	"github.com/eoml/eoml/internal/tile"
+)
+
+func main() {
+	year := flag.Int("year", 2022, "acquisition year")
+	doy := flag.Int("doy", 1, "day of year")
+	index := flag.Int("index", 150, "five-minute granule slot (0..287)")
+	scale := flag.Int("scale", 16, "resolution divisor")
+	width := flag.Int("width", 100, "output columns")
+	modelPath := flag.String("model", "", "RICC model file (enables class labels)")
+	cbPath := flag.String("codebook", "", "AICCA codebook file")
+	flag.Parse()
+
+	gen, err := modis.NewGenerator(*scale)
+	if err != nil {
+		log.Fatalf("swathview: %v", err)
+	}
+	g := modis.GranuleID{Satellite: modis.Terra, Year: *year, DOY: *doy, Index: *index}
+	if err := g.Validate(); err != nil {
+		log.Fatalf("swathview: %v", err)
+	}
+	mod02, err := gen.Generate(modis.MOD021KM, g)
+	if err != nil {
+		log.Fatalf("swathview: %v", err)
+	}
+	mod03, _ := gen.Generate(modis.MOD03, g)
+	mod06, _ := gen.Generate(modis.MOD06L2, g)
+
+	flagStr, _ := mod02.AttrString("DayNightFlag")
+	fmt.Printf("MODIS %s granule A%04d%03d.%s (%s), scale 1/%d\n\n",
+		g.Satellite, g.Year, g.DOY, g.HHMM(), flagStr, *scale)
+
+	// Panel (a): cloud field over ocean, land masked.
+	landD, _ := mod03.Dataset("LandSeaMask")
+	land, _ := landD.Uint8s()
+	fracD, _ := mod06.Dataset("Cloud_Fraction")
+	frac, _ := fracD.Float32s()
+	ny, nx := gen.Dims()
+	fmt.Println("(a) cloud field ('.'=clear ocean, shades=cloud, '#'=land):")
+	printField(ny, nx, *width, func(i int) byte {
+		if land[i] != 0 {
+			return '#'
+		}
+		switch c := frac[i]; {
+		case c > 0.85:
+			return '@'
+		case c > 0.7:
+			return '%'
+		case c > 0.55:
+			return '+'
+		case c > 0.4:
+			return ':'
+		default:
+			return '.'
+		}
+	})
+
+	// Panel (b): tile decisions / labels.
+	ts := gen.TilePixels()
+	res, err := tile.Extract(mod02, mod03, mod06, tile.Options{TileSize: ts})
+	if err != nil {
+		log.Fatalf("swathview: %v", err)
+	}
+	var labeler *aicca.Labeler
+	if *modelPath != "" && *cbPath != "" {
+		m, err := ricc.Load(*modelPath)
+		if err != nil {
+			log.Fatalf("swathview: %v", err)
+		}
+		cb, err := ricc.LoadCodebook(*cbPath)
+		if err != nil {
+			log.Fatalf("swathview: %v", err)
+		}
+		labeler, err = aicca.NewLabeler(m, cb)
+		if err != nil {
+			log.Fatalf("swathview: %v", err)
+		}
+		if _, err := labeler.LabelTiles(res.Tiles); err != nil {
+			log.Fatalf("swathview: %v", err)
+		}
+	}
+
+	kept := map[[2]int]*tile.Tile{}
+	for _, t := range res.Tiles {
+		kept[[2]int{t.Row, t.Col}] = t
+	}
+	if labeler != nil {
+		fmt.Printf("\n(b) ocean-cloud tiles by AICCA class (0-9a-z..., '.'=rejected): %d kept of %d\n",
+			res.Stats.Kept, res.Stats.Candidates)
+	} else {
+		fmt.Printf("\n(b) tile selection ('O'=ocean-cloud kept, '.'=rejected): %d kept of %d\n",
+			res.Stats.Kept, res.Stats.Candidates)
+	}
+	for r := 0; r < res.Stats.GridRows; r++ {
+		for c := 0; c < res.Stats.GridCols; c++ {
+			t, ok := kept[[2]int{r, c}]
+			switch {
+			case !ok:
+				fmt.Print(". ")
+			case labeler != nil:
+				fmt.Printf("%c ", classGlyph(int(t.Label)))
+			default:
+				fmt.Print("O ")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nrejections: %d land, %d under-cloudy, %d nighttime-fill\n",
+		res.Stats.RejectedLand, res.Stats.RejectedCloud, res.Stats.RejectedFill)
+}
+
+// printField downsamples an ny×nx byte field to the requested width.
+func printField(ny, nx, width int, glyph func(i int) byte) {
+	if width > nx {
+		width = nx
+	}
+	height := ny * width / nx / 2 // terminal cells are ~2:1
+	if height < 1 {
+		height = 1
+	}
+	for y := 0; y < height; y++ {
+		row := make([]byte, width)
+		for x := 0; x < width; x++ {
+			sy := y * ny / height
+			sx := x * nx / width
+			row[x] = glyph(sy*nx + sx)
+		}
+		fmt.Println(string(row))
+	}
+}
+
+// classGlyph maps an AICCA class to a compact character.
+func classGlyph(class int) byte {
+	const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEF"
+	if class < 0 || class >= len(glyphs) {
+		return '?'
+	}
+	return glyphs[class]
+}

@@ -1,0 +1,78 @@
+package eoml_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/eoml/eoml"
+)
+
+func TestSchemaRegistryFacade(t *testing.T) {
+	r, err := eoml.NewSchemaRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateChain([]string{"download", "preprocess", "inference", "shipment"}); err != nil {
+		t.Fatalf("published chain invalid: %v", err)
+	}
+	if err := r.ValidateChain([]string{"download", "inference"}); err == nil {
+		t.Fatal("download->inference chain accepted (granules are not tiles)")
+	}
+}
+
+func TestPipelineRegistryFacade(t *testing.T) {
+	r, err := eoml.NewPipelineRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := r.Publish(eoml.EOMLRegisteredPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Ref() != "eo-ml-cloud-classification@1" {
+		t.Fatalf("ref = %s", pub.Ref())
+	}
+	inst, err := r.Instantiate("eo-ml-cloud-classification", map[string]any{"preprocess_workers": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Params["preprocess_workers"] != 64 {
+		t.Fatalf("params = %v", inst.Params)
+	}
+	if got := r.Search("modis"); len(got) != 1 {
+		t.Fatalf("search = %v", got)
+	}
+}
+
+func TestOrchestratorFacade(t *testing.T) {
+	o := eoml.NewOrchestrator()
+	olcf, err := eoml.NewFacilityAgent("olcf", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := olcf.RegisterPlugin("echo", func(ctx context.Context, p map[string]any) (any, error) {
+		return fmt.Sprint("echo:", p["msg"]), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Connect(olcf); err != nil {
+		t.Fatal(err)
+	}
+	run, err := o.Submit(context.Background(), &eoml.Campaign{
+		Name: "hello",
+		Activities: []eoml.CampaignActivity{
+			{ID: "a", Facility: "olcf", Plugin: "echo", Params: map[string]any{"msg": "hi"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Result("a")
+	if err != nil || res != "echo:hi" {
+		t.Fatalf("result %v %v", res, err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/eoml/eoml
+
+go 1.22

@@ -1,0 +1,72 @@
+package aicca
+
+import (
+	"testing"
+
+	"github.com/eoml/eoml/internal/tile"
+)
+
+func geoTile(lat, lon float32, label int16) *tile.Tile {
+	return &tile.Tile{Lat: lat, Lon: lon, Label: label}
+}
+
+func TestGeoHistogramGridsAndCounts(t *testing.T) {
+	tiles := []*tile.Tile{
+		geoTile(5, 5, 0),
+		geoTile(7, 8, 0),
+		geoTile(5, 5, 1),
+		geoTile(-15, 100, 2),
+		geoTile(-15, 100, 2),
+		geoTile(12, 12, 3), // separate cell at 10 deg grid
+		geoTile(0, 0, -1),  // unlabeled: skipped
+	}
+	cells, err := GeoHistogram(tiles, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d: %+v", len(cells), cells)
+	}
+	// Sorted south to north: the -20..-10 cell first.
+	south := cells[0]
+	if south.LatMin != -20 || south.LonMin != 100 || south.Total != 2 {
+		t.Fatalf("south cell %+v", south)
+	}
+	cl, share := south.DominantClass()
+	if cl != 2 || share != 1.0 {
+		t.Fatalf("south dominant %d %.2f", cl, share)
+	}
+	tropics := cells[1]
+	if tropics.LatMin != 0 || tropics.Total != 3 {
+		t.Fatalf("tropics cell %+v", tropics)
+	}
+	cl, share = tropics.DominantClass()
+	if cl != 0 || share < 0.6 || share > 0.7 {
+		t.Fatalf("tropics dominant %d %.2f", cl, share)
+	}
+}
+
+func TestGeoHistogramValidation(t *testing.T) {
+	if _, err := GeoHistogram(nil, 0); err == nil {
+		t.Error("zero cell accepted")
+	}
+	if _, err := GeoHistogram(nil, 91); err == nil {
+		t.Error("oversized cell accepted")
+	}
+	cells, err := GeoHistogram(nil, 10)
+	if err != nil || len(cells) != 0 {
+		t.Errorf("empty input: %v, %v", cells, err)
+	}
+}
+
+func TestDominantClassTieBreaksLow(t *testing.T) {
+	c := GeoCell{Counts: map[int]int{3: 2, 1: 2}, Total: 4}
+	cl, share := c.DominantClass()
+	if cl != 1 || share != 0.5 {
+		t.Fatalf("dominant %d %.2f", cl, share)
+	}
+	empty := GeoCell{Counts: map[int]int{}}
+	if cl, _ := empty.DominantClass(); cl != -1 {
+		t.Fatalf("empty dominant %d", cl)
+	}
+}

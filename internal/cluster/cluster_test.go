@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"github.com/eoml/eoml/internal/sim"
+)
+
+func newMachine(t *testing.T, nodes int) (*sim.Kernel, *Machine) {
+	t.Helper()
+	k := sim.NewKernel()
+	spec := Defiant()
+	spec.Nodes = nodes
+	m, err := New(k, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+// throughput measures steady-state tiles/sec with the given workers on
+// the given number of nodes (workers spread round-robin).
+func throughput(t *testing.T, nodes, workers int, horizon sim.Time) float64 {
+	t.Helper()
+	k, m := newMachine(t, nodes)
+	cost := DefaultTileCost()
+	completed := 0
+	for w := 0; w < workers; w++ {
+		node, err := m.Node(w % nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worker := &Worker{Node: node, Cost: cost}
+		worker.SetSharedFS(m.SharedFS)
+		infinite := func() (int, bool) { return 1, true }
+		var count func(int)
+		count = func(int) {
+			completed++
+			if k.Now() >= horizon {
+				// Stop feeding: replace queue end by finishing.
+			}
+		}
+		// One-file-at-a-time infinite queue; RunQueue recurses internally.
+		worker.RunQueue(func() (int, bool) {
+			if k.Now() >= horizon {
+				return 0, false
+			}
+			return infinite()
+		}, count, nil)
+	}
+	k.RunUntil(horizon)
+	return float64(completed) / float64(horizon)
+}
+
+func TestSingleWorkerRateMatchesCalibration(t *testing.T) {
+	r1 := throughput(t, 1, 1, 400)
+	// Calibrated: 1/(0.0692 + 1/38.5 + 0.05/BigFS) ≈ 10.5 tiles/s.
+	if r1 < 9.5 || r1 > 11.5 {
+		t.Fatalf("single-worker rate %.2f, want ≈10.5", r1)
+	}
+}
+
+func TestOnNodeWorkerScalingSaturates(t *testing.T) {
+	r1 := throughput(t, 1, 1, 300)
+	r8 := throughput(t, 1, 8, 300)
+	r32 := throughput(t, 1, 32, 300)
+	r64 := throughput(t, 1, 64, 300)
+	if !(r8 > 2.4*r1) {
+		t.Errorf("8 workers did not scale: r1=%.1f r8=%.1f", r1, r8)
+	}
+	// Plateau: 32→64 workers must gain little.
+	if r64 > r32*1.15 {
+		t.Errorf("no on-node saturation: r32=%.1f r64=%.1f", r32, r64)
+	}
+	if r64 > 40 {
+		t.Errorf("node ceiling exceeded: %.1f tiles/s", r64)
+	}
+}
+
+func TestNodeScalingNearLinear(t *testing.T) {
+	// 8 workers per node, 1 vs 10 nodes: within 15% of 10×.
+	r1 := throughput(t, 1, 8, 300)
+	r10 := throughput(t, 10, 80, 300)
+	ratio := r10 / r1
+	if ratio < 8.5 || ratio > 10.5 {
+		t.Fatalf("node scaling ratio %.2f (r1=%.1f r10=%.1f), want ≈10", ratio, r1, r10)
+	}
+}
+
+func TestHeadlineRate(t *testing.T) {
+	// 80 workers over 10 nodes must process 12,000 tiles in roughly 44
+	// virtual seconds (the paper's headline): allow 30–60 s.
+	k, m := newMachine(t, 10)
+	cost := DefaultTileCost()
+	const total = 12000
+	remaining := total
+	done := 0
+	var finish sim.Time
+	for w := 0; w < 80; w++ {
+		node, _ := m.Node(w % 10)
+		worker := &Worker{Node: node, Cost: cost}
+		worker.SetSharedFS(m.SharedFS)
+		worker.RunQueue(func() (int, bool) {
+			if remaining == 0 {
+				return 0, false
+			}
+			remaining--
+			return 1, true
+		}, func(int) {
+			done++
+			if done == total {
+				finish = k.Now()
+			}
+		}, nil)
+	}
+	k.Run()
+	if done != total {
+		t.Fatalf("completed %d tiles", done)
+	}
+	if finish < 30 || finish > 60 {
+		t.Fatalf("12000 tiles took %.1f virtual seconds, want ≈44", float64(finish))
+	}
+}
+
+func TestWorkerProcessesFilesSequentially(t *testing.T) {
+	k, m := newMachine(t, 1)
+	node, _ := m.Node(0)
+	w := &Worker{Node: node, Cost: DefaultTileCost()}
+	w.SetSharedFS(m.SharedFS)
+	files := []int{3, 5, 2}
+	idx := 0
+	var doneTiles []int
+	idle := false
+	w.RunQueue(func() (int, bool) {
+		if idx >= len(files) {
+			return 0, false
+		}
+		n := files[idx]
+		idx++
+		return n, true
+	}, func(tiles int) {
+		doneTiles = append(doneTiles, tiles)
+	}, func() { idle = true })
+	k.Run()
+	if len(doneTiles) != 3 || doneTiles[0] != 3 || doneTiles[2] != 2 {
+		t.Fatalf("files done: %v", doneTiles)
+	}
+	if !idle {
+		t.Fatal("worker never reported idle")
+	}
+	// Total time ≈ 10 tiles at ~10.5 tiles/s ≈ 0.95s.
+	if got := float64(k.Now()); math.Abs(got-10.0/10.5) > 0.3 {
+		t.Fatalf("elapsed %.3f", got)
+	}
+}
+
+func TestJitterChangesPerRunButSeedReproduces(t *testing.T) {
+	run := func(seed int64) float64 {
+		k, m := newMachine(t, 1)
+		node, _ := m.Node(0)
+		w := &Worker{Node: node, Cost: DefaultTileCost(), RNG: sim.NewRNG(seed), JitterSigma: 0.3}
+		w.SetSharedFS(m.SharedFS)
+		count := 10
+		w.RunQueue(func() (int, bool) {
+			if count == 0 {
+				return 0, false
+			}
+			count--
+			return 4, true
+		}, nil, nil)
+		return float64(k.Run())
+	}
+	a1, a2, b := run(1), run(1), run(2)
+	if a1 != a2 {
+		t.Fatalf("same seed diverged: %v vs %v", a1, a2)
+	}
+	if a1 == b {
+		t.Fatalf("different seeds identical: %v", a1)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	k := sim.NewKernel()
+	bad := []Spec{
+		{Nodes: 0, CoresPerNode: 1, NodeIOCapacity: 1, SharedFSCapacity: 1},
+		{Nodes: 1, CoresPerNode: 0, NodeIOCapacity: 1, SharedFSCapacity: 1},
+		{Nodes: 1, CoresPerNode: 1, NodeIOCapacity: 0, SharedFSCapacity: 1},
+		{Nodes: 1, CoresPerNode: 1, NodeIOCapacity: 1, SharedFSCapacity: 0},
+	}
+	for i, spec := range bad {
+		if _, err := New(k, spec); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	m, err := New(k, Defiant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 36 {
+		t.Fatalf("defiant nodes = %d", m.NumNodes())
+	}
+	if _, err := m.Node(36); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := m.Node(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+}

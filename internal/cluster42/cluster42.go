@@ -1,0 +1,285 @@
+// Package cluster42 implements agglomerative hierarchical clustering and
+// centroid-based label assignment — the second half of the RICC method.
+//
+// RICC clusters the latent representations of ~1M cloud tiles with
+// agglomerative clustering and cuts the dendrogram at 42 clusters to
+// define the AICCA classes; new tiles are then labeled by the nearest
+// cluster centroid. This package provides Ward, average, and complete
+// linkage through the Lance–Williams recurrence over a squared-Euclidean
+// distance matrix, plus cluster-quality metrics used by the paper's
+// "cluster evaluation" stage.
+package cluster42
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumClasses is the AICCA class count.
+const NumClasses = 42
+
+// Linkage selects the merge criterion.
+type Linkage int
+
+// Supported linkages.
+const (
+	Ward Linkage = iota
+	Average
+	Complete
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case Ward:
+		return "ward"
+	case Average:
+		return "average"
+	case Complete:
+		return "complete"
+	}
+	return fmt.Sprintf("linkage(%d)", int(l))
+}
+
+// Result is a flat clustering obtained by cutting the dendrogram.
+type Result struct {
+	// Labels assigns each input row a cluster in [0, K).
+	Labels []int
+	// Centroids are the cluster means, indexed by label.
+	Centroids [][]float32
+	// Sizes are member counts per cluster.
+	Sizes []int
+	// MergeHeights records the linkage distance of every merge performed,
+	// in merge order — useful for dendrogram diagnostics.
+	MergeHeights []float64
+}
+
+// K returns the number of clusters.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Agglomerate clusters data (n rows of equal dimension) into k clusters
+// with the given linkage. It is deterministic: ties break toward the
+// lowest cluster index.
+func Agglomerate(data [][]float32, k int, linkage Linkage) (*Result, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster42: no data")
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("cluster42: k=%d for %d rows", k, n)
+	}
+	dim := len(data[0])
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("cluster42: row %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+
+	// Pairwise squared Euclidean distances. Lance–Williams updates this
+	// matrix in place as clusters merge.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := sqDist(data[i], data[j])
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+	// members[c] lists original rows currently in cluster c.
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+
+	var heights []float64
+	remaining := n
+	for remaining > k {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			row := dist[i]
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if row[j] < best {
+					best, bi, bj = row[j], i, j
+				}
+			}
+		}
+		// Merge bj into bi via the Lance–Williams recurrence.
+		ni, nj := float64(size[bi]), float64(size[bj])
+		for h := 0; h < n; h++ {
+			if !active[h] || h == bi || h == bj {
+				continue
+			}
+			dih, djh := dist[bi][h], dist[bj][h]
+			var d float64
+			switch linkage {
+			case Ward:
+				nh := float64(size[h])
+				t := ni + nj + nh
+				d = ((ni+nh)*dih + (nj+nh)*djh - nh*best) / t
+			case Average:
+				d = (ni*dih + nj*djh) / (ni + nj)
+			case Complete:
+				d = math.Max(dih, djh)
+			}
+			dist[bi][h] = d
+			dist[h][bi] = d
+		}
+		active[bj] = false
+		size[bi] += size[bj]
+		members[bi] = append(members[bi], members[bj]...)
+		members[bj] = nil
+		heights = append(heights, best)
+		remaining--
+	}
+
+	// Flatten: relabel active clusters 0..k-1 in index order.
+	res := &Result{
+		Labels:       make([]int, n),
+		MergeHeights: heights,
+	}
+	for c := 0; c < n; c++ {
+		if !active[c] {
+			continue
+		}
+		label := len(res.Centroids)
+		centroid := make([]float32, dim)
+		for _, row := range members[c] {
+			res.Labels[row] = label
+			for d, v := range data[row] {
+				centroid[d] += v
+			}
+		}
+		inv := 1 / float32(len(members[c]))
+		for d := range centroid {
+			centroid[d] *= inv
+		}
+		res.Centroids = append(res.Centroids, centroid)
+		res.Sizes = append(res.Sizes, len(members[c]))
+	}
+	return res, nil
+}
+
+// Assign labels each row by its nearest centroid (squared Euclidean).
+// This is the inference-time operation: tiles are encoded by the trained
+// autoencoder and assigned to the fixed AICCA centroids.
+func Assign(data [][]float32, centroids [][]float32) ([]int, error) {
+	if len(centroids) == 0 {
+		return nil, fmt.Errorf("cluster42: no centroids")
+	}
+	dim := len(centroids[0])
+	labels := make([]int, len(data))
+	for i, row := range data {
+		if len(row) != dim {
+			return nil, fmt.Errorf("cluster42: row %d has dim %d, want %d", i, len(row), dim)
+		}
+		best, bestD := 0, math.Inf(1)
+		for c, cen := range centroids {
+			d := sqDist(row, cen)
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		labels[i] = best
+	}
+	return labels, nil
+}
+
+// WithinSSE is the total within-cluster sum of squared distances to the
+// centroid — lower means tighter clusters. RICC's cluster-evaluation
+// protocol compares this across linkages and latent dimensions.
+func WithinSSE(data [][]float32, centroids [][]float32, labels []int) (float64, error) {
+	if len(labels) != len(data) {
+		return 0, fmt.Errorf("cluster42: %d labels for %d rows", len(labels), len(data))
+	}
+	var sse float64
+	for i, row := range data {
+		l := labels[i]
+		if l < 0 || l >= len(centroids) {
+			return 0, fmt.Errorf("cluster42: label %d out of range", l)
+		}
+		sse += sqDist(row, centroids[l])
+	}
+	return sse, nil
+}
+
+// MeanSilhouette computes the mean silhouette coefficient, the standard
+// cluster-separation score in [-1, 1]. O(n²); callers subsample first for
+// large n.
+func MeanSilhouette(data [][]float32, labels []int, k int) (float64, error) {
+	n := len(data)
+	if len(labels) != n {
+		return 0, fmt.Errorf("cluster42: %d labels for %d rows", len(labels), n)
+	}
+	counts := make([]int, k)
+	for _, l := range labels {
+		if l < 0 || l >= k {
+			return 0, fmt.Errorf("cluster42: label %d out of range [0,%d)", l, k)
+		}
+		counts[l]++
+	}
+	var total float64
+	scored := 0
+	sums := make([]float64, k)
+	for i := 0; i < n; i++ {
+		if counts[labels[i]] < 2 {
+			continue // silhouette undefined for singletons
+		}
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += math.Sqrt(sqDist(data[i], data[j]))
+		}
+		a := sums[labels[i]] / float64(counts[labels[i]]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == labels[i] || counts[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(counts[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // only one non-empty cluster
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		scored++
+	}
+	if scored == 0 {
+		return 0, nil
+	}
+	return total / float64(scored), nil
+}
+
+func sqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,288 @@
+package cluster42
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k well-separated Gaussian blobs of m points each.
+func blobs(seed int64, k, m, dim int, sep float64) ([][]float32, []int) {
+	r := rand.New(rand.NewSource(seed))
+	var data [][]float32
+	var truth []int
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for d := range centers[c] {
+			centers[c][d] = float64(c) * sep * (1 + 0.1*float64(d%3))
+		}
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < m; i++ {
+			row := make([]float32, dim)
+			for d := 0; d < dim; d++ {
+				row[d] = float32(centers[c][d] + r.NormFloat64()*0.3)
+			}
+			data = append(data, row)
+			truth = append(truth, c)
+		}
+	}
+	return data, truth
+}
+
+func TestAgglomerateRecoversBlobs(t *testing.T) {
+	for _, linkage := range []Linkage{Ward, Average, Complete} {
+		data, truth := blobs(1, 4, 20, 5, 10)
+		res, err := Agglomerate(data, 4, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K() != 4 {
+			t.Fatalf("%v: K = %d", linkage, res.K())
+		}
+		// Cluster labels must be a relabeling of the ground truth:
+		// same-truth pairs together, different-truth pairs apart.
+		mapping := map[int]int{}
+		for i, l := range res.Labels {
+			if want, seen := mapping[truth[i]]; seen {
+				if l != want {
+					t.Fatalf("%v: truth cluster %d split", linkage, truth[i])
+				}
+			} else {
+				mapping[truth[i]] = l
+			}
+		}
+		if len(mapping) != 4 {
+			t.Fatalf("%v: clusters merged: %v", linkage, mapping)
+		}
+	}
+}
+
+func TestAgglomerateSingleCluster(t *testing.T) {
+	data, _ := blobs(2, 2, 10, 3, 5)
+	res, err := Agglomerate(data, 1, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 || res.Sizes[0] != 20 {
+		t.Fatalf("K=%d sizes=%v", res.K(), res.Sizes)
+	}
+	// Centroid must be the global mean.
+	var mean float64
+	for _, row := range data {
+		mean += float64(row[0])
+	}
+	mean /= float64(len(data))
+	if math.Abs(float64(res.Centroids[0][0])-mean) > 1e-4 {
+		t.Fatalf("centroid %v vs mean %v", res.Centroids[0][0], mean)
+	}
+}
+
+func TestAgglomerateKEqualsN(t *testing.T) {
+	data, _ := blobs(3, 2, 3, 2, 5)
+	res, err := Agglomerate(data, len(data), Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != len(data) {
+		t.Fatalf("K = %d", res.K())
+	}
+	for i, s := range res.Sizes {
+		if s != 1 {
+			t.Fatalf("size[%d] = %d", i, s)
+		}
+	}
+	if len(res.MergeHeights) != 0 {
+		t.Fatalf("merges = %d", len(res.MergeHeights))
+	}
+}
+
+func TestAgglomerateValidation(t *testing.T) {
+	if _, err := Agglomerate(nil, 1, Ward); err == nil {
+		t.Error("empty data accepted")
+	}
+	data := [][]float32{{1, 2}, {3}}
+	if _, err := Agglomerate(data, 1, Ward); err == nil {
+		t.Error("ragged data accepted")
+	}
+	ok := [][]float32{{1}, {2}}
+	if _, err := Agglomerate(ok, 3, Ward); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := Agglomerate(ok, 0, Ward); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestWardMergeHeightsMonotone(t *testing.T) {
+	// Ward linkage heights are monotonically non-decreasing.
+	data, _ := blobs(4, 3, 15, 4, 6)
+	res, err := Agglomerate(data, 1, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.MergeHeights); i++ {
+		if res.MergeHeights[i] < res.MergeHeights[i-1]-1e-9 {
+			t.Fatalf("merge heights not monotone at %d: %v < %v", i, res.MergeHeights[i], res.MergeHeights[i-1])
+		}
+	}
+	if len(res.MergeHeights) != len(data)-1 {
+		t.Fatalf("merges = %d, want %d", len(res.MergeHeights), len(data)-1)
+	}
+}
+
+func TestAssignNearestCentroid(t *testing.T) {
+	centroids := [][]float32{{0, 0}, {10, 0}, {0, 10}}
+	data := [][]float32{{1, 1}, {9, -1}, {1, 9}, {5.1, 0}}
+	labels, err := Assign(data, centroids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 1}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	if _, err := Assign([][]float32{{1}}, nil); err == nil {
+		t.Error("no centroids accepted")
+	}
+	if _, err := Assign([][]float32{{1, 2}}, [][]float32{{1}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestAssignIsIdempotentOnTrainingData(t *testing.T) {
+	// Property: assigning the training data to the centroids of a
+	// well-separated clustering reproduces the clustering labels.
+	data, _ := blobs(5, 4, 25, 6, 12)
+	res, err := Agglomerate(data, 4, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Assign(data, res.Centroids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(labels, res.Labels) {
+		t.Fatal("nearest-centroid assignment disagrees with clustering on separated blobs")
+	}
+}
+
+func TestWithinSSE(t *testing.T) {
+	data := [][]float32{{0}, {2}, {10}, {12}}
+	centroids := [][]float32{{1}, {11}}
+	labels := []int{0, 0, 1, 1}
+	sse, err := WithinSSE(data, centroids, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sse-4) > 1e-9 {
+		t.Fatalf("SSE = %v, want 4", sse)
+	}
+	if _, err := WithinSSE(data, centroids, []int{0}); err == nil {
+		t.Error("label count mismatch accepted")
+	}
+	if _, err := WithinSSE(data, centroids, []int{0, 0, 1, 9}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestMeanSilhouetteSeparatedVsMixed(t *testing.T) {
+	sepData, sepTruth := blobs(6, 3, 20, 4, 15)
+	s1, err := MeanSilhouette(sepData, sepTruth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 < 0.7 {
+		t.Fatalf("separated blobs silhouette %v, want high", s1)
+	}
+	// Random labels on the same data must score much worse.
+	r := rand.New(rand.NewSource(9))
+	randomLabels := make([]int, len(sepData))
+	for i := range randomLabels {
+		randomLabels[i] = r.Intn(3)
+	}
+	s2, err := MeanSilhouette(sepData, randomLabels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 > s1-0.3 {
+		t.Fatalf("random labels silhouette %v not much worse than %v", s2, s1)
+	}
+}
+
+func TestWardBeatsAverageOnCompactness(t *testing.T) {
+	// The ablation claim: Ward minimizes within-cluster variance, so its
+	// SSE at k clusters is <= average linkage's on blob data.
+	data, _ := blobs(7, 5, 20, 4, 4)
+	ward, err := Agglomerate(data, 5, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Agglomerate(data, 5, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wardSSE, _ := WithinSSE(data, ward.Centroids, ward.Labels)
+	avgSSE, _ := WithinSSE(data, avg.Centroids, avg.Labels)
+	if wardSSE > avgSSE*1.2 {
+		t.Fatalf("ward SSE %v much worse than average %v", wardSSE, avgSSE)
+	}
+}
+
+// Property: for any data, labels are in range, sizes sum to n, and every
+// cluster is non-empty.
+func TestAgglomerateInvariantsProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, kRaw, dimRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		k := int(kRaw)%n + 1
+		dim := int(dimRaw)%6 + 1
+		r := rand.New(rand.NewSource(seed))
+		data := make([][]float32, n)
+		for i := range data {
+			row := make([]float32, dim)
+			for d := range row {
+				row[d] = float32(r.NormFloat64())
+			}
+			data[i] = row
+		}
+		res, err := Agglomerate(data, k, Ward)
+		if err != nil {
+			return false
+		}
+		if res.K() != k {
+			return false
+		}
+		total := 0
+		seen := make([]bool, k)
+		for _, s := range res.Sizes {
+			if s <= 0 {
+				return false
+			}
+			total += s
+		}
+		if total != n {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+			seen[l] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return len(res.MergeHeights) == n-k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package compute
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func registryWithMath(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	err := reg.Register("add", func(ctx context.Context, args map[string]any) (any, error) {
+		a, _ := args["a"].(float64)
+		b, _ := args["b"].(float64)
+		return a + b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("boom", func(ctx context.Context, args map[string]any) (any, error) {
+		return nil, fmt.Errorf("deliberate failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("panic", func(ctx context.Context, args map[string]any) (any, error) {
+		panic("kaboom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("sleep", func(ctx context.Context, args map[string]any) (any, error) {
+		d, _ := args["ms"].(float64)
+		select {
+		case <-time.After(time.Duration(d) * time.Millisecond):
+			return "slept", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("", func(ctx context.Context, a map[string]any) (any, error) { return nil, nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := reg.Register("x", nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	if err := reg.Register("x", func(ctx context.Context, a map[string]any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("x", func(ctx context.Context, a map[string]any) (any, error) { return nil, nil }); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := reg.Lookup("nope"); err == nil {
+		t.Error("missing lookup accepted")
+	}
+}
+
+func TestEndpointExecutesTasks(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, err := NewEndpoint("dtn1", reg, EndpointConfig{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Start()
+	defer ep.Stop()
+
+	fut, err := ep.Submit("add", map[string]any{"a": float64(2), "b": float64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fut.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 5 {
+		t.Fatalf("result = %v", v)
+	}
+	if fut.State() != Completed {
+		t.Fatalf("state = %v", fut.State())
+	}
+}
+
+func TestEndpointTaskErrorAndPanic(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, _ := NewEndpoint("dtn1", reg, EndpointConfig{Workers: 1})
+	ep.Start()
+	defer ep.Stop()
+
+	fut, err := ep.Submit("boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Get(context.Background()); err == nil {
+		t.Fatal("task error not propagated")
+	}
+	if fut.State() != Errored {
+		t.Fatalf("state = %v", fut.State())
+	}
+	// A panicking task must not kill the worker.
+	fut2, err := ep.Submit("panic", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut2.Get(context.Background()); err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	fut3, err := ep.Submit("add", map[string]any{"a": float64(1), "b": float64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := fut3.Get(context.Background()); err != nil || v.(float64) != 2 {
+		t.Fatalf("worker dead after panic: %v %v", v, err)
+	}
+}
+
+func TestEndpointBoundedConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var now, peak int64
+	var mu sync.Mutex
+	if err := reg.Register("probe", func(ctx context.Context, args map[string]any) (any, error) {
+		mu.Lock()
+		now++
+		if now > peak {
+			peak = now
+		}
+		mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		now--
+		mu.Unlock()
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := NewEndpoint("e", reg, EndpointConfig{Workers: 4})
+	ep.Start()
+	defer ep.Stop()
+	args := make([]map[string]any, 20)
+	if _, err := ep.Map(context.Background(), "probe", args); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > 4 {
+		t.Fatalf("peak concurrency %d exceeds 4 workers", peak)
+	}
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d: pool not parallel", peak)
+	}
+}
+
+func TestEndpointGracefulStopDrainsQueue(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, _ := NewEndpoint("e", reg, EndpointConfig{Workers: 2})
+	ep.Start()
+	var futs []*Future
+	for i := 0; i < 10; i++ {
+		f, err := ep.Submit("sleep", map[string]any{"ms": float64(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	ep.Stop() // must wait for all queued tasks
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		default:
+			t.Fatalf("task %d not finished after Stop", i)
+		}
+	}
+	if _, err := ep.Submit("add", nil); err == nil {
+		t.Fatal("submit after stop accepted")
+	}
+}
+
+func TestEndpointQueueFull(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, _ := NewEndpoint("e", reg, EndpointConfig{Workers: 1, QueueDepth: 2})
+	ep.Start()
+	defer ep.Stop()
+	overflowed := false
+	for i := 0; i < 10; i++ {
+		if _, err := ep.Submit("sleep", map[string]any{"ms": float64(50)}); err != nil {
+			overflowed = true
+			break
+		}
+	}
+	if !overflowed {
+		t.Fatal("queue depth 2 never overflowed")
+	}
+}
+
+func TestEndpointTaskTimeout(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, _ := NewEndpoint("e", reg, EndpointConfig{Workers: 1, TaskTimeout: 20 * time.Millisecond})
+	ep.Start()
+	defer ep.Stop()
+	fut, err := ep.Submit("sleep", map[string]any{"ms": float64(5000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Get(context.Background()); err == nil {
+		t.Fatal("timeout not enforced")
+	}
+}
+
+func TestWorkerChangeHookObservesActivity(t *testing.T) {
+	reg := registryWithMath(t)
+	var maxActive int64
+	ep, _ := NewEndpoint("e", reg, EndpointConfig{
+		Workers: 3,
+		OnWorkerChange: func(active int) {
+			for {
+				cur := atomic.LoadInt64(&maxActive)
+				if int64(active) <= cur || atomic.CompareAndSwapInt64(&maxActive, cur, int64(active)) {
+					break
+				}
+			}
+		},
+	})
+	ep.Start()
+	args := make([]map[string]any, 9)
+	for i := range args {
+		args[i] = map[string]any{"ms": float64(10)}
+	}
+	if _, err := ep.Map(context.Background(), "sleep", args); err != nil {
+		t.Fatal(err)
+	}
+	ep.Stop()
+	if atomic.LoadInt64(&maxActive) < 2 {
+		t.Fatalf("hook saw max active %d", maxActive)
+	}
+	if ep.ActiveWorkers() != 0 {
+		t.Fatalf("active after stop = %d", ep.ActiveWorkers())
+	}
+}
+
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, _ := NewEndpoint("remote-dtn", reg, EndpointConfig{Workers: 2})
+	ep.Start()
+	defer ep.Stop()
+	srv := httptest.NewServer(ep.Handler())
+	defer srv.Close()
+
+	client := NewRemoteEndpoint(srv.URL)
+	ctx := context.Background()
+
+	name, _, fns, err := client.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "remote-dtn" || len(fns) != 4 {
+		t.Fatalf("status %q %v", name, fns)
+	}
+
+	fut, err := client.Submit(ctx, "add", map[string]any{"a": 40, "b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fut.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 42 {
+		t.Fatalf("remote result %v", v)
+	}
+}
+
+func TestHTTPTransportErrors(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, _ := NewEndpoint("remote", reg, EndpointConfig{Workers: 1})
+	ep.Start()
+	defer ep.Stop()
+	srv := httptest.NewServer(ep.Handler())
+	defer srv.Close()
+	client := NewRemoteEndpoint(srv.URL)
+	ctx := context.Background()
+
+	if _, err := client.Submit(ctx, "nonexistent", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	fut, err := client.Submit(ctx, "boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.Get(ctx); err == nil {
+		t.Error("remote task error not propagated")
+	}
+	bogus := &RemoteFuture{TaskID: "nope", ep: client}
+	if _, err := bogus.Poll(ctx); err == nil {
+		t.Error("unknown remote task accepted")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("iden", func(ctx context.Context, args map[string]any) (any, error) {
+		return args["i"], nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := NewEndpoint("e", reg, EndpointConfig{Workers: 8})
+	ep.Start()
+	defer ep.Stop()
+	args := make([]map[string]any, 50)
+	for i := range args {
+		args[i] = map[string]any{"i": float64(i)}
+	}
+	results, err := ep.Map(context.Background(), "iden", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.(float64) != float64(i) {
+			t.Fatalf("result[%d] = %v", i, r)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/aicca"
+	"github.com/eoml/eoml/internal/flows"
+	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/parsl"
+	"github.com/eoml/eoml/internal/provenance"
+	"github.com/eoml/eoml/internal/ricc"
+	"github.com/eoml/eoml/internal/tile"
+	"github.com/eoml/eoml/internal/trace"
+	"github.com/eoml/eoml/internal/transfer"
+	"github.com/eoml/eoml/internal/watch"
+)
+
+// Report summarizes a completed pipeline run.
+type Report struct {
+	GranulesRequested int
+	FilesDownloaded   int
+	BytesDownloaded   int64
+	TileFiles         int // granules that yielded ocean-cloud tiles
+	TilesProduced     int
+	TilesLabeled      int
+	FilesShipped      int
+	Elapsed           time.Duration
+
+	// Stage telemetry (Fig. 6 / Fig. 7 counterparts for real runs).
+	Timeline *trace.Timeline
+	Spans    *trace.Spans
+}
+
+// Pipeline executes the five-stage workflow.
+type Pipeline struct {
+	cfg     Config
+	labeler *aicca.Labeler
+	prov    *provenance.Store
+}
+
+// New builds a pipeline. The labeler may be nil only if the config names
+// model and codebook files to load.
+func New(cfg Config, labeler *aicca.Labeler) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if labeler == nil {
+		if cfg.ModelPath == "" || cfg.CodebookPath == "" {
+			return nil, fmt.Errorf("core: pipeline needs a labeler or model+codebook paths")
+		}
+		model, err := ricc.Load(cfg.ModelPath)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := ricc.LoadCodebook(cfg.CodebookPath)
+		if err != nil {
+			return nil, err
+		}
+		labeler, err = aicca.NewLabeler(model, cb)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Pipeline{cfg: cfg, labeler: labeler}, nil
+}
+
+// Run executes download → preprocess → monitor/trigger → inference →
+// shipment and returns the run report. Inference overlaps preprocessing,
+// as in the paper's Fig. 6; shipment begins once every tile file is
+// labeled.
+func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		GranulesRequested: len(p.cfg.GranuleIDs()),
+		Timeline:          trace.NewTimeline(),
+		Spans:             trace.NewSpans(),
+	}
+	since := func() float64 { return time.Since(start).Seconds() }
+
+	for _, dir := range []string{p.cfg.DataDir, p.cfg.TileDir, p.cfg.OutboxDir, p.cfg.DestDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Stage 3+4 first: arm the monitor and the inference flow so
+	// they overlap preprocessing (files are labeled as they appear).
+	engine := flows.NewEngine(flows.EngineConfig{})
+	if err := engine.RegisterProvider("inference", p.inferenceProvider()); err != nil {
+		return nil, err
+	}
+	if err := engine.RegisterProvider("move", p.moveProvider()); err != nil {
+		return nil, err
+	}
+	flowDef, err := flows.ParseDefinition([]byte(inferenceFlowDefinition))
+	if err != nil {
+		return nil, err
+	}
+
+	crawler, err := watch.NewCrawler(watch.Config{
+		Dir:      p.cfg.TileDir,
+		Pattern:  "*.nc",
+		Interval: p.cfg.PollInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	labeled := 0
+	tilesLabeled := 0
+	var flowErr error
+	inferCtx, stopCrawler := context.WithCancel(ctx)
+	defer stopCrawler()
+	crawlerDone := make(chan struct{})
+	var flowWG sync.WaitGroup
+	inferenceStarted := false
+
+	go func() {
+		defer close(crawlerDone)
+		_ = crawler.Run(inferCtx, func(events []watch.Event) error {
+			for _, ev := range events {
+				ev := ev
+				flowWG.Add(1)
+				run, err := engine.Start(ctx, flowDef, map[string]any{
+					"file":   ev.Path,
+					"outbox": p.cfg.OutboxDir,
+				})
+				if err != nil {
+					flowWG.Done()
+					return err
+				}
+				mu.Lock()
+				if !inferenceStarted {
+					inferenceStarted = true
+					rep.Timeline.Record("inference", since(), 1)
+				}
+				mu.Unlock()
+				go func() {
+					defer flowWG.Done()
+					out, err := run.Wait(ctx)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if flowErr == nil {
+							flowErr = err
+						}
+						return
+					}
+					labeled++
+					if n, ok := out["labeled"].(int); ok {
+						tilesLabeled += n
+					}
+					rep.Timeline.Record("inference", since(), 0)
+				}()
+			}
+			return nil
+		})
+	}()
+
+	// ---- Stage 1: download (Globus-Compute-style fan-out) -------------
+	dlStart := since()
+	files, bytes, err := p.downloadViaCompute(ctx, p.cfg.GranuleIDs(), func(active int) {
+		rep.Timeline.Record("download", since(), active)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.FilesDownloaded = files
+	rep.BytesDownloaded = bytes
+	rep.Spans.Add("download", dlStart, since())
+
+	// ---- Stage 2: preprocess (Parsl block) ----------------------------
+	preStart := since()
+	exec, err := parsl.NewHTEX(parsl.HTEXConfig{
+		Label:          "preprocess",
+		WorkersPerNode: p.cfg.PreprocessWorkers,
+		InitBlocks:     1,
+		MaxBlocks:      1,
+		OnWorkerChange: func(busy int) {
+			rep.Timeline.Record("preprocess", since(), busy)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Start(); err != nil {
+		return nil, err
+	}
+	dfk, err := parsl.NewDFK(exec, parsl.DFKConfig{Retries: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	granules := p.cfg.GranuleIDs()
+	apps := make([]parsl.App, len(granules))
+	for i, g := range granules {
+		g := g
+		apps[i] = func(ctx context.Context) (any, error) {
+			return p.preprocessGranule(g)
+		}
+	}
+	futs := dfk.Map("tiles", apps)
+	expectFiles := 0
+	for i, f := range futs {
+		v, err := f.Get(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocess granule %d: %w", granules[i].Index, err)
+		}
+		r := v.(preResult)
+		rep.TilesProduced += r.tiles
+		if r.hasFile {
+			expectFiles++
+		}
+	}
+	rep.TileFiles = expectFiles
+	if err := exec.Shutdown(); err != nil {
+		return nil, err
+	}
+	rep.Spans.Add("preprocess", preStart, since())
+
+	// ---- Wait for inference to catch up -------------------------------
+	waitStart := time.Now()
+	for {
+		mu.Lock()
+		done := labeled >= expectFiles
+		err := flowErr
+		mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("core: inference flow: %w", err)
+		}
+		if done {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Since(waitStart) > 5*time.Minute {
+			return nil, fmt.Errorf("core: inference stalled: %d/%d files labeled", labeled, expectFiles)
+		}
+		time.Sleep(p.cfg.PollInterval)
+	}
+	stopCrawler()
+	<-crawlerDone
+	flowWG.Wait()
+	mu.Lock()
+	rep.TilesLabeled = tilesLabeled
+	mu.Unlock()
+	rep.Spans.Add("inference", preStart, since())
+
+	// ---- Stage 5: shipment --------------------------------------------
+	shipStart := since()
+	shipWall := time.Now()
+	if expectFiles > 0 {
+		svc := transfer.NewService(transfer.Options{VerifyChecksum: true, Parallelism: 4})
+		if _, err := svc.RegisterEndpoint("defiant", "ACE Defiant", p.cfg.OutboxDir); err != nil {
+			return nil, err
+		}
+		if _, err := svc.RegisterEndpoint("orion", "Frontier Orion", p.cfg.DestDir); err != nil {
+			return nil, err
+		}
+		taskID, err := svc.SubmitDir("defiant", "orion", ".", ".")
+		if err != nil {
+			return nil, fmt.Errorf("core: shipment: %w", err)
+		}
+		st, err := svc.Wait(ctx, taskID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != transfer.Succeeded {
+			return nil, fmt.Errorf("core: shipment failed: %v", st.Errors)
+		}
+		rep.FilesShipped = st.FilesDone
+		if p.prov != nil {
+			entries, err := os.ReadDir(p.cfg.OutboxDir)
+			if err == nil {
+				var names []string
+				for _, e := range entries {
+					if !e.IsDir() {
+						names = append(names, e.Name())
+					}
+				}
+				p.recordShipment(names, shipWall, time.Now())
+			}
+		}
+	}
+	rep.Spans.Add("shipment", shipStart, since())
+
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// preResult is the per-granule outcome of the preprocessing app.
+type preResult struct {
+	tiles   int
+	hasFile bool
+}
+
+// preprocessGranule converts one granule triple into a tile NetCDF.
+func (p *Pipeline) preprocessGranule(g modis.GranuleID) (any, error) {
+	started := time.Now()
+	read := func(kind modis.Kind) (*hdf.File, error) {
+		prod := modis.Product{Satellite: g.Satellite, Kind: kind}
+		return hdf.ReadFile(filepath.Join(p.cfg.DataDir, modis.FileName(prod, g)))
+	}
+	mod02, err := read(modis.L1B)
+	if err != nil {
+		return nil, err
+	}
+	mod03, err := read(modis.Geo)
+	if err != nil {
+		return nil, err
+	}
+	mod06, err := read(modis.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tile.Extract(mod02, mod03, mod06, tile.Options{
+		TileSize:     p.cfg.TilePixels,
+		MinCloudFrac: p.cfg.MinCloudFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Tiles) == 0 {
+		return preResult{}, nil // night granule or no ocean clouds
+	}
+	name := fmt.Sprintf("tiles.%s.A%04d%03d.%s.nc", g.Satellite.Prefix(), g.Year, g.DOY, g.HHMM())
+	path := filepath.Join(p.cfg.TileDir, name)
+	if err := tile.WriteNetCDF(path, res.Tiles); err != nil {
+		return nil, err
+	}
+	p.recordPreprocess(g, path, len(res.Tiles), started, time.Now())
+	return preResult{tiles: len(res.Tiles), hasFile: true}, nil
+}
+
+// inferenceFlowDefinition is the Globus-Flows-style definition of stages
+// 3–4: label the file, then move it to the shipment outbox.
+const inferenceFlowDefinition = `{
+  "Comment": "EO-ML inference flow: label tiles, stage for shipment",
+  "StartAt": "Infer",
+  "States": {
+    "Infer": {
+      "Type": "Action",
+      "ActionProvider": "inference",
+      "Parameters": {"file": "$.file"},
+      "ResultPath": "$.labeled",
+      "Next": "Move"
+    },
+    "Move": {
+      "Type": "Action",
+      "ActionProvider": "move",
+      "Parameters": {"file": "$.file", "outbox": "$.outbox", "labeled": "$.labeled"},
+      "ResultPath": "$.moved",
+      "Next": "Done"
+    },
+    "Done": {"Type": "Succeed"}
+  }
+}`
+
+func (p *Pipeline) inferenceProvider() flows.ActionProvider {
+	return func(ctx context.Context, params map[string]any) (any, error) {
+		path, _ := params["file"].(string)
+		if path == "" {
+			return nil, fmt.Errorf("core: inference action needs a file")
+		}
+		return p.labeler.LabelFile(path)
+	}
+}
+
+func (p *Pipeline) moveProvider() flows.ActionProvider {
+	return func(ctx context.Context, params map[string]any) (any, error) {
+		started := time.Now()
+		src, _ := params["file"].(string)
+		outbox, _ := params["outbox"].(string)
+		if src == "" || outbox == "" {
+			return nil, fmt.Errorf("core: move action needs file and outbox")
+		}
+		labeled, _ := params["labeled"].(int)
+		dst := filepath.Join(outbox, filepath.Base(src))
+		if err := os.Rename(src, dst); err != nil {
+			// Cross-device rename fallback: copy via read/write.
+			data, rerr := os.ReadFile(src)
+			if rerr != nil {
+				return nil, err
+			}
+			if werr := os.WriteFile(dst, data, 0o644); werr != nil {
+				return nil, werr
+			}
+			if rerr := os.Remove(src); rerr != nil {
+				return nil, rerr
+			}
+		}
+		p.recordInference(src, dst, labeled, started, time.Now())
+		return dst, nil
+	}
+}
+
+// Summary renders a one-paragraph report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "granules=%d files=%d bytes=%d tileFiles=%d tiles=%d labeled=%d shipped=%d elapsed=%s",
+		r.GranulesRequested, r.FilesDownloaded, r.BytesDownloaded,
+		r.TileFiles, r.TilesProduced, r.TilesLabeled, r.FilesShipped, r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}

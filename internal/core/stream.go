@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/flows"
+	"github.com/eoml/eoml/internal/laads"
+	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/parsl"
+	"github.com/eoml/eoml/internal/trace"
+	"github.com/eoml/eoml/internal/transfer"
+	"github.com/eoml/eoml/internal/watch"
+)
+
+// RunStream executes the workflow in streaming mode — the paper's §V
+// extension to "batch as well as streaming data". Granule indices arrive
+// on a channel (as they would from a satellite downlink feed); each
+// arrival is downloaded and preprocessed immediately, the monitor/flow
+// machinery labels tile files as they appear, and shipment happens once
+// the stream closes and the backlog drains.
+//
+// Unlike Run, preprocessing is NOT delayed until all downloads finish:
+// per-granule isolation (atomic writes, per-granule tile files) makes the
+// partial-file hazard of the batch design structurally impossible here.
+func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		Timeline: trace.NewTimeline(),
+		Spans:    trace.NewSpans(),
+	}
+	since := func() float64 { return time.Since(start).Seconds() }
+
+	for _, dir := range []string{p.cfg.DataDir, p.cfg.TileDir, p.cfg.OutboxDir, p.cfg.DestDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	// Monitor + inference flow, as in Run.
+	engine := flows.NewEngine(flows.EngineConfig{})
+	if err := engine.RegisterProvider("inference", p.inferenceProvider()); err != nil {
+		return nil, err
+	}
+	if err := engine.RegisterProvider("move", p.moveProvider()); err != nil {
+		return nil, err
+	}
+	flowDef, err := flows.ParseDefinition([]byte(inferenceFlowDefinition))
+	if err != nil {
+		return nil, err
+	}
+	crawler, err := watch.NewCrawler(watch.Config{
+		Dir:      p.cfg.TileDir,
+		Pattern:  "*.nc",
+		Interval: p.cfg.PollInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	labeled := 0
+	tilesLabeled := 0
+	var flowErr error
+	inferCtx, stopCrawler := context.WithCancel(ctx)
+	defer stopCrawler()
+	crawlerDone := make(chan struct{})
+	var flowWG sync.WaitGroup
+	go func() {
+		defer close(crawlerDone)
+		_ = crawler.Run(inferCtx, func(events []watch.Event) error {
+			for _, ev := range events {
+				ev := ev
+				flowWG.Add(1)
+				run, err := engine.Start(ctx, flowDef, map[string]any{
+					"file":   ev.Path,
+					"outbox": p.cfg.OutboxDir,
+				})
+				if err != nil {
+					flowWG.Done()
+					return err
+				}
+				go func() {
+					defer flowWG.Done()
+					out, err := run.Wait(ctx)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if flowErr == nil {
+							flowErr = err
+						}
+						return
+					}
+					labeled++
+					if n, ok := out["labeled"].(int); ok {
+						tilesLabeled += n
+					}
+					rep.Timeline.Record("inference", since(), labeled)
+				}()
+			}
+			return nil
+		})
+	}()
+
+	// A persistent preprocessing executor handles granules as they land.
+	exec, err := parsl.NewHTEX(parsl.HTEXConfig{
+		Label:          "stream-preprocess",
+		WorkersPerNode: p.cfg.PreprocessWorkers,
+		InitBlocks:     1,
+		MaxBlocks:      1,
+		OnWorkerChange: func(busy int) {
+			rep.Timeline.Record("preprocess", since(), busy)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Start(); err != nil {
+		return nil, err
+	}
+	dfk, err := parsl.NewDFK(exec, parsl.DFKConfig{Retries: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	client := laads.NewClient(p.cfg.ArchiveURL, p.cfg.ArchiveToken)
+	var futs []*parsl.AppFuture
+
+	// Consume the stream: download each arrival's product triple, then
+	// submit its preprocessing app.
+	for idx := range arrivals {
+		if idx < 0 || idx >= modis.GranulesPerDay {
+			exec.Shutdown()
+			return nil, fmt.Errorf("core: stream granule index %d out of range", idx)
+		}
+		g := modis.GranuleID{Satellite: p.cfg.Satellite, Year: p.cfg.Year, DOY: p.cfg.DOY, Index: idx}
+		rep.GranulesRequested++
+		rep.Timeline.Record("download", since(), 1)
+		var tasks []laads.Task
+		for _, prod := range p.cfg.Products() {
+			tasks = append(tasks, laads.Task{Product: prod, Year: g.Year, DOY: g.DOY, Name: modis.FileName(prod, g)})
+		}
+		dlRep, err := client.DownloadAll(ctx, tasks, p.cfg.DataDir, p.cfg.DownloadWorkers)
+		if err != nil {
+			exec.Shutdown()
+			return nil, fmt.Errorf("core: stream download granule %d: %w", idx, err)
+		}
+		rep.FilesDownloaded += len(dlRep.Files)
+		rep.BytesDownloaded += dlRep.TotalBytes
+		rep.Timeline.Record("download", since(), 0)
+
+		futs = append(futs, dfk.Submit(fmt.Sprintf("stream-tiles[%d]", idx), func(ctx context.Context) (any, error) {
+			return p.preprocessGranule(g)
+		}))
+	}
+
+	// Stream closed: drain preprocessing.
+	expectFiles := 0
+	for i, f := range futs {
+		v, err := f.Get(ctx)
+		if err != nil {
+			exec.Shutdown()
+			return nil, fmt.Errorf("core: stream preprocess %d: %w", i, err)
+		}
+		r := v.(preResult)
+		rep.TilesProduced += r.tiles
+		if r.hasFile {
+			expectFiles++
+		}
+	}
+	rep.TileFiles = expectFiles
+	if err := exec.Shutdown(); err != nil {
+		return nil, err
+	}
+
+	// Drain inference.
+	waitStart := time.Now()
+	for {
+		mu.Lock()
+		done := labeled >= expectFiles
+		err := flowErr
+		mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("core: stream inference: %w", err)
+		}
+		if done {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if time.Since(waitStart) > 5*time.Minute {
+			return nil, fmt.Errorf("core: stream inference stalled: %d/%d", labeled, expectFiles)
+		}
+		time.Sleep(p.cfg.PollInterval)
+	}
+	stopCrawler()
+	<-crawlerDone
+	flowWG.Wait()
+	mu.Lock()
+	rep.TilesLabeled = tilesLabeled
+	mu.Unlock()
+
+	// Shipment.
+	shipWall := time.Now()
+	if expectFiles > 0 {
+		svc := transfer.NewService(transfer.Options{VerifyChecksum: true, Parallelism: 4})
+		if _, err := svc.RegisterEndpoint("defiant", "ACE Defiant", p.cfg.OutboxDir); err != nil {
+			return nil, err
+		}
+		if _, err := svc.RegisterEndpoint("orion", "Frontier Orion", p.cfg.DestDir); err != nil {
+			return nil, err
+		}
+		taskID, err := svc.SubmitDir("defiant", "orion", ".", ".")
+		if err != nil {
+			return nil, err
+		}
+		st, err := svc.Wait(ctx, taskID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != transfer.Succeeded {
+			return nil, fmt.Errorf("core: stream shipment failed: %v", st.Errors)
+		}
+		rep.FilesShipped = st.FilesDone
+		if p.prov != nil {
+			entries, err := os.ReadDir(p.cfg.OutboxDir)
+			if err == nil {
+				var names []string
+				for _, e := range entries {
+					if !e.IsDir() {
+						names = append(names, e.Name())
+					}
+				}
+				p.recordShipment(names, shipWall, time.Now())
+			}
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/eoml/eoml/internal/provenance"
+)
+
+func TestRunStreamProcessesArrivals(t *testing.T) {
+	granules := findProductiveGranules(t, 3, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, nil) // stream mode ignores cfg.Granules
+
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make(chan int)
+	go func() {
+		defer close(arrivals)
+		for _, idx := range granules {
+			arrivals <- idx
+			time.Sleep(10 * time.Millisecond) // staggered downlink
+		}
+	}()
+	rep, err := p.RunStream(context.Background(), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GranulesRequested != 3 || rep.FilesDownloaded != 9 {
+		t.Fatalf("report %s", rep.Summary())
+	}
+	if rep.TilesLabeled != rep.TilesProduced || rep.TilesProduced == 0 {
+		t.Fatalf("labeling incomplete: %s", rep.Summary())
+	}
+	if rep.FilesShipped != rep.TileFiles {
+		t.Fatalf("shipment incomplete: %s", rep.Summary())
+	}
+	entries, err := os.ReadDir(cfg.DestDir)
+	if err != nil || len(entries) != rep.TileFiles {
+		t.Fatalf("destination: %v, %v", entries, err)
+	}
+}
+
+func TestRunStreamRejectsBadIndex(t *testing.T) {
+	granules := findProductiveGranules(t, 1, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, nil)
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make(chan int, 1)
+	arrivals <- 999
+	close(arrivals)
+	if _, err := p.RunStream(context.Background(), arrivals); err == nil {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestRunStreamEmptyStream(t *testing.T) {
+	granules := findProductiveGranules(t, 1, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, nil)
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make(chan int)
+	close(arrivals)
+	rep, err := p.RunStream(context.Background(), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GranulesRequested != 0 || rep.FilesShipped != 0 {
+		t.Fatalf("empty stream report: %s", rep.Summary())
+	}
+}
+
+func TestRunRecordsProvenance(t *testing.T) {
+	granules := findProductiveGranules(t, 2, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, granules)
+
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore()
+	p.SetProvenance(store)
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesShipped == 0 {
+		t.Fatalf("nothing shipped: %s", rep.Summary())
+	}
+
+	// Every shipped file must have full lineage back to three granules.
+	entries, err := os.ReadDir(cfg.DestDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		steps, err := store.Lineage("shipped:" + e.Name())
+		if err != nil {
+			t.Fatalf("lineage of %s: %v", e.Name(), err)
+		}
+		names := map[string]bool{}
+		for _, s := range steps {
+			names[s.Activity.Name] = true
+		}
+		for _, want := range []string{"shipment", "inference", "preprocess"} {
+			if !names[want] {
+				t.Fatalf("%s lineage missing %q: %v", e.Name(), want, names)
+			}
+		}
+		// The deepest step consumes the granule triple.
+		last := steps[len(steps)-1]
+		if last.Activity.Name != "preprocess" || len(last.Inputs) != 3 {
+			t.Fatalf("deepest step: %+v", last)
+		}
+		for _, in := range last.Inputs {
+			if in.Kind != "granule" {
+				t.Fatalf("source kind %q", in.Kind)
+			}
+		}
+	}
+
+	// The graph round-trips through export.
+	var buf bytes.Buffer
+	if err := store.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := provenance.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Activities()) != len(store.Activities()) {
+		t.Fatal("export/import lost activities")
+	}
+
+	// Forward lineage: a granule derives the shipped product.
+	acts := store.Activities()
+	var granuleID string
+	for _, a := range acts {
+		if a.Name == "preprocess" {
+			granuleID = a.Inputs[0]
+			break
+		}
+	}
+	derived, err := store.Derived(granuleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundShipped := false
+	for _, d := range derived {
+		if filepath.Ext(d.URI) == ".nc" && d.Kind == "tiles" {
+			foundShipped = true
+		}
+	}
+	if !foundShipped {
+		t.Fatalf("granule %s derived no tile products: %v", granuleID, derived)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The discrete-event experiments must be bit-for-bit reproducible for a
+// fixed seed — that's the property that makes EXPERIMENTS.md's recorded
+// numbers stable across machines and runs.
+
+func TestScalingSweepsDeterministic(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	cfg.Iterations = 1
+	a := RunTable1(cfg)
+	b := RunTable1(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Table 1 differs across identical runs")
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	c := RunTable1(cfg2)
+	if reflect.DeepEqual(a.StrongWorkers, c.StrongWorkers) {
+		t.Fatal("different seeds produced identical strong-worker sweeps")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() *PipelineResult {
+		res, err := RunPipeline(DefaultPipelineConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalSeconds != b.TotalSeconds || a.TilesLabeled != b.TilesLabeled || a.FlowActions != b.FlowActions {
+		t.Fatalf("pipeline runs differ: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Timeline.Samples("preprocess"), b.Timeline.Samples("preprocess")) {
+		t.Fatal("timelines differ across identical runs")
+	}
+}
+
+func TestHeadlineDeterministic(t *testing.T) {
+	cfg := DefaultScalingConfig()
+	s1, r1 := Headline(cfg)
+	s2, r2 := Headline(cfg)
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("headline differs: (%v,%v) vs (%v,%v)", s1, r1, s2, r2)
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/eoml/eoml/internal/cluster"
+	"github.com/eoml/eoml/internal/sim"
+	"github.com/eoml/eoml/internal/slurmsim"
+)
+
+// ScalingConfig drives the Fig. 4 / Fig. 5 / Table I sweeps.
+type ScalingConfig struct {
+	// Iterations per data point (5 in the paper).
+	Iterations int
+	// TilesPerFile is the mean ocean-cloud tile yield of a MOD02 granule
+	// (≈42 on the benchmark day: 12,000 tiles from 288 granules).
+	TilesPerFile int
+	// TileJitterSigma perturbs per-tile service times.
+	TileJitterSigma float64
+	// SchedLatency is the Slurm allocation latency in virtual seconds.
+	SchedLatency float64
+	Seed         int64
+}
+
+// DefaultScalingConfig matches the paper's setup.
+func DefaultScalingConfig() ScalingConfig {
+	return ScalingConfig{
+		Iterations:      5,
+		TilesPerFile:    42,
+		TileJitterSigma: 0.25,
+		SchedLatency:    2.0,
+		Seed:            1,
+	}
+}
+
+// ScalingPoint is one row of Fig. 4/5 (completion time) and Table I
+// (throughput).
+type ScalingPoint struct {
+	Workers     int // total workers
+	Nodes       int
+	Files       int
+	Tiles       int
+	MeanSeconds float64
+	StdSeconds  float64
+	TilesPerSec float64 // mean tiles per second across iterations
+}
+
+// runPreprocess simulates one preprocessing campaign: files are a shared
+// bag; workers (spread over an allocation of nodes, workersPerNode each)
+// pull the next file when free. Returns the makespan in virtual seconds
+// and the total tile count.
+func runPreprocess(cfg ScalingConfig, nodes, workersPerNode, files int, rng *sim.RNG) (float64, int) {
+	k := sim.NewKernel()
+	spec := cluster.Defiant()
+	if nodes > spec.Nodes {
+		spec.Nodes = nodes
+	}
+	machine, err := cluster.New(k, spec)
+	if err != nil {
+		panic(err) // static spec: programming error
+	}
+	sched := slurmsim.New(k, machine, slurmsim.Config{SchedLatency: sim.Duration(cfg.SchedLatency)})
+
+	// Per-file tile yields, jittered around the mean like real granules
+	// (ocean fraction and cloudiness vary swath to swath).
+	tileCounts := make([]int, files)
+	totalTiles := 0
+	for i := range tileCounts {
+		n := int(float64(cfg.TilesPerFile) * rng.LogNormalFactor(0.15))
+		if n < 1 {
+			n = 1
+		}
+		tileCounts[i] = n
+		totalTiles += n
+	}
+	nextFile := 0
+	var start, finish sim.Time
+	filesDone := 0
+
+	if _, err := sched.Submit(nodes, func(a *slurmsim.Allocation) {
+		start = k.Now()
+		for _, node := range a.Nodes {
+			for w := 0; w < workersPerNode; w++ {
+				worker := &cluster.Worker{
+					Node:        node,
+					Cost:        cluster.DefaultTileCost(),
+					RNG:         rng.Fork(),
+					JitterSigma: cfg.TileJitterSigma,
+				}
+				worker.SetSharedFS(machine.SharedFS)
+				worker.RunQueue(func() (int, bool) {
+					if nextFile >= len(tileCounts) {
+						return 0, false
+					}
+					n := tileCounts[nextFile]
+					nextFile++
+					return n, true
+				}, func(int) {
+					filesDone++
+					if filesDone == files {
+						finish = k.Now()
+						a.Release()
+					}
+				}, nil)
+			}
+		}
+	}); err != nil {
+		panic(err)
+	}
+	k.Run()
+	return float64(finish - start), totalTiles
+}
+
+// sweep runs one scaling configuration across iterations.
+func sweep(cfg ScalingConfig, nodes, workersPerNode, files int, rng *sim.RNG) ScalingPoint {
+	var times []float64
+	var rates []float64
+	tiles := 0
+	for it := 0; it < cfg.Iterations; it++ {
+		t, n := runPreprocess(cfg, nodes, workersPerNode, files, rng.Fork())
+		times = append(times, t)
+		rates = append(rates, float64(n)/t)
+		tiles = n
+	}
+	meanT, stdT := meanStd(times)
+	meanR, _ := meanStd(rates)
+	return ScalingPoint{
+		Workers:     nodes * workersPerNode,
+		Nodes:       nodes,
+		Files:       files,
+		Tiles:       tiles,
+		MeanSeconds: meanT,
+		StdSeconds:  stdT,
+		TilesPerSec: meanR,
+	}
+}
+
+// Fig4StrongWorkers: 128 MOD02 files fixed; workers double 1→128. Beyond
+// 64 workers a second node is used (64 cores per node), exactly as in the
+// paper.
+func Fig4StrongWorkers(cfg ScalingConfig) []ScalingPoint {
+	rng := sim.NewRNG(cfg.Seed)
+	var out []ScalingPoint
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		nodes, perNode := 1, w
+		if w > 64 {
+			nodes, perNode = 2, w/2
+		}
+		out = append(out, sweep(cfg, nodes, perNode, 128, rng.Fork()))
+	}
+	return out
+}
+
+// Fig4StrongNodes: 80 files fixed, 8 workers per node, nodes 1→10.
+func Fig4StrongNodes(cfg ScalingConfig) []ScalingPoint {
+	rng := sim.NewRNG(cfg.Seed + 1)
+	var out []ScalingPoint
+	for nodes := 1; nodes <= 10; nodes++ {
+		out = append(out, sweep(cfg, nodes, 8, 80, rng.Fork()))
+	}
+	return out
+}
+
+// Fig5WeakWorkers: 2 files per worker; workers double 1→128.
+func Fig5WeakWorkers(cfg ScalingConfig) []ScalingPoint {
+	rng := sim.NewRNG(cfg.Seed + 2)
+	var out []ScalingPoint
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		nodes, perNode := 1, w
+		if w > 64 {
+			nodes, perNode = 2, w/2
+		}
+		out = append(out, sweep(cfg, nodes, perNode, 2*w, rng.Fork()))
+	}
+	return out
+}
+
+// Fig5WeakNodes: 8 workers per node, 2 files per worker, nodes 1→10.
+func Fig5WeakNodes(cfg ScalingConfig) []ScalingPoint {
+	rng := sim.NewRNG(cfg.Seed + 3)
+	var out []ScalingPoint
+	for nodes := 1; nodes <= 10; nodes++ {
+		out = append(out, sweep(cfg, nodes, 8, 2*8*nodes, rng.Fork()))
+	}
+	return out
+}
+
+// Table1 bundles the four Table I sweeps.
+type Table1 struct {
+	StrongWorkers []ScalingPoint
+	StrongNodes   []ScalingPoint
+	WeakWorkers   []ScalingPoint
+	WeakNodes     []ScalingPoint
+}
+
+// RunTable1 executes all four sweeps.
+func RunTable1(cfg ScalingConfig) Table1 {
+	return Table1{
+		StrongWorkers: Fig4StrongWorkers(cfg),
+		StrongNodes:   Fig4StrongNodes(cfg),
+		WeakWorkers:   Fig5WeakWorkers(cfg),
+		WeakNodes:     Fig5WeakNodes(cfg),
+	}
+}
+
+// RenderScaling prints a Fig. 4/5-style series.
+func RenderScaling(title, xLabel string, points []ScalingPoint, byNodes bool) string {
+	s := title + "\n"
+	s += fmt.Sprintf("%-10s %-8s %-14s %-10s %-14s\n", xLabel, "files", "time (s)", "± std", "tiles/sec")
+	for _, p := range points {
+		x := p.Workers
+		if byNodes {
+			x = p.Nodes
+		}
+		s += fmt.Sprintf("%-10d %-8d %-14.2f %-10.2f %-14.2f\n", x, p.Files, p.MeanSeconds, p.StdSeconds, p.TilesPerSec)
+	}
+	return s
+}
+
+// RenderTable1 prints the full Table I layout.
+func RenderTable1(t Table1) string {
+	s := "Table I: Throughput of MODIS tile preprocessing (tiles per second)\n\n"
+	s += "Strong scaling\n"
+	s += fmt.Sprintf("%-10s %-14s    %-8s %-14s\n", "# workers", "# tile per sec", "# nodes", "# tile per sec")
+	for i := 0; i < len(t.StrongWorkers) || i < len(t.StrongNodes); i++ {
+		w, wr, n, nr := "-", "-", "-", "-"
+		if i < len(t.StrongWorkers) {
+			w = fmt.Sprint(t.StrongWorkers[i].Workers)
+			wr = fmt.Sprintf("%.2f", t.StrongWorkers[i].TilesPerSec)
+		}
+		if i < len(t.StrongNodes) {
+			n = fmt.Sprint(t.StrongNodes[i].Nodes)
+			nr = fmt.Sprintf("%.2f", t.StrongNodes[i].TilesPerSec)
+		}
+		s += fmt.Sprintf("%-10s %-14s    %-8s %-14s\n", w, wr, n, nr)
+	}
+	s += "\nWeak scaling\n"
+	s += fmt.Sprintf("%-10s %-14s    %-8s %-14s\n", "# workers", "# tile per sec", "# nodes", "# tile per sec")
+	for i := 0; i < len(t.WeakWorkers) || i < len(t.WeakNodes); i++ {
+		w, wr, n, nr := "-", "-", "-", "-"
+		if i < len(t.WeakWorkers) {
+			w = fmt.Sprint(t.WeakWorkers[i].Workers)
+			wr = fmt.Sprintf("%.2f", t.WeakWorkers[i].TilesPerSec)
+		}
+		if i < len(t.WeakNodes) {
+			n = fmt.Sprint(t.WeakNodes[i].Nodes)
+			nr = fmt.Sprintf("%.2f", t.WeakNodes[i].TilesPerSec)
+		}
+		s += fmt.Sprintf("%-10s %-14s    %-8s %-14s\n", w, wr, n, nr)
+	}
+	return s
+}
+
+// Headline reproduces the abstract's claim: 12,000 tiles with 80 workers
+// on 10 nodes. Returns the virtual makespan (paper: ≈44 s) and rate.
+func Headline(cfg ScalingConfig) (seconds float64, tilesPerSec float64) {
+	rng := sim.NewRNG(cfg.Seed + 4)
+	files := 12000 / cfg.TilesPerFile
+	t, tiles := runPreprocess(cfg, 10, 8, files, rng)
+	return t, float64(tiles) / t
+}

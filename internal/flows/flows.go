@@ -1,0 +1,329 @@
+// Package flows is a Globus-Flows-like automation engine: workflows are
+// JSON state machines (a dialect of the Amazon States Language, as Globus
+// Flows uses) whose Action states invoke registered action providers —
+// transfer, compute, inference — with parameters drawn from a JSON flow
+// document. Runs execute asynchronously with a full event log, which is
+// how the paper measures the ~50 ms action-transition overhead of its
+// monitor→infer→append→move inference flow (Fig. 7).
+package flows
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// State types.
+const (
+	TypeAction  = "Action"
+	TypePass    = "Pass"
+	TypeChoice  = "Choice"
+	TypeWait    = "Wait"
+	TypeSucceed = "Succeed"
+	TypeFail    = "Fail"
+)
+
+// Definition is a parsed flow.
+type Definition struct {
+	Comment string           `json:"Comment,omitempty"`
+	StartAt string           `json:"StartAt"`
+	States  map[string]State `json:"States"`
+}
+
+// State is one node of the machine.
+type State struct {
+	Type string `json:"Type"`
+
+	// Action states.
+	ActionProvider string         `json:"ActionProvider,omitempty"`
+	Parameters     map[string]any `json:"Parameters,omitempty"`
+	ResultPath     string         `json:"ResultPath,omitempty"`
+	// Retry re-runs a failed action: at most MaxAttempts total tries with
+	// IntervalSeconds between them (ASL-style, single catch-all retrier).
+	Retry *RetrySpec `json:"Retry,omitempty"`
+	// Catch redirects control to another state when the action fails
+	// after retries, storing the error text at ErrorPath.
+	Catch *CatchSpec `json:"Catch,omitempty"`
+
+	// Choice states.
+	Choices []ChoiceRule `json:"Choices,omitempty"`
+	Default string       `json:"Default,omitempty"`
+
+	// Wait states.
+	Seconds float64 `json:"Seconds,omitempty"`
+
+	// Fail states.
+	Error string `json:"Error,omitempty"`
+	Cause string `json:"Cause,omitempty"`
+
+	// Pass states may inject a literal result.
+	Result any `json:"Result,omitempty"`
+
+	Next string `json:"Next,omitempty"`
+	End  bool   `json:"End,omitempty"`
+}
+
+// RetrySpec declares action retry behaviour.
+type RetrySpec struct {
+	MaxAttempts     int     `json:"MaxAttempts"`
+	IntervalSeconds float64 `json:"IntervalSeconds,omitempty"`
+}
+
+// CatchSpec declares the failure handler of an action.
+type CatchSpec struct {
+	Next      string `json:"Next"`
+	ErrorPath string `json:"ErrorPath,omitempty"`
+}
+
+// ChoiceRule is a single comparison; exactly one comparator must be set.
+type ChoiceRule struct {
+	Variable           string   `json:"Variable"`
+	StringEquals       *string  `json:"StringEquals,omitempty"`
+	NumericEquals      *float64 `json:"NumericEquals,omitempty"`
+	NumericGreaterThan *float64 `json:"NumericGreaterThan,omitempty"`
+	NumericLessThan    *float64 `json:"NumericLessThan,omitempty"`
+	BooleanEquals      *bool    `json:"BooleanEquals,omitempty"`
+	IsNull             *bool    `json:"IsNull,omitempty"`
+	Next               string   `json:"Next"`
+}
+
+// ParseDefinition decodes and validates a flow definition.
+func ParseDefinition(data []byte) (*Definition, error) {
+	var def Definition
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&def); err != nil {
+		return nil, fmt.Errorf("flows: parse: %w", err)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &def, nil
+}
+
+// Validate checks structural invariants: the start state exists, every
+// transition targets a defined state, every non-terminal state has a way
+// forward, and terminal states exist.
+func (d *Definition) Validate() error {
+	if d.StartAt == "" {
+		return fmt.Errorf("flows: missing StartAt")
+	}
+	if len(d.States) == 0 {
+		return fmt.Errorf("flows: no states")
+	}
+	if _, ok := d.States[d.StartAt]; !ok {
+		return fmt.Errorf("flows: StartAt %q is not a state", d.StartAt)
+	}
+	checkTarget := func(from, to string) error {
+		if to == "" {
+			return nil
+		}
+		if _, ok := d.States[to]; !ok {
+			return fmt.Errorf("flows: state %q targets undefined state %q", from, to)
+		}
+		return nil
+	}
+	hasTerminal := false
+	for name, st := range d.States {
+		switch st.Type {
+		case TypeAction:
+			if st.ActionProvider == "" {
+				return fmt.Errorf("flows: action state %q has no provider", name)
+			}
+			if !st.End && st.Next == "" {
+				return fmt.Errorf("flows: action state %q has neither Next nor End", name)
+			}
+			if st.Retry != nil && st.Retry.MaxAttempts < 1 {
+				return fmt.Errorf("flows: action state %q retry needs MaxAttempts >= 1", name)
+			}
+			if st.Catch != nil {
+				if st.Catch.Next == "" {
+					return fmt.Errorf("flows: action state %q catch needs Next", name)
+				}
+				if err := checkTarget(name, st.Catch.Next); err != nil {
+					return err
+				}
+			}
+		case TypePass, TypeWait:
+			if !st.End && st.Next == "" {
+				return fmt.Errorf("flows: state %q has neither Next nor End", name)
+			}
+		case TypeChoice:
+			if len(st.Choices) == 0 {
+				return fmt.Errorf("flows: choice state %q has no rules", name)
+			}
+			for i, rule := range st.Choices {
+				if rule.Next == "" {
+					return fmt.Errorf("flows: choice state %q rule %d has no Next", name, i)
+				}
+				if err := checkTarget(name, rule.Next); err != nil {
+					return err
+				}
+				if rule.comparatorCount() != 1 {
+					return fmt.Errorf("flows: choice state %q rule %d needs exactly one comparator", name, i)
+				}
+			}
+			if err := checkTarget(name, st.Default); err != nil {
+				return err
+			}
+		case TypeSucceed, TypeFail:
+			hasTerminal = true
+		default:
+			return fmt.Errorf("flows: state %q has unknown type %q", name, st.Type)
+		}
+		if st.End {
+			hasTerminal = true
+		}
+		if err := checkTarget(name, st.Next); err != nil {
+			return err
+		}
+	}
+	if !hasTerminal {
+		return fmt.Errorf("flows: no terminal state (End, Succeed, or Fail)")
+	}
+	return nil
+}
+
+func (r ChoiceRule) comparatorCount() int {
+	n := 0
+	if r.StringEquals != nil {
+		n++
+	}
+	if r.NumericEquals != nil {
+		n++
+	}
+	if r.NumericGreaterThan != nil {
+		n++
+	}
+	if r.NumericLessThan != nil {
+		n++
+	}
+	if r.BooleanEquals != nil {
+		n++
+	}
+	if r.IsNull != nil {
+		n++
+	}
+	return n
+}
+
+// evaluate tests the rule against the flow document.
+func (r ChoiceRule) evaluate(doc map[string]any) (bool, error) {
+	v, err := resolvePath(doc, r.Variable)
+	switch {
+	case r.IsNull != nil:
+		isNull := err != nil || v == nil
+		return isNull == *r.IsNull, nil
+	case err != nil:
+		return false, err
+	case r.StringEquals != nil:
+		s, ok := v.(string)
+		return ok && s == *r.StringEquals, nil
+	case r.NumericEquals != nil:
+		f, ok := toFloat(v)
+		return ok && f == *r.NumericEquals, nil
+	case r.NumericGreaterThan != nil:
+		f, ok := toFloat(v)
+		return ok && f > *r.NumericGreaterThan, nil
+	case r.NumericLessThan != nil:
+		f, ok := toFloat(v)
+		return ok && f < *r.NumericLessThan, nil
+	case r.BooleanEquals != nil:
+		b, ok := v.(bool)
+		return ok && b == *r.BooleanEquals, nil
+	}
+	return false, fmt.Errorf("flows: rule on %q has no comparator", r.Variable)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	case float32:
+		return float64(t), true
+	}
+	return 0, false
+}
+
+// resolvePath walks "$.a.b.c" through nested maps.
+func resolvePath(doc map[string]any, path string) (any, error) {
+	if !strings.HasPrefix(path, "$.") && path != "$" {
+		return nil, fmt.Errorf("flows: path %q must start with $.", path)
+	}
+	if path == "$" {
+		return doc, nil
+	}
+	var cur any = doc
+	for _, part := range strings.Split(path[2:], ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("flows: path %q traverses non-object", path)
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, fmt.Errorf("flows: path %q not found", path)
+		}
+	}
+	return cur, nil
+}
+
+// setPath stores a value at "$.a.b", creating intermediate objects.
+func setPath(doc map[string]any, path string, value any) error {
+	if !strings.HasPrefix(path, "$.") {
+		return fmt.Errorf("flows: result path %q must start with $.", path)
+	}
+	parts := strings.Split(path[2:], ".")
+	cur := doc
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur[part].(map[string]any)
+		if !ok {
+			next = map[string]any{}
+			cur[part] = next
+		}
+		cur = next
+	}
+	cur[parts[len(parts)-1]] = value
+	return nil
+}
+
+// substituteParams deep-copies params, replacing any string value of the
+// form "$.x.y" with the referenced document value.
+func substituteParams(params map[string]any, doc map[string]any) (map[string]any, error) {
+	out := map[string]any{}
+	for k, v := range params {
+		sub, err := substituteValue(v, doc)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", k, err)
+		}
+		out[k] = sub
+	}
+	return out, nil
+}
+
+func substituteValue(v any, doc map[string]any) (any, error) {
+	switch t := v.(type) {
+	case string:
+		if strings.HasPrefix(t, "$.") || t == "$" {
+			return resolvePath(doc, t)
+		}
+		return t, nil
+	case map[string]any:
+		return substituteParams(t, doc)
+	case []any:
+		out := make([]any, len(t))
+		for i, item := range t {
+			sub, err := substituteValue(item, doc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sub
+		}
+		return out, nil
+	default:
+		return v, nil
+	}
+}

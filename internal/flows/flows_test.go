@@ -1,0 +1,437 @@
+package flows
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// inferenceFlowJSON is a miniature of the paper's stage-3/4 flow:
+// crawl -> choice(files found?) -> infer -> append -> move -> succeed.
+const inferenceFlowJSON = `{
+  "Comment": "EO-ML inference flow",
+  "StartAt": "Crawl",
+  "States": {
+    "Crawl": {
+      "Type": "Action",
+      "ActionProvider": "crawler",
+      "Parameters": {"dir": "$.watch_dir"},
+      "ResultPath": "$.crawl",
+      "Next": "AnyFiles"
+    },
+    "AnyFiles": {
+      "Type": "Choice",
+      "Choices": [
+        {"Variable": "$.crawl.count", "NumericGreaterThan": 0, "Next": "Infer"}
+      ],
+      "Default": "NothingToDo"
+    },
+    "Infer": {
+      "Type": "Action",
+      "ActionProvider": "inference",
+      "Parameters": {"files": "$.crawl.files"},
+      "ResultPath": "$.labels",
+      "Next": "Move"
+    },
+    "Move": {
+      "Type": "Action",
+      "ActionProvider": "mover",
+      "Parameters": {"files": "$.crawl.files", "dest": "$.outbox"},
+      "ResultPath": "$.moved",
+      "Next": "Done"
+    },
+    "NothingToDo": {"Type": "Succeed"},
+    "Done": {"Type": "Succeed"}
+  }
+}`
+
+func engineWithProviders(t *testing.T, cfg EngineConfig) *Engine {
+	t.Helper()
+	e := NewEngine(cfg)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(e.RegisterProvider("crawler", func(ctx context.Context, p map[string]any) (any, error) {
+		dir, _ := p["dir"].(string)
+		if dir == "/empty" {
+			return map[string]any{"count": float64(0), "files": []any{}}, nil
+		}
+		return map[string]any{"count": float64(2), "files": []any{dir + "/a.nc", dir + "/b.nc"}}, nil
+	}))
+	must(e.RegisterProvider("inference", func(ctx context.Context, p map[string]any) (any, error) {
+		files, _ := p["files"].([]any)
+		return map[string]any{"labeled": float64(len(files))}, nil
+	}))
+	must(e.RegisterProvider("mover", func(ctx context.Context, p map[string]any) (any, error) {
+		return "ok", nil
+	}))
+	return e
+}
+
+func TestParseAndRunInferenceFlow(t *testing.T) {
+	def, err := ParseDefinition([]byte(inferenceFlowJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineWithProviders(t, EngineConfig{})
+	run, err := e.Start(context.Background(), def, map[string]any{
+		"watch_dir": "/scratch/tiles",
+		"outbox":    "/scratch/outbox",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Status() != RunSucceeded {
+		t.Fatalf("status %v", run.Status())
+	}
+	labels, ok := out["labels"].(map[string]any)
+	if !ok || labels["labeled"] != float64(2) {
+		t.Fatalf("labels = %#v", out["labels"])
+	}
+	if out["moved"] != "ok" {
+		t.Fatalf("moved = %v", out["moved"])
+	}
+	// Event log must contain entered/exited pairs for all visited states.
+	events := run.Events()
+	entered := 0
+	for _, ev := range events {
+		if ev.Kind == EventStateEntered {
+			entered++
+		}
+	}
+	if entered != 4 { // Crawl, AnyFiles, Infer, Move... plus Done = 5? Done is Succeed
+		// Visited: Crawl, AnyFiles, Infer, Move, Done = 5
+		if entered != 5 {
+			t.Fatalf("entered %d states", entered)
+		}
+	}
+}
+
+func TestChoiceDefaultBranch(t *testing.T) {
+	def, err := ParseDefinition([]byte(inferenceFlowJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engineWithProviders(t, EngineConfig{})
+	run, err := e.Start(context.Background(), def, map[string]any{"watch_dir": "/empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The empty branch must not have run inference.
+	for _, ev := range run.Events() {
+		if ev.State == "Infer" {
+			t.Fatal("inference ran on empty crawl")
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := map[string]string{
+		"no start":        `{"States": {"A": {"Type": "Succeed"}}}`,
+		"bad start":       `{"StartAt": "X", "States": {"A": {"Type": "Succeed"}}}`,
+		"bad next":        `{"StartAt": "A", "States": {"A": {"Type": "Pass", "Next": "Z"}, "B": {"Type": "Succeed"}}}`,
+		"no terminal":     `{"StartAt": "A", "States": {"A": {"Type": "Pass", "Next": "A"}}}`,
+		"no provider":     `{"StartAt": "A", "States": {"A": {"Type": "Action", "End": true}}}`,
+		"dangling action": `{"StartAt": "A", "States": {"A": {"Type": "Action", "ActionProvider": "p"}}}`,
+		"unknown type":    `{"StartAt": "A", "States": {"A": {"Type": "Banana", "End": true}}}`,
+		"choice no rules": `{"StartAt": "A", "States": {"A": {"Type": "Choice"}, "B": {"Type": "Succeed"}}}`,
+		"rule two cmp":    `{"StartAt": "A", "States": {"A": {"Type": "Choice", "Choices": [{"Variable": "$.x", "StringEquals": "a", "IsNull": true, "Next": "B"}]}, "B": {"Type": "Succeed"}}}`,
+		"unknown field":   `{"StartAt": "A", "Bogus": 1, "States": {"A": {"Type": "Succeed"}}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseDefinition([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUnregisteredProviderRejectedAtStart(t *testing.T) {
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {"Type": "Action", "ActionProvider": "ghost", "End": true}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{})
+	if _, err := e.Start(context.Background(), def, nil); err == nil {
+		t.Fatal("ghost provider accepted")
+	}
+}
+
+func TestFailStateAndProviderError(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	if err := e.RegisterProvider("bad", func(ctx context.Context, p map[string]any) (any, error) {
+		return nil, errors.New("provider exploded")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {"Type": "Action", "ActionProvider": "bad", "End": true}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err == nil {
+		t.Fatal("provider error swallowed")
+	}
+	if run.Status() != RunFailed {
+		t.Fatalf("status %v", run.Status())
+	}
+
+	def2, err := ParseDefinition([]byte(`{
+		"StartAt": "F",
+		"States": {"F": {"Type": "Fail", "Error": "BadDay", "Cause": "nothing works"}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := e.Start(context.Background(), def2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = run2.Wait(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "BadDay") {
+		t.Fatalf("fail state error: %v", err)
+	}
+}
+
+func TestCycleGuard(t *testing.T) {
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {
+			"A": {"Type": "Pass", "Next": "B"},
+			"B": {"Type": "Pass", "Next": "A"},
+			"C": {"Type": "Succeed"}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{MaxTransitions: 50})
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err == nil {
+		t.Fatal("cycle not caught")
+	}
+}
+
+func TestWaitState(t *testing.T) {
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "W",
+		"States": {
+			"W": {"Type": "Wait", "Seconds": 0.05, "Next": "S"},
+			"S": {"Type": "Succeed"}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{})
+	start := time.Now()
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("wait state did not wait")
+	}
+}
+
+func TestPassResultInjection(t *testing.T) {
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "P",
+		"States": {
+			"P": {"Type": "Pass", "Result": {"k": 42}, "ResultPath": "$.injected", "Next": "S"},
+			"S": {"Type": "Succeed"}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{})
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, ok := out["injected"].(map[string]any)
+	if !ok || inj["k"] != float64(42) {
+		t.Fatalf("injected = %#v", out["injected"])
+	}
+}
+
+func TestParameterSubstitutionNested(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	var got map[string]any
+	if err := e.RegisterProvider("probe", func(ctx context.Context, p map[string]any) (any, error) {
+		got = p
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {
+			"Type": "Action",
+			"ActionProvider": "probe",
+			"Parameters": {
+				"plain": "hello",
+				"ref": "$.cfg.path",
+				"nested": {"inner": "$.cfg.n"},
+				"list": ["$.cfg.path", "x"]
+			},
+			"End": true
+		}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := e.Start(context.Background(), def, map[string]any{
+		"cfg": map[string]any{"path": "/data", "n": float64(7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got["plain"] != "hello" || got["ref"] != "/data" {
+		t.Fatalf("params = %#v", got)
+	}
+	if got["nested"].(map[string]any)["inner"] != float64(7) {
+		t.Fatalf("nested = %#v", got["nested"])
+	}
+	if got["list"].([]any)[0] != "/data" {
+		t.Fatalf("list = %#v", got["list"])
+	}
+}
+
+func TestActionOverheadMeasurable(t *testing.T) {
+	// The Fig. 7 measurement: with a configured 5ms dispatch overhead and
+	// instant providers, mean action latency must be >= 5ms.
+	e := NewEngine(EngineConfig{ActionOverhead: 5 * time.Millisecond})
+	if err := e.RegisterProvider("instant", func(ctx context.Context, p map[string]any) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {
+			"A": {"Type": "Action", "ActionProvider": "instant", "Next": "B"},
+			"B": {"Type": "Action", "ActionProvider": "instant", "End": true}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Overhead is slept after state-entered, so it lands inside the
+	// enter→exit window.
+	lat := MeanActionLatency(run.Events(), def)
+	if lat < 5*time.Millisecond {
+		t.Fatalf("mean action latency %v < overhead", lat)
+	}
+}
+
+func TestProviderPanicBecomesError(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	if err := e.RegisterProvider("explode", func(ctx context.Context, p map[string]any) (any, error) {
+		panic("provider bug")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, _ := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {"Type": "Action", "ActionProvider": "explode", "End": true}}
+	}`))
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestConcurrentRunsIsolated(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	var counter int64
+	if err := e.RegisterProvider("count", func(ctx context.Context, p map[string]any) (any, error) {
+		return atomic.AddInt64(&counter, 1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, _ := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {"Type": "Action", "ActionProvider": "count", "ResultPath": "$.n", "End": true}}
+	}`))
+	runs := make([]*Run, 10)
+	for i := range runs {
+		r, err := e.Start(context.Background(), def, map[string]any{"run": fmt.Sprint(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = r
+	}
+	seen := map[float64]bool{}
+	for _, r := range runs {
+		out, err := r.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, ok := out["n"].(int64)
+		if !ok {
+			// Provider returned int64; engine stores it untyped.
+			t.Fatalf("n = %#v", out["n"])
+		}
+		if seen[float64(n)] {
+			t.Fatal("runs shared state")
+		}
+		seen[float64(n)] = true
+	}
+	if atomic.LoadInt64(&counter) != 10 {
+		t.Fatalf("provider ran %d times", counter)
+	}
+	// Run lookup by ID.
+	if _, err := e.Run(runs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run("run-999999"); err == nil {
+		t.Fatal("unknown run found")
+	}
+}

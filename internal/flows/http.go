@@ -1,0 +1,283 @@
+package flows
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Globus Flows is a hosted automation service: users register flow
+// definitions and start runs through a web API. This file exposes the
+// engine the same way, so a workflow on one machine can drive flows
+// executing on another:
+//
+//	POST /flows                 {definition}      -> {"flow_id": "..."}
+//	POST /flows/{id}/run        {"input": {...}}  -> {"run_id": "..."}
+//	GET  /runs/{id}                               -> status + output
+//	GET  /runs/{id}/events                        -> event log
+//
+// Action providers remain host-side: a definition may only reference
+// providers registered on the serving engine.
+
+// Service wraps an Engine with definition storage and an HTTP API.
+type Service struct {
+	engine *Engine
+
+	mu     sync.RWMutex
+	flows  map[string]*Definition
+	nextID int
+}
+
+// NewService wraps an engine.
+func NewService(engine *Engine) *Service {
+	return &Service{engine: engine, flows: map[string]*Definition{}}
+}
+
+// RegisterFlow stores a validated definition and returns its ID.
+func (s *Service) RegisterFlow(def *Definition) (string, error) {
+	if err := def.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("flow-%04d", s.nextID)
+	s.flows[id] = def
+	return id, nil
+}
+
+// Flow fetches a registered definition.
+func (s *Service) Flow(id string) (*Definition, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	def, ok := s.flows[id]
+	if !ok {
+		return nil, fmt.Errorf("flows: no flow %q", id)
+	}
+	return def, nil
+}
+
+type runStatusResponse struct {
+	RunID  string         `json:"run_id"`
+	Status RunStatus      `json:"status"`
+	Output map[string]any `json:"output,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+type eventResponse struct {
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	State  string    `json:"state"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Handler exposes the service over HTTP.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		def, err := ParseDefinition(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := s.RegisterFlow(def)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeServiceJSON(w, map[string]string{"flow_id": id})
+	})
+	mux.HandleFunc("/flows/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/flows/")
+		parts := strings.Split(rest, "/")
+		if len(parts) != 2 || parts[1] != "run" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		def, err := s.Flow(parts[0])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		var req struct {
+			Input map[string]any `json:"input"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Runs outlive the HTTP request, so they get a background context;
+		// cancellation is the caller's job via the run API (not modeled).
+		run, err := s.engine.Start(context.Background(), def, req.Input)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeServiceJSON(w, map[string]string{"run_id": run.ID})
+	})
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/runs/")
+		parts := strings.Split(rest, "/")
+		run, err := s.engine.Run(parts[0])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if len(parts) == 2 && parts[1] == "events" {
+			events := run.Events()
+			out := make([]eventResponse, len(events))
+			for i, ev := range events {
+				out[i] = eventResponse{Time: ev.Time, Kind: ev.Kind, State: ev.State, Detail: ev.Detail}
+			}
+			writeServiceJSON(w, out)
+			return
+		}
+		resp := runStatusResponse{RunID: run.ID, Status: run.Status()}
+		if resp.Status != RunActive {
+			out, err := run.Wait(r.Context())
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				resp.Output = out
+			}
+		}
+		writeServiceJSON(w, resp)
+	})
+	return mux
+}
+
+func writeServiceJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}
+
+// Client drives a remote flows service.
+type Client struct {
+	BaseURL      string
+	HTTP         *http.Client
+	PollInterval time.Duration
+}
+
+// NewClient builds a client.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient, PollInterval: 10 * time.Millisecond}
+}
+
+// RegisterFlow uploads a definition and returns the flow ID.
+func (c *Client) RegisterFlow(ctx context.Context, definitionJSON []byte) (string, error) {
+	var resp map[string]string
+	if err := c.post(ctx, "/flows", definitionJSON, &resp); err != nil {
+		return "", err
+	}
+	return resp["flow_id"], nil
+}
+
+// StartRun launches a run of a registered flow.
+func (c *Client) StartRun(ctx context.Context, flowID string, input map[string]any) (string, error) {
+	body, err := json.Marshal(map[string]any{"input": input})
+	if err != nil {
+		return "", err
+	}
+	var resp map[string]string
+	if err := c.post(ctx, "/flows/"+flowID+"/run", body, &resp); err != nil {
+		return "", err
+	}
+	return resp["run_id"], nil
+}
+
+// RunStatus fetches a run snapshot.
+func (c *Client) RunStatus(ctx context.Context, runID string) (RunStatus, map[string]any, error) {
+	var resp runStatusResponse
+	if err := c.get(ctx, "/runs/"+runID, &resp); err != nil {
+		return "", nil, err
+	}
+	if resp.Error != "" {
+		return resp.Status, resp.Output, fmt.Errorf("flows: remote run: %s", resp.Error)
+	}
+	return resp.Status, resp.Output, nil
+}
+
+// WaitRun polls until the run completes.
+func (c *Client) WaitRun(ctx context.Context, runID string) (map[string]any, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	for {
+		status, output, err := c.RunStatus(ctx, runID)
+		if err != nil {
+			return output, err
+		}
+		if status == RunSucceeded {
+			return output, nil
+		}
+		if status == RunFailed {
+			return output, fmt.Errorf("flows: remote run %s failed", runID)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Events fetches a run's event log.
+func (c *Client) Events(ctx context.Context, runID string) ([]Event, error) {
+	var resp []eventResponse
+	if err := c.get(ctx, "/runs/"+runID+"/events", &resp); err != nil {
+		return nil, err
+	}
+	out := make([]Event, len(resp))
+	for i, ev := range resp {
+		out[i] = Event{Time: ev.Time, Kind: ev.Kind, State: ev.State, Detail: ev.Detail}
+	}
+	return out, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("flows: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

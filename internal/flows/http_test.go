@@ -1,0 +1,113 @@
+package flows
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func newFlowsService(t *testing.T) (*Service, *Client) {
+	t.Helper()
+	e := engineWithProviders(t, EngineConfig{})
+	svc := NewService(e)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, NewClient(srv.URL)
+}
+
+func TestServiceRegisterAndRunOverHTTP(t *testing.T) {
+	_, client := newFlowsService(t)
+	ctx := context.Background()
+
+	flowID, err := client.RegisterFlow(ctx, []byte(inferenceFlowJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flowID == "" {
+		t.Fatal("empty flow id")
+	}
+	runID, err := client.StartRun(ctx, flowID, map[string]any{
+		"watch_dir": "/scratch/tiles",
+		"outbox":    "/scratch/outbox",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := client.WaitRun(ctx, runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, ok := out["labels"].(map[string]any)
+	if !ok || labels["labeled"] != float64(2) {
+		t.Fatalf("remote output: %#v", out)
+	}
+	events, err := client.Events(ctx, runID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+}
+
+func TestServiceRejectsBadDefinitionAndUnknownIDs(t *testing.T) {
+	_, client := newFlowsService(t)
+	ctx := context.Background()
+	if _, err := client.RegisterFlow(ctx, []byte(`{"oops": true}`)); err == nil {
+		t.Error("bad definition accepted")
+	}
+	if _, err := client.StartRun(ctx, "flow-9999", nil); err == nil {
+		t.Error("unknown flow started")
+	}
+	if _, _, err := client.RunStatus(ctx, "run-9999"); err == nil {
+		t.Error("unknown run polled")
+	}
+	if _, err := client.Events(ctx, "run-9999"); err == nil {
+		t.Error("unknown run events fetched")
+	}
+}
+
+func TestServiceRemoteFailureSurfaces(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	if err := e.RegisterProvider("bad", func(ctx context.Context, p map[string]any) (any, error) {
+		return nil, errors.New("provider down")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(e)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	flowID, err := client.RegisterFlow(ctx, []byte(`{
+		"StartAt": "A",
+		"States": {"A": {"Type": "Action", "ActionProvider": "bad", "End": true}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runID, err := client.StartRun(ctx, flowID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitRun(ctx, runID); err == nil {
+		t.Fatal("remote failure swallowed")
+	}
+}
+
+func TestServiceRejectsUnregisteredProviderAtRunStart(t *testing.T) {
+	_, client := newFlowsService(t)
+	ctx := context.Background()
+	flowID, err := client.RegisterFlow(ctx, []byte(`{
+		"StartAt": "A",
+		"States": {"A": {"Type": "Action", "ActionProvider": "ghost", "End": true}}
+	}`))
+	if err != nil {
+		t.Fatal(err) // registration stores the definition; providers bind at run time
+	}
+	if _, err := client.StartRun(ctx, flowID, nil); err == nil {
+		t.Fatal("run with unregistered provider accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package flows
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestActionRetrySucceedsAfterTransientFailures(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	var attempts int64
+	if err := e.RegisterProvider("flaky", func(ctx context.Context, p map[string]any) (any, error) {
+		if atomic.AddInt64(&attempts, 1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "finally", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {
+			"Type": "Action",
+			"ActionProvider": "flaky",
+			"Retry": {"MaxAttempts": 5},
+			"ResultPath": "$.out",
+			"End": true
+		}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != "finally" || atomic.LoadInt64(&attempts) != 3 {
+		t.Fatalf("out=%v attempts=%d", out["out"], attempts)
+	}
+}
+
+func TestActionRetryExhaustedFailsRun(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	var attempts int64
+	if err := e.RegisterProvider("doomed", func(ctx context.Context, p map[string]any) (any, error) {
+		atomic.AddInt64(&attempts, 1)
+		return nil, errors.New("permanent")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {"A": {
+			"Type": "Action", "ActionProvider": "doomed",
+			"Retry": {"MaxAttempts": 3}, "End": true
+		}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(context.Background()); err == nil {
+		t.Fatal("exhausted retries succeeded")
+	}
+	if atomic.LoadInt64(&attempts) != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+}
+
+func TestActionCatchRedirectsToHandler(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	if err := e.RegisterProvider("bad", func(ctx context.Context, p map[string]any) (any, error) {
+		return nil, errors.New("archive unavailable")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cleanedUp := false
+	if err := e.RegisterProvider("cleanup", func(ctx context.Context, p map[string]any) (any, error) {
+		cleanedUp = true
+		return p["reason"], nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition([]byte(`{
+		"StartAt": "A",
+		"States": {
+			"A": {
+				"Type": "Action", "ActionProvider": "bad",
+				"Catch": {"Next": "Cleanup", "ErrorPath": "$.error"},
+				"Next": "Never"
+			},
+			"Never": {"Type": "Fail", "Error": "Unreachable", "Cause": "catch must divert"},
+			"Cleanup": {
+				"Type": "Action", "ActionProvider": "cleanup",
+				"Parameters": {"reason": "$.error"},
+				"ResultPath": "$.handled",
+				"End": true
+			}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := e.Start(context.Background(), def, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleanedUp {
+		t.Fatal("catch handler never ran")
+	}
+	if s, _ := out["handled"].(string); !strings.Contains(s, "archive unavailable") {
+		t.Fatalf("handled = %v", out["handled"])
+	}
+}
+
+func TestRetryCatchValidation(t *testing.T) {
+	cases := map[string]string{
+		"zero attempts": `{"StartAt": "A", "States": {"A": {
+			"Type": "Action", "ActionProvider": "p", "Retry": {"MaxAttempts": 0}, "End": true}}}`,
+		"catch no next": `{"StartAt": "A", "States": {"A": {
+			"Type": "Action", "ActionProvider": "p", "Catch": {}, "End": true}}}`,
+		"catch bad target": `{"StartAt": "A", "States": {"A": {
+			"Type": "Action", "ActionProvider": "p", "Catch": {"Next": "Ghost"}, "End": true}}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseDefinition([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

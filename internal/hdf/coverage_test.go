@@ -1,0 +1,111 @@
+package hdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDTypeStringAndSize(t *testing.T) {
+	cases := map[DType]struct {
+		name string
+		size int
+	}{
+		Uint8:      {"uint8", 1},
+		Int16:      {"int16", 2},
+		Uint16:     {"uint16", 2},
+		Int32:      {"int32", 4},
+		Float32:    {"float32", 4},
+		Float64:    {"float64", 8},
+		DType(200): {"dtype(200)", 0},
+	}
+	for d, want := range cases {
+		if d.String() != want.name {
+			t.Errorf("%d.String() = %q", d, d.String())
+		}
+		if d.Size() != want.size {
+			t.Errorf("%d.Size() = %d", d, d.Size())
+		}
+	}
+}
+
+func TestReadFromStream(t *testing.T) {
+	f := buildSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf) // io.Reader path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Datasets()) != 4 {
+		t.Fatalf("datasets = %d", len(got.Datasets()))
+	}
+}
+
+func TestAttrAccessors(t *testing.T) {
+	f := NewFile()
+	f.Attrs["s"] = "text"
+	f.Attrs["i"] = int64(9)
+	f.Attrs["f"] = 2.5
+	if v, ok := f.AttrString("s"); !ok || v != "text" {
+		t.Error("string attr")
+	}
+	if v, ok := f.AttrInt("i"); !ok || v != 9 {
+		t.Error("int attr")
+	}
+	if v, ok := f.AttrFloat("f"); !ok || v != 2.5 {
+		t.Error("float attr")
+	}
+	if _, ok := f.AttrString("i"); ok {
+		t.Error("type-mismatched attr fetched")
+	}
+	if _, ok := f.AttrInt("missing"); ok {
+		t.Error("missing attr fetched")
+	}
+}
+
+func TestWriteRejectsOverlongString(t *testing.T) {
+	f := NewFile()
+	f.Attrs["big"] = strings.Repeat("x", 1<<17)
+	if err := Write(&bytes.Buffer{}, f); err == nil {
+		t.Fatal("overlong attribute string accepted")
+	}
+}
+
+func TestAddNilAndUnnamedDataset(t *testing.T) {
+	f := NewFile()
+	if err := f.Add(nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	d, _ := NewUint8("x", []int{1}, []uint8{1})
+	d.Name = ""
+	if err := f.Add(d); err == nil {
+		t.Error("unnamed dataset accepted")
+	}
+}
+
+func TestWriteFileCreateErrors(t *testing.T) {
+	f := NewFile()
+	if err := WriteFile("/nonexistent-dir-xyz/file.hdf", f); err == nil {
+		t.Fatal("write into missing directory accepted")
+	}
+	if _, err := ReadFile("/nonexistent-dir-xyz/file.hdf"); err == nil {
+		t.Fatal("read of missing file accepted")
+	}
+}
+
+func TestDatasetRawAndLen(t *testing.T) {
+	d, _ := NewInt16("x", []int{2, 3}, []int16{1, 2, 3, 4, 5, 6})
+	if d.Len() != 6 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if len(d.Raw()) != 12 {
+		t.Fatalf("raw = %d bytes", len(d.Raw()))
+	}
+	empty := &Dataset{Name: "e", DType: Uint8}
+	if empty.Len() != 0 {
+		t.Fatalf("rank-0 len = %d", empty.Len())
+	}
+}

@@ -1,0 +1,63 @@
+package hdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	prop := func(seed int64, n uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%4096)
+		r.Read(data)
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnMutatedGranule(t *testing.T) {
+	f := buildSample(t)
+	var valid []byte
+	{
+		var buf buffer
+		if err := Write(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		valid = buf.data
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		data := append([]byte(nil), valid...)
+		for i := 0; i < r.Intn(4)+1; i++ {
+			data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+		}
+		// CRC catches all single-region mutations; either way, no panic.
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buffer is a minimal io.Writer accumulating bytes.
+type buffer struct{ data []byte }
+
+func (b *buffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

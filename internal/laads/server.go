@@ -1,0 +1,304 @@
+// Package laads simulates the NASA LAADS DAAC: an HTTPS archive of MODIS
+// products with a listing API, token authentication, per-connection and
+// aggregate bandwidth shaping, and optional fault injection.
+//
+// The paper's stage 1 downloads MOD02/MOD03/MOD06 granules from
+// https://ladsweb.modaps.eosdis.nasa.gov with wget-style clients fanned
+// out over Globus Compute workers. Real LAADS needs credentials and
+// serves ~60 GB/day; this server generates synthetic granules on demand
+// (package modis) and reproduces the *transfer* behaviour that drives
+// Fig. 3 — per-connection throughput caps, shared aggregate bandwidth,
+// and per-request overhead — over a real net/http stack.
+//
+// URL layout (mirroring the LAADS archive tree):
+//
+//	GET /archive/{product}/{year}/{doy}/            JSON listing
+//	GET /archive/{product}/{year}/{doy}/{file}      granule bytes
+package laads
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/modis"
+)
+
+// FileInfo is one listing entry.
+type FileInfo struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// ServerConfig tunes the simulated archive.
+type ServerConfig struct {
+	// ScaleDown is the granule resolution divisor (see modis.Generator).
+	ScaleDown int
+	// Token, when non-empty, must be presented as a Bearer token.
+	Token string
+	// PerConnBytesPerSec caps each response stream; 0 disables shaping.
+	PerConnBytesPerSec int64
+	// AggregateBytesPerSec caps the whole server; 0 disables the cap.
+	// The ratio between this and the per-connection cap is what makes 6
+	// download workers faster than 3 in Fig. 3 — until the aggregate pipe
+	// saturates.
+	AggregateBytesPerSec int64
+	// RequestOverhead delays every response, modeling TLS + archive
+	// latency (the fixed cost that penalizes single-file downloads).
+	RequestOverhead time.Duration
+	// FailureRate injects 503 responses with the given probability.
+	FailureRate float64
+	// Seed drives fault injection.
+	Seed int64
+	// CacheGranules bounds the number of encoded granules kept in memory.
+	CacheGranules int
+}
+
+// Server is the archive. It implements http.Handler.
+type Server struct {
+	cfg ServerConfig
+	gen *modis.Generator
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	cache   map[string][]byte
+	order   []string // FIFO eviction
+	limiter *tokenBucket
+
+	requests  int64
+	bytesSent int64
+}
+
+// NewServer builds an archive server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.ScaleDown == 0 {
+		cfg.ScaleDown = 16
+	}
+	if cfg.CacheGranules == 0 {
+		cfg.CacheGranules = 64
+	}
+	gen, err := modis.NewGenerator(cfg.ScaleDown)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		gen:   gen,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cache: map[string][]byte{},
+	}
+	if cfg.AggregateBytesPerSec > 0 {
+		s.limiter = newTokenBucket(cfg.AggregateBytesPerSec)
+	}
+	return s, nil
+}
+
+// Stats reports request and byte counters.
+func (s *Server) Stats() (requests, bytesSent int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests, s.bytesSent
+}
+
+// ServeHTTP routes archive requests.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.requests++
+	fail := s.cfg.FailureRate > 0 && s.rng.Float64() < s.cfg.FailureRate
+	s.mu.Unlock()
+
+	if s.cfg.Token != "" {
+		if r.Header.Get("Authorization") != "Bearer "+s.cfg.Token {
+			http.Error(w, "missing or invalid LAADS token", http.StatusUnauthorized)
+			return
+		}
+	}
+	if fail {
+		http.Error(w, "simulated archive fault", http.StatusServiceUnavailable)
+		return
+	}
+	if s.cfg.RequestOverhead > 0 {
+		time.Sleep(s.cfg.RequestOverhead)
+	}
+
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) < 4 || parts[0] != "archive" {
+		http.NotFound(w, r)
+		return
+	}
+	product, err := modis.ParseProduct(parts[1])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	year, err1 := strconv.Atoi(parts[2])
+	doy, err2 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad year/doy", http.StatusBadRequest)
+		return
+	}
+	switch len(parts) {
+	case 4:
+		s.serveListing(w, product, year, doy)
+	case 5:
+		s.serveGranule(w, product, year, doy, parts[4])
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveListing(w http.ResponseWriter, p modis.Product, year, doy int) {
+	listing := make([]FileInfo, 0, modis.GranulesPerDay)
+	for idx := 0; idx < modis.GranulesPerDay; idx++ {
+		g := modis.GranuleID{Satellite: p.Satellite, Year: year, DOY: doy, Index: idx}
+		if g.Validate() != nil {
+			http.Error(w, "bad date", http.StatusBadRequest)
+			return
+		}
+		listing = append(listing, FileInfo{
+			Name: modis.FileName(p, g),
+			// The listing advertises paper-scale nominal sizes; the body
+			// served is the generated (scaled) granule. Clients measure
+			// speed against actual bytes transferred.
+			Size: modis.NominalBytes(p),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(listing); err != nil {
+		// Client went away mid-encode; nothing sensible to do.
+		return
+	}
+}
+
+func (s *Server) serveGranule(w http.ResponseWriter, p modis.Product, year, doy int, name string) {
+	wantP, g, err := modis.ParseFileName(name)
+	if err != nil || wantP != p || g.Year != year || g.DOY != doy {
+		http.Error(w, "no such granule", http.StatusNotFound)
+		return
+	}
+	data, err := s.granuleBytes(p, g, name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	s.sendShaped(w, data)
+}
+
+// granuleBytes returns (and caches) the encoded granule.
+func (s *Server) granuleBytes(p modis.Product, g modis.GranuleID, key string) ([]byte, error) {
+	s.mu.Lock()
+	if data, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return data, nil
+	}
+	s.mu.Unlock()
+
+	data, err := s.gen.GenerateBytes(p, g)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[key]; !ok {
+		s.cache[key] = data
+		s.order = append(s.order, key)
+		for len(s.order) > s.cfg.CacheGranules {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	return data, nil
+}
+
+// sendShaped writes data under the per-connection and aggregate caps.
+// Pacing happens *before* each chunk (against the bytes already sent), so
+// a file smaller than one chunk still observes the rate on its tail and a
+// throttled connection never bursts the whole payload at once.
+func (s *Server) sendShaped(w http.ResponseWriter, data []byte) {
+	chunk := 64 << 10
+	if s.cfg.PerConnBytesPerSec > 0 {
+		// ~20 pacing decisions per second of nominal transfer time.
+		chunk = int(s.cfg.PerConnBytesPerSec / 20)
+		if chunk < 1<<10 {
+			chunk = 1 << 10
+		}
+		if chunk > 64<<10 {
+			chunk = 64 << 10
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	start := time.Now()
+	for sent < len(data) {
+		if s.cfg.PerConnBytesPerSec > 0 && sent > 0 {
+			ideal := time.Duration(float64(sent) / float64(s.cfg.PerConnBytesPerSec) * float64(time.Second))
+			if elapsed := time.Since(start); elapsed < ideal {
+				time.Sleep(ideal - elapsed)
+			}
+		}
+		n := chunk
+		if sent+n > len(data) {
+			n = len(data) - sent
+		}
+		if s.limiter != nil {
+			s.limiter.take(int64(n))
+		}
+		if _, err := w.Write(data[sent : sent+n]); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sent += n
+		s.mu.Lock()
+		s.bytesSent += int64(n)
+		s.mu.Unlock()
+	}
+}
+
+// tokenBucket is a blocking byte-rate limiter shared by all connections.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   int64 // bytes per second
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate int64) *tokenBucket {
+	return &tokenBucket{rate: rate, tokens: float64(rate) / 10, last: time.Now()}
+}
+
+// take blocks until n bytes of budget are available.
+func (b *tokenBucket) take(n int64) {
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * float64(b.rate)
+		b.last = now
+		if cap := float64(b.rate); b.tokens > cap {
+			b.tokens = cap
+		}
+		if b.tokens >= float64(n) {
+			b.tokens -= float64(n)
+			b.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - b.tokens
+		b.mu.Unlock()
+		time.Sleep(time.Duration(deficit / float64(b.rate) * float64(time.Second)))
+	}
+}
+
+// String describes the server configuration.
+func (s *Server) String() string {
+	return fmt.Sprintf("laads.Server{scale=%d, perConn=%dB/s, aggregate=%dB/s}",
+		s.cfg.ScaleDown, s.cfg.PerConnBytesPerSec, s.cfg.AggregateBytesPerSec)
+}

@@ -1,0 +1,338 @@
+package modis
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"github.com/eoml/eoml/internal/hdf"
+)
+
+// Generator synthesizes granules at a configurable resolution.
+//
+// ScaleDown divides both swath dimensions: 1 reproduces the full
+// 2030×1354 swath (≈198 MB of MOD02 per granule), 8 yields 253×169
+// (≈3 MB), which is the default for container-scale runs. A 128×128-pixel
+// AICCA tile at full resolution corresponds to a (128/ScaleDown)²-pixel
+// tile on a scaled granule; the preprocessor accepts the tile size as a
+// parameter so the tiles-per-granule ratio is preserved at any scale.
+type Generator struct {
+	// ScaleDown divides the swath resolution. Must be >= 1.
+	ScaleDown int
+}
+
+// NewGenerator returns a generator at the given scale-down factor.
+func NewGenerator(scaleDown int) (*Generator, error) {
+	if scaleDown < 1 {
+		return nil, fmt.Errorf("modis: scale-down %d must be >= 1", scaleDown)
+	}
+	return &Generator{ScaleDown: scaleDown}, nil
+}
+
+// Dims returns the swath dimensions at the generator's scale.
+func (gen *Generator) Dims() (ny, nx int) {
+	return FullAlongTrack / gen.ScaleDown, FullCrossTrack / gen.ScaleDown
+}
+
+// TilePixels returns the edge length, in scaled pixels, that corresponds
+// to a full-resolution 128-pixel AICCA tile.
+func (gen *Generator) TilePixels() int {
+	t := TileSize / gen.ScaleDown
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// scene holds the per-granule physical fields shared by all products.
+type scene struct {
+	ny, nx int
+	lats   []float32
+	lons   []float32
+	land   []uint8   // 0 ocean, 1 land, 2 coast
+	cloud  []float32 // cloudiness in [0,1]
+	day    bool
+}
+
+// buildScene computes geolocation, the land mask from the fixed planetary
+// field, and the granule's cloud field. Products of the same granule share
+// one scene, which is what makes MOD02 radiances physically consistent
+// with MOD06 cloud properties.
+func (gen *Generator) buildScene(g GranuleID) *scene {
+	ny, nx := gen.Dims()
+	s := &scene{ny: ny, nx: nx}
+	s.lats, s.lons = swathGrid(g, ny, nx)
+
+	s.land = make([]uint8, ny*nx)
+	for i := range s.land {
+		if isLand(float64(s.lats[i]), float64(s.lons[i])) {
+			s.land[i] = 1
+		}
+	}
+	markCoast(s.land, ny, nx)
+
+	// Cloud field: three noise octaves at synoptic scale plus a
+	// mesoscale texture octave, evaluated in swath-local coordinates.
+	cn := newNoise2(g.Seed(), 4)
+	s.cloud = make([]float32, ny*nx)
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			// Scale coordinates so one noise feature spans ~300 km.
+			x := float64(j) * float64(gen.ScaleDown) / 300.0
+			y := float64(i) * float64(gen.ScaleDown) / 300.0
+			v := cn.at(x, y)
+			// Sharpen the field so it bimodally separates clear sky from
+			// cloud decks, like real marine stratocumulus scenes.
+			v = sharpen(v)
+			s.cloud[i*nx+j] = float32(v)
+		}
+	}
+
+	// Day/night from the orbit half at the granule midpoint.
+	s.day = isDaySide(g, float64(g.Index)+0.5)
+	return s
+}
+
+// sharpen pushes a [0,1] value toward 0 or 1 with a logistic curve.
+func sharpen(v float64) float64 {
+	return 1 / (1 + math.Exp(-10*(v-0.52)))
+}
+
+// markCoast upgrades land pixels adjacent to ocean to the coast class.
+func markCoast(land []uint8, ny, nx int) {
+	isOcean := func(i, j int) bool {
+		if i < 0 || i >= ny || j < 0 || j >= nx {
+			return false
+		}
+		return land[i*nx+j] == 0
+	}
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			if land[i*nx+j] != 1 {
+				continue
+			}
+			if isOcean(i-1, j) || isOcean(i+1, j) || isOcean(i, j-1) || isOcean(i, j+1) {
+				land[i*nx+j] = 2
+			}
+		}
+	}
+}
+
+// CloudyThreshold is the cloud-field value above which a pixel counts as
+// cloudy in the MOD06 mask (and in the tile selection rule).
+const CloudyThreshold = 0.5
+
+// Radiance encoding constants for the scaled-integer MOD02 bands.
+const (
+	RadianceScale  = 0.002
+	RadianceOffset = 0.0
+	maxScaledValue = 32767
+)
+
+// Generate synthesizes one product granule.
+func (gen *Generator) Generate(p Product, g GranuleID) (*hdf.File, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Satellite != g.Satellite {
+		return nil, fmt.Errorf("modis: product %s does not match granule satellite %s", p.ShortName(), g.Satellite)
+	}
+	s := gen.buildScene(g)
+	f := hdf.NewFile()
+	f.Attrs["ShortName"] = p.ShortName()
+	f.Attrs["Platform"] = g.Satellite.String()
+	f.Attrs["AcquisitionDate"] = fmt.Sprintf("A%04d%03d.%s", g.Year, g.DOY, g.HHMM())
+	f.Attrs["Collection"] = Collection
+	f.Attrs["ScaleDown"] = int64(gen.ScaleDown)
+	if s.day {
+		f.Attrs["DayNightFlag"] = "Day"
+	} else {
+		f.Attrs["DayNightFlag"] = "Night"
+	}
+
+	var err error
+	switch p.Kind {
+	case Geo:
+		err = gen.fillGeo(f, s)
+	case L1B:
+		err = gen.fillL1B(f, s, g)
+	case Cloud:
+		err = gen.fillCloud(f, s)
+	default:
+		err = fmt.Errorf("modis: unknown product kind %d", p.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// GenerateBytes renders the encoded granule file.
+func (gen *Generator) GenerateBytes(p Product, g GranuleID) ([]byte, error) {
+	f, err := gen.Generate(p, g)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := hdf.Write(&buf, f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (gen *Generator) fillGeo(f *hdf.File, s *scene) error {
+	dims := []int{s.ny, s.nx}
+	lat, err := hdf.NewFloat32("Latitude", dims, s.lats)
+	if err != nil {
+		return err
+	}
+	lon, err := hdf.NewFloat32("Longitude", dims, s.lons)
+	if err != nil {
+		return err
+	}
+	lsm, err := hdf.NewUint8("LandSeaMask", dims, s.land)
+	if err != nil {
+		return err
+	}
+	for _, d := range []*hdf.Dataset{lat, lon, lsm} {
+		if err := f.Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillL1B synthesizes the 36-band calibrated radiance cube. Reflective
+// bands respond to cloud albedo during the day; thermal bands respond to
+// cloud-top temperature day and night. At night the reflective bands carry
+// the fill value, reproducing the missing-band behaviour the paper notes
+// for nighttime granules.
+func (gen *Generator) fillL1B(f *hdf.File, s *scene, g GranuleID) error {
+	n := s.ny * s.nx
+	values := make([]uint16, NumBands*n)
+	const fill = uint16(65535)
+	seed := g.Seed()
+	for b := 0; b < NumBands; b++ {
+		reflective := b < 20
+		base := values[b*n : (b+1)*n]
+		if reflective && !s.day {
+			for i := range base {
+				base[i] = fill
+			}
+			continue
+		}
+		gain := bandGain(b)
+		for i := 0; i < n; i++ {
+			cloud := float64(s.cloud[i])
+			land := s.land[i] != 0
+			var phys float64
+			if reflective {
+				surface := 0.06 // dark ocean
+				if land {
+					surface = 0.28
+				}
+				phys = surface + cloud*0.65*gain
+			} else {
+				// Brightness temperature mapped into reflectance-like
+				// units: colder (high cloud) -> larger stored value.
+				surfaceT := 0.18
+				if land {
+					surfaceT = 0.22
+				}
+				phys = surfaceT + cloud*0.5*gain
+			}
+			// Mesoscale texture so tiles are not flat fields.
+			tex := latticeHash(seed, int64(b+100), int64(i%s.nx), int64(i/s.nx))
+			phys += (tex - 0.5) * 0.06
+			if phys < 0 {
+				phys = 0
+			}
+			sv := (phys - RadianceOffset) / RadianceScale
+			if sv > maxScaledValue {
+				sv = maxScaledValue
+			}
+			base[i] = uint16(sv)
+		}
+	}
+	d, err := hdf.NewUint16("EV_1KM_RefSB", []int{NumBands, s.ny, s.nx}, values)
+	if err != nil {
+		return err
+	}
+	if err := f.Add(d); err != nil {
+		return err
+	}
+	f.Attrs["radiance_scale"] = RadianceScale
+	f.Attrs["radiance_offset"] = RadianceOffset
+	f.Attrs["_FillValue"] = int64(fill)
+	return nil
+}
+
+// bandGain differentiates the spectral response of the 36 bands.
+func bandGain(b int) float64 {
+	return 0.6 + 0.4*math.Sin(float64(b)*0.7)*math.Sin(float64(b)*0.7)
+}
+
+func (gen *Generator) fillCloud(f *hdf.File, s *scene) error {
+	n := s.ny * s.nx
+	dims := []int{s.ny, s.nx}
+	mask := make([]uint8, n)
+	ctp := make([]float32, n)  // cloud-top pressure, hPa
+	cot := make([]float32, n)  // cloud optical thickness
+	cer := make([]float32, n)  // cloud effective radius, micron
+	cwp := make([]float32, n)  // cloud water path, g/m^2
+	phase := make([]uint8, n)  // 0 clear, 1 liquid, 2 ice
+	frac := make([]float32, n) // cloud fraction
+	for i := 0; i < n; i++ {
+		c := float64(s.cloud[i])
+		frac[i] = float32(c)
+		if c > CloudyThreshold {
+			mask[i] = 1
+			depth := (c - CloudyThreshold) / (1 - CloudyThreshold) // 0..1
+			ctp[i] = float32(950 - 650*depth)
+			cot[i] = float32(2 + 38*depth)
+			cer[i] = float32(8 + 22*depth)
+			cwp[i] = float32(20 + 480*depth)
+			if ctp[i] < 450 {
+				phase[i] = 2
+			} else {
+				phase[i] = 1
+			}
+		} else {
+			ctp[i] = 1013
+		}
+	}
+	add := func(d *hdf.Dataset, err error) error {
+		if err != nil {
+			return err
+		}
+		return f.Add(d)
+	}
+	if err := add(hdf.NewUint8("Cloud_Mask_1km", dims, mask)); err != nil {
+		return err
+	}
+	if err := add(hdf.NewFloat32("Cloud_Fraction", dims, frac)); err != nil {
+		return err
+	}
+	if err := add(hdf.NewFloat32("Cloud_Top_Pressure", dims, ctp)); err != nil {
+		return err
+	}
+	if err := add(hdf.NewFloat32("Cloud_Optical_Thickness", dims, cot)); err != nil {
+		return err
+	}
+	if err := add(hdf.NewFloat32("Cloud_Effective_Radius", dims, cer)); err != nil {
+		return err
+	}
+	if err := add(hdf.NewFloat32("Cloud_Water_Path", dims, cwp)); err != nil {
+		return err
+	}
+	if err := add(hdf.NewUint8("Cloud_Phase_Infrared", dims, phase)); err != nil {
+		return err
+	}
+	// Convenience copy of the land/sea mask so MOD06-only consumers can
+	// filter ocean pixels, mirroring the ancillary mask in the real L2
+	// product.
+	if err := add(hdf.NewUint8("LandSeaMask", dims, s.land)); err != nil {
+		return err
+	}
+	return nil
+}

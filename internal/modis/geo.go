@@ -1,0 +1,138 @@
+package modis
+
+import "math"
+
+// Orbit constants approximating the Terra/Aqua sun-synchronous orbits.
+// The model is deliberately simple — a sinusoidal ground track with the
+// right inclination, period, and westward precession — because the
+// workflow only needs *plausible, smoothly varying* geolocation fields to
+// exercise the ocean-masking logic, not ephemeris-grade accuracy.
+const (
+	orbitPeriodMin = 98.8 // minutes per orbit
+	maxLatitude    = 81.4 // degrees, ground-track extreme for 98.2° inclination
+	swathWidthKM   = 2330.0
+	swathLengthKM  = 2030.0
+	kmPerDegree    = 111.195
+)
+
+// groundTrack returns the sub-satellite latitude/longitude and the local
+// heading (radians from north, eastward positive) at a fractional granule
+// position. slot may be fractional to interpolate within a granule.
+func groundTrack(g GranuleID, slot float64) (lat, lon, heading float64) {
+	// Minutes since start of day, offset per platform so Terra and Aqua
+	// tracks differ (Aqua crosses the equator in the afternoon).
+	minutes := slot * 5
+	phaseOffset := 0.0
+	if g.Satellite == Aqua {
+		phaseOffset = 0.5
+	}
+	orbitPhase := minutes/orbitPeriodMin + phaseOffset + float64(g.DOY)*0.31
+	angle := 2 * math.Pi * orbitPhase
+
+	lat = maxLatitude * math.Sin(angle)
+	// Longitude precesses westward: one full revolution of the Earth per
+	// day under the orbit plane, plus the equatorial crossing spacing.
+	lon = wrapLon(-360*(minutes/1440) + 360*orbitPhase*0.0 + float64(g.DOY)*7.9 - 77)
+	// Heading from the track derivative: dlat/dphase vs eastward motion.
+	dlat := maxLatitude * math.Cos(angle)
+	heading = math.Atan2(1.0, dlat) // mostly northward/southward motion
+	if math.Cos(angle) < 0 {
+		heading = math.Pi - heading // descending node
+	}
+	return lat, lon, heading
+}
+
+// isDaySide reports whether the granule at the given fractional slot is on
+// the sunlit half of the orbit. Terra is sun-synchronous with a ~10:30
+// descending node: the descending half of each orbit is in daylight and
+// the ascending half in darkness (Aqua, with a 13:30 ascending node, is
+// the mirror image). This is why roughly half of all MODIS granules lack
+// reflective-band data.
+func isDaySide(g GranuleID, slot float64) bool {
+	minutes := slot * 5
+	phaseOffset := 0.0
+	if g.Satellite == Aqua {
+		phaseOffset = 0.5
+	}
+	orbitPhase := minutes/orbitPeriodMin + phaseOffset + float64(g.DOY)*0.31
+	descending := math.Cos(2*math.Pi*orbitPhase) < 0
+	if g.Satellite == Aqua {
+		return !descending
+	}
+	return descending
+}
+
+// wrapLon folds a longitude into [-180, 180).
+func wrapLon(lon float64) float64 {
+	lon = math.Mod(lon+180, 360)
+	if lon < 0 {
+		lon += 360
+	}
+	return lon - 180
+}
+
+// clampLat folds a latitude into [-90, 90].
+func clampLat(lat float64) float64 {
+	if lat > 90 {
+		return 90
+	}
+	if lat < -90 {
+		return -90
+	}
+	return lat
+}
+
+// swathGrid fills lat/lon arrays of shape ny×nx for the granule. Row 0 is
+// the leading scan; columns run across track. The full swath covers
+// 2030 km along track and 2330 km across track regardless of the
+// resolution the caller asked for.
+func swathGrid(g GranuleID, ny, nx int) (lats, lons []float32) {
+	lats = make([]float32, ny*nx)
+	lons = make([]float32, ny*nx)
+	for i := 0; i < ny; i++ {
+		// Interpolate the sub-satellite point along the granule.
+		frac := float64(i) / float64(ny)
+		clat, clon, heading := groundTrack(g, float64(g.Index)+frac)
+		sinH, cosH := math.Sin(heading), math.Cos(heading)
+		for j := 0; j < nx; j++ {
+			// Cross-track offset in km, negative on the left of track.
+			xt := (float64(j)/float64(nx-1) - 0.5) * swathWidthKM
+			// Convert the cross-track displacement to lat/lon: the
+			// cross-track direction is perpendicular to the heading.
+			dLatKM := xt * -sinH
+			dLonKM := xt * cosH
+			lat := clat + dLatKM/kmPerDegree
+			lonScale := math.Cos(lat * math.Pi / 180)
+			if math.Abs(lonScale) < 0.05 {
+				lonScale = math.Copysign(0.05, lonScale)
+			}
+			lon := clon + dLonKM/(kmPerDegree*lonScale)
+			idx := i*nx + j
+			lats[idx] = float32(clampLat(lat))
+			lons[idx] = float32(wrapLon(lon))
+		}
+	}
+	return lats, lons
+}
+
+// planetSeed fixes the synthetic planet's continents across all granules
+// and both satellites, so the same lat/lon is land in every product of
+// every day — a property the tile ocean filter depends on.
+const planetSeed int64 = 0x0EA51DE5EA
+
+// landFraction is tuned so roughly two thirds of the synthetic planet is
+// ocean, matching Earth.
+const landThreshold = 0.58
+
+// isLand evaluates the fixed planetary land field at a coordinate.
+func isLand(lat, lon float64) bool {
+	n := newNoise2(planetSeed, 4)
+	// Sample on a cylindrical projection with mild latitude stretching;
+	// continents are a few thousand km across at these frequencies.
+	v := n.at(lon/23.0, lat/17.0)
+	// Polar caps: Antarctica-like land at extreme south.
+	if lat < -78 {
+		return true
+	}
+	return v > landThreshold
+}

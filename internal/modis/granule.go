@@ -1,0 +1,228 @@
+// Package modis synthesizes MODIS-like satellite data products.
+//
+// The paper's workflow consumes three NASA products per five-minute
+// granule: MOD021KM (Level-1B calibrated radiances, 36 spectral bands),
+// MOD03 (1 km geolocation), and MOD06_L2 (Level-2 cloud properties).
+// Real granules require LAADS DAAC credentials and ~60 GB/day; this package
+// generates deterministic synthetic granules with the same structure —
+// swath geometry, band layout, scaled-integer radiance encoding, land/sea
+// and cloud masks, product file naming — so every downstream stage
+// (download, tile extraction, masking, inference) runs the code path it
+// would run on real data.
+//
+// The MOD/MYD prefix distinguishes the Terra and Aqua satellites, as in
+// the real archive.
+package modis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Satellite identifies the MODIS host platform.
+type Satellite int
+
+// The two MODIS platforms.
+const (
+	Terra Satellite = iota // MOD prefix, in operation since 2000
+	Aqua                   // MYD prefix, in operation since 2002
+)
+
+// String returns the platform name.
+func (s Satellite) String() string {
+	if s == Aqua {
+		return "Aqua"
+	}
+	return "Terra"
+}
+
+// Prefix returns the product-name prefix for the platform.
+func (s Satellite) Prefix() string {
+	if s == Aqua {
+		return "MYD"
+	}
+	return "MOD"
+}
+
+// Kind enumerates the product families used by the workflow.
+type Kind int
+
+// Product families.
+const (
+	L1B   Kind = iota // calibrated radiances (MOD021KM / MYD021KM)
+	Geo               // geolocation (MOD03 / MYD03)
+	Cloud             // L2 cloud properties (MOD06_L2 / MYD06_L2)
+)
+
+// Product is a satellite-qualified product family.
+type Product struct {
+	Satellite Satellite
+	Kind      Kind
+}
+
+// Convenience Terra products (the benchmark day in the paper is Terra).
+var (
+	MOD021KM = Product{Terra, L1B}
+	MOD03    = Product{Terra, Geo}
+	MOD06L2  = Product{Terra, Cloud}
+	MYD021KM = Product{Aqua, L1B}
+	MYD03    = Product{Aqua, Geo}
+	MYD06L2  = Product{Aqua, Cloud}
+)
+
+// ShortName returns the archive product name, e.g. "MOD021KM".
+func (p Product) ShortName() string {
+	switch p.Kind {
+	case L1B:
+		return p.Satellite.Prefix() + "021KM"
+	case Geo:
+		return p.Satellite.Prefix() + "03"
+	case Cloud:
+		return p.Satellite.Prefix() + "06_L2"
+	}
+	return "UNKNOWN"
+}
+
+// ParseProduct maps an archive short name back to a Product.
+func ParseProduct(name string) (Product, error) {
+	var sat Satellite
+	switch {
+	case strings.HasPrefix(name, "MOD"):
+		sat = Terra
+	case strings.HasPrefix(name, "MYD"):
+		sat = Aqua
+	default:
+		return Product{}, fmt.Errorf("modis: unknown product %q", name)
+	}
+	switch name[3:] {
+	case "021KM":
+		return Product{sat, L1B}, nil
+	case "03":
+		return Product{sat, Geo}, nil
+	case "06_L2":
+		return Product{sat, Cloud}, nil
+	}
+	return Product{}, fmt.Errorf("modis: unknown product %q", name)
+}
+
+// GranulesPerDay is the number of five-minute granules in a day.
+const GranulesPerDay = 288
+
+// GranuleID identifies one five-minute observation window of one platform.
+type GranuleID struct {
+	Satellite Satellite
+	Year      int
+	DOY       int // day of year, 1-based
+	Index     int // five-minute slot, 0..287
+}
+
+// HHMM formats the granule start time as in archive file names.
+func (g GranuleID) HHMM() string {
+	minutes := g.Index * 5
+	return fmt.Sprintf("%02d%02d", minutes/60, minutes%60)
+}
+
+// Time returns the granule start instant in UTC.
+func (g GranuleID) Time() time.Time {
+	return time.Date(g.Year, 1, 1, 0, g.Index*5, 0, 0, time.UTC).AddDate(0, 0, g.DOY-1)
+}
+
+// Seed derives a deterministic noise seed shared by all products of the
+// same granule, so the cloud field seen by MOD021KM radiances matches the
+// cloud properties reported by MOD06_L2.
+func (g GranuleID) Seed() int64 {
+	return int64(g.Satellite)<<40 ^ int64(g.Year)<<28 ^ int64(g.DOY)<<12 ^ int64(g.Index)
+}
+
+// Validate reports whether the ID fields are in range.
+func (g GranuleID) Validate() error {
+	if g.Year < 2000 || g.Year > 2100 {
+		return fmt.Errorf("modis: year %d out of range", g.Year)
+	}
+	if g.DOY < 1 || g.DOY > 366 {
+		return fmt.Errorf("modis: day-of-year %d out of range", g.DOY)
+	}
+	if g.Index < 0 || g.Index >= GranulesPerDay {
+		return fmt.Errorf("modis: granule index %d out of range", g.Index)
+	}
+	return nil
+}
+
+// Collection is the MODIS processing collection used in file names.
+const Collection = "061"
+
+// FileName renders the archive file name for a product granule, e.g.
+// "MOD021KM.A2022001.0000.061.2022003192844.hdf". The production timestamp
+// is synthesized deterministically from the granule ID.
+func FileName(p Product, g GranuleID) string {
+	prod := g.Time().Add(49*time.Hour + time.Duration(g.Index)*time.Second)
+	return fmt.Sprintf("%s.A%04d%03d.%s.%s.%s.hdf",
+		p.ShortName(), g.Year, g.DOY, g.HHMM(), Collection, prod.Format("2006002150405"))
+}
+
+// ParseFileName inverts FileName.
+func ParseFileName(name string) (Product, GranuleID, error) {
+	parts := strings.Split(name, ".")
+	if len(parts) != 6 || parts[5] != "hdf" {
+		return Product{}, GranuleID{}, fmt.Errorf("modis: malformed granule name %q", name)
+	}
+	p, err := ParseProduct(parts[0])
+	if err != nil {
+		return Product{}, GranuleID{}, err
+	}
+	if len(parts[1]) != 8 || parts[1][0] != 'A' {
+		return Product{}, GranuleID{}, fmt.Errorf("modis: malformed acquisition date in %q", name)
+	}
+	year, err1 := strconv.Atoi(parts[1][1:5])
+	doy, err2 := strconv.Atoi(parts[1][5:8])
+	if err1 != nil || err2 != nil {
+		return Product{}, GranuleID{}, fmt.Errorf("modis: malformed acquisition date in %q", name)
+	}
+	if len(parts[2]) != 4 {
+		return Product{}, GranuleID{}, fmt.Errorf("modis: malformed time in %q", name)
+	}
+	hh, err1 := strconv.Atoi(parts[2][:2])
+	mm, err2 := strconv.Atoi(parts[2][2:])
+	if err1 != nil || err2 != nil || mm%5 != 0 {
+		return Product{}, GranuleID{}, fmt.Errorf("modis: malformed time in %q", name)
+	}
+	g := GranuleID{Satellite: p.Satellite, Year: year, DOY: doy, Index: hh*12 + mm/5}
+	if err := g.Validate(); err != nil {
+		return Product{}, GranuleID{}, err
+	}
+	return p, g, nil
+}
+
+// Swath dimensions of a full-resolution 1 km MODIS granule.
+const (
+	FullAlongTrack = 2030 // pixels along track (rows)
+	FullCrossTrack = 1354 // pixels across track (columns)
+	NumBands       = 36   // spectral bands in MOD021KM
+)
+
+// TileSize is the edge length of AICCA tiles in pixels.
+const TileSize = 128
+
+// AICCABands lists the six MOD021KM band indices (0-based) used to build
+// tiles, following the AICCA channel selection (MODIS bands 6, 7, 20, 28,
+// 29, 31 — a mix of shortwave-IR reflectance and thermal emission that
+// separates cloud texture and phase).
+var AICCABands = []int{5, 6, 19, 27, 28, 30}
+
+// NominalBytes returns the full-archive size of one granule of the
+// product, matching the paper's daily volumes (≈32 GB MOD02, 8.4 GB MOD03,
+// 18 GB MOD06 per day of 288 granules). The DES experiments account bytes
+// at this scale even when the real files on disk are generated smaller.
+func NominalBytes(p Product) int64 {
+	switch p.Kind {
+	case L1B:
+		return int64(32e9) / GranulesPerDay
+	case Geo:
+		return int64(8.4e9) / GranulesPerDay
+	case Cloud:
+		return int64(18e9) / GranulesPerDay
+	}
+	return 0
+}

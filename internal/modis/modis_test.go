@@ -1,0 +1,400 @@
+package modis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProductNames(t *testing.T) {
+	cases := []struct {
+		p    Product
+		name string
+	}{
+		{MOD021KM, "MOD021KM"},
+		{MOD03, "MOD03"},
+		{MOD06L2, "MOD06_L2"},
+		{MYD021KM, "MYD021KM"},
+		{MYD03, "MYD03"},
+		{MYD06L2, "MYD06_L2"},
+	}
+	for _, c := range cases {
+		if got := c.p.ShortName(); got != c.name {
+			t.Errorf("ShortName(%v) = %q, want %q", c.p, got, c.name)
+		}
+		back, err := ParseProduct(c.name)
+		if err != nil || back != c.p {
+			t.Errorf("ParseProduct(%q) = %v, %v", c.name, back, err)
+		}
+	}
+	if _, err := ParseProduct("MOD09GA"); err == nil {
+		t.Error("unknown product accepted")
+	}
+}
+
+func TestFileNameRoundTrip(t *testing.T) {
+	g := GranuleID{Satellite: Terra, Year: 2022, DOY: 1, Index: 0}
+	name := FileName(MOD021KM, g)
+	if !strings.HasPrefix(name, "MOD021KM.A2022001.0000.061.") || !strings.HasSuffix(name, ".hdf") {
+		t.Fatalf("unexpected file name %q", name)
+	}
+	p, back, err := ParseFileName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != MOD021KM || back != g {
+		t.Fatalf("round trip: %v %v", p, back)
+	}
+}
+
+func TestFileNameRoundTripProperty(t *testing.T) {
+	prop := func(sat bool, doy uint16, idx uint16) bool {
+		g := GranuleID{
+			Satellite: Terra,
+			Year:      2022,
+			DOY:       int(doy)%365 + 1,
+			Index:     int(idx) % GranulesPerDay,
+		}
+		if sat {
+			g.Satellite = Aqua
+		}
+		for _, kind := range []Kind{L1B, Geo, Cloud} {
+			p := Product{g.Satellite, kind}
+			gotP, gotG, err := ParseFileName(FileName(p, g))
+			if err != nil || gotP != p || gotG != g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFileNameRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"MOD021KM.hdf",
+		"MOD021KM.A2022001.0000.061.x.nc",
+		"XYZ12345.A2022001.0000.061.2022003.hdf",
+		"MOD021KM.B2022001.0000.061.2022003.hdf",
+		"MOD021KM.A2022001.0003.061.2022003.hdf", // not a 5-min slot
+		"MOD021KM.A2022400.0000.061.2022003.hdf", // bad DOY
+	}
+	for _, name := range bad {
+		if _, _, err := ParseFileName(name); err == nil {
+			t.Errorf("malformed name %q accepted", name)
+		}
+	}
+}
+
+func TestGranuleHHMM(t *testing.T) {
+	cases := map[int]string{0: "0000", 1: "0005", 12: "0100", 287: "2355"}
+	for idx, want := range cases {
+		g := GranuleID{Index: idx}
+		if got := g.HHMM(); got != want {
+			t.Errorf("HHMM(%d) = %q, want %q", idx, got, want)
+		}
+	}
+}
+
+func TestGranuleSeedSharedAcrossProductsDistinctAcrossGranules(t *testing.T) {
+	a := GranuleID{Terra, 2022, 1, 0}
+	b := GranuleID{Terra, 2022, 1, 1}
+	c := GranuleID{Aqua, 2022, 1, 0}
+	if a.Seed() == b.Seed() || a.Seed() == c.Seed() {
+		t.Fatalf("seed collisions: %d %d %d", a.Seed(), b.Seed(), c.Seed())
+	}
+}
+
+func TestNominalBytesMatchPaperVolumes(t *testing.T) {
+	// ~32 GB, 8.4 GB, 18 GB per day across 288 granules.
+	const tol = 1e3 * GranulesPerDay // integer division truncation
+	if v := NominalBytes(MOD021KM) * GranulesPerDay; math.Abs(float64(v)-32e9) > tol {
+		t.Errorf("MOD02 daily volume = %d", v)
+	}
+	if v := NominalBytes(MOD03) * GranulesPerDay; math.Abs(float64(v)-8.4e9) > tol {
+		t.Errorf("MOD03 daily volume = %d", v)
+	}
+	if v := NominalBytes(MOD06L2) * GranulesPerDay; math.Abs(float64(v)-18e9) > tol {
+		t.Errorf("MOD06 daily volume = %d", v)
+	}
+}
+
+func TestGeneratorDims(t *testing.T) {
+	gen, err := NewGenerator(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny, nx := gen.Dims()
+	if ny != 253 || nx != 169 {
+		t.Fatalf("dims = %d×%d", ny, nx)
+	}
+	if gen.TilePixels() != 16 {
+		t.Fatalf("tile pixels = %d", gen.TilePixels())
+	}
+	if _, err := NewGenerator(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}
+
+func testGranule() GranuleID {
+	// A granule over low latitudes with daytime lighting.
+	return GranuleID{Satellite: Terra, Year: 2022, DOY: 1, Index: 150}
+}
+
+func TestGenerateGeo(t *testing.T) {
+	gen, _ := NewGenerator(8)
+	g := testGranule()
+	f, err := gen.Generate(MOD03, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny, nx := gen.Dims()
+	lat, err := f.Dataset("Latitude")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Dims[0] != ny || lat.Dims[1] != nx {
+		t.Fatalf("lat dims = %v", lat.Dims)
+	}
+	lats, _ := lat.Float32s()
+	lonD, _ := f.Dataset("Longitude")
+	lons, _ := lonD.Float32s()
+	for i, v := range lats {
+		if v < -90 || v > 90 {
+			t.Fatalf("lat[%d] = %v out of range", i, v)
+		}
+	}
+	for i, v := range lons {
+		if v < -180 || v >= 180.0001 {
+			t.Fatalf("lon[%d] = %v out of range", i, v)
+		}
+	}
+	lsm, err := f.Dataset("LandSeaMask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := lsm.Uint8s()
+	for i, v := range vals {
+		if v > 2 {
+			t.Fatalf("land class %d at %d", v, i)
+		}
+	}
+}
+
+func TestGenerateL1BDayNight(t *testing.T) {
+	gen, _ := NewGenerator(8)
+	dayFound, nightFound := false, false
+	for idx := 0; idx < GranulesPerDay && !(dayFound && nightFound); idx += 24 {
+		g := GranuleID{Satellite: Terra, Year: 2022, DOY: 1, Index: idx}
+		f, err := gen.Generate(MOD021KM, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flag, _ := f.AttrString("DayNightFlag")
+		ds, err := f.Dataset("EV_1KM_RefSB")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals, _ := ds.Uint16s()
+		ny, nx := gen.Dims()
+		n := ny * nx
+		if flag == "Day" {
+			dayFound = true
+			// Reflective band 0 must carry data during the day.
+			allFill := true
+			for _, v := range vals[:n] {
+				if v != 65535 {
+					allFill = false
+					break
+				}
+			}
+			if allFill {
+				t.Error("day granule has fill-only reflective band")
+			}
+		} else {
+			nightFound = true
+			for i, v := range vals[:n] {
+				if v != 65535 {
+					t.Fatalf("night granule has reflective data at %d = %d", i, v)
+					break
+				}
+			}
+			// Thermal band 30 must carry data at night.
+			thermal := vals[30*n : 31*n]
+			allFill := true
+			for _, v := range thermal {
+				if v != 65535 {
+					allFill = false
+					break
+				}
+			}
+			if allFill {
+				t.Error("night granule has fill-only thermal band")
+			}
+		}
+	}
+	if !dayFound || !nightFound {
+		t.Fatalf("sampled day=%v night=%v; orbit model never crosses the terminator", dayFound, nightFound)
+	}
+}
+
+func TestGenerateCloudConsistency(t *testing.T) {
+	gen, _ := NewGenerator(8)
+	g := testGranule()
+	f, err := gen.Generate(MOD06L2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskD, _ := f.Dataset("Cloud_Mask_1km")
+	mask, _ := maskD.Uint8s()
+	ctpD, _ := f.Dataset("Cloud_Top_Pressure")
+	ctp, _ := ctpD.Float32s()
+	phaseD, _ := f.Dataset("Cloud_Phase_Infrared")
+	phase, _ := phaseD.Uint8s()
+	cloudy := 0
+	for i := range mask {
+		switch mask[i] {
+		case 0:
+			if ctp[i] != 1013 {
+				t.Fatalf("clear pixel %d has CTP %v", i, ctp[i])
+			}
+			if phase[i] != 0 {
+				t.Fatalf("clear pixel %d has phase %d", i, phase[i])
+			}
+		case 1:
+			cloudy++
+			if ctp[i] >= 1013 || ctp[i] < 200 {
+				t.Fatalf("cloudy pixel %d has CTP %v", i, ctp[i])
+			}
+			if phase[i] != 1 && phase[i] != 2 {
+				t.Fatalf("cloudy pixel %d has phase %d", i, phase[i])
+			}
+			if ctp[i] < 450 && phase[i] != 2 {
+				t.Fatalf("high cloud at %d not ice", i)
+			}
+		default:
+			t.Fatalf("mask[%d] = %d", i, mask[i])
+		}
+	}
+	frac := float64(cloudy) / float64(len(mask))
+	if frac < 0.15 || frac > 0.9 {
+		t.Fatalf("cloud fraction %.2f implausible", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen, _ := NewGenerator(16)
+	g := testGranule()
+	a, err := gen.GenerateBytes(MOD021KM, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.GenerateBytes(MOD021KM, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGenerateRejectsMismatchedSatellite(t *testing.T) {
+	gen, _ := NewGenerator(8)
+	g := testGranule() // Terra
+	if _, err := gen.Generate(MYD021KM, g); err == nil {
+		t.Fatal("Aqua product for Terra granule accepted")
+	}
+}
+
+func TestGenerateRejectsInvalidGranule(t *testing.T) {
+	gen, _ := NewGenerator(8)
+	bad := GranuleID{Satellite: Terra, Year: 2022, DOY: 0, Index: 0}
+	if _, err := gen.Generate(MOD021KM, bad); err == nil {
+		t.Fatal("invalid granule accepted")
+	}
+}
+
+func TestPlanetHasBothLandAndOcean(t *testing.T) {
+	land, ocean := 0, 0
+	for lat := -80.0; lat <= 80; lat += 4 {
+		for lon := -180.0; lon < 180; lon += 4 {
+			if isLand(lat, lon) {
+				land++
+			} else {
+				ocean++
+			}
+		}
+	}
+	total := land + ocean
+	landFrac := float64(land) / float64(total)
+	if landFrac < 0.1 || landFrac > 0.6 {
+		t.Fatalf("land fraction %.2f implausible (want mostly ocean, some land)", landFrac)
+	}
+}
+
+func TestLandMaskConsistentAcrossGranules(t *testing.T) {
+	// The same lat/lon must be classified identically by every granule:
+	// pick a coordinate from one granule's grid and evaluate the planetary
+	// field directly.
+	gen, _ := NewGenerator(8)
+	g := testGranule()
+	f, err := gen.Generate(MOD03, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latD, _ := f.Dataset("Latitude")
+	lonD, _ := f.Dataset("Longitude")
+	lsmD, _ := f.Dataset("LandSeaMask")
+	lats, _ := latD.Float32s()
+	lons, _ := lonD.Float32s()
+	lsm, _ := lsmD.Uint8s()
+	for i := 0; i < len(lats); i += 997 {
+		want := isLand(float64(lats[i]), float64(lons[i]))
+		got := lsm[i] != 0
+		if got != want {
+			t.Fatalf("pixel %d: mask=%v planet=%v", i, got, want)
+		}
+	}
+}
+
+func TestNoiseRangeAndDeterminism(t *testing.T) {
+	n := newNoise2(42, 4)
+	m := newNoise2(42, 4)
+	for i := 0; i < 500; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * -0.21
+		v := n.at(x, y)
+		if v < 0 || v > 1 {
+			t.Fatalf("noise out of range at (%v,%v): %v", x, y, v)
+		}
+		if v != m.at(x, y) {
+			t.Fatal("noise not deterministic")
+		}
+	}
+}
+
+func TestNoiseSpatialCoherence(t *testing.T) {
+	// Neighboring samples must be similar (it's a smooth field), distant
+	// samples must decorrelate.
+	n := newNoise2(7, 3)
+	var nearDiff, farDiff float64
+	count := 0
+	for i := 0; i < 200; i++ {
+		x := float64(i) * 1.618
+		y := float64(i) * 0.707
+		v := n.at(x, y)
+		nearDiff += math.Abs(v - n.at(x+0.01, y))
+		farDiff += math.Abs(v - n.at(x+137.5, y+81.1))
+		count++
+	}
+	if nearDiff/float64(count) > 0.05 {
+		t.Fatalf("field not smooth: mean near diff %v", nearDiff/float64(count))
+	}
+	if farDiff/float64(count) < 0.05 {
+		t.Fatalf("field suspiciously flat: mean far diff %v", farDiff/float64(count))
+	}
+}

@@ -1,0 +1,68 @@
+package modis
+
+import "math"
+
+// noise2 is deterministic multi-octave value noise ("fractal Brownian
+// motion") over a 2-D domain. It synthesizes the spatially coherent fields
+// a swath needs — cloud decks, radiance texture, continents — without any
+// external data. The lattice values come from an integer hash, so the same
+// (seed, x, y) always yields the same field on every platform.
+type noise2 struct {
+	seed    int64
+	octaves int
+	// lacunarity is fixed at 2 and gain at 0.5, the textbook fBm values.
+}
+
+func newNoise2(seed int64, octaves int) *noise2 {
+	if octaves < 1 {
+		octaves = 1
+	}
+	return &noise2{seed: seed, octaves: octaves}
+}
+
+// at evaluates the noise field at (x, y), returning a value in [0, 1].
+func (n *noise2) at(x, y float64) float64 {
+	sum, amp, norm := 0.0, 1.0, 0.0
+	freq := 1.0
+	for o := 0; o < n.octaves; o++ {
+		sum += amp * n.value(x*freq, y*freq, int64(o))
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}
+
+// value computes single-octave value noise via bilinear interpolation of
+// hashed lattice values, with smoothstep easing.
+func (n *noise2) value(x, y float64, octave int64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	fx, fy := x-x0, y-y0
+	ix, iy := int64(x0), int64(y0)
+
+	v00 := latticeHash(n.seed, octave, ix, iy)
+	v10 := latticeHash(n.seed, octave, ix+1, iy)
+	v01 := latticeHash(n.seed, octave, ix, iy+1)
+	v11 := latticeHash(n.seed, octave, ix+1, iy+1)
+
+	sx := smoothstep(fx)
+	sy := smoothstep(fy)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// latticeHash maps an integer lattice point to a uniform value in [0, 1)
+// using a splitmix64-style mixer.
+func latticeHash(seed, octave, x, y int64) float64 {
+	h := uint64(seed) ^ uint64(octave)*0x9E3779B97F4A7C15 ^
+		uint64(x)*0xBF58476D1CE4E5B9 ^ uint64(y)*0x94D049BB133111EB
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,176 @@
+package netcdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Attrs is an ordered attribute set. NetCDF attributes are typed arrays;
+// this API accepts the Go types the pipeline uses and normalizes scalars
+// to one-element arrays, as the C library does.
+type Attrs struct {
+	names  []string
+	values map[string]attrValue
+}
+
+type attrValue struct {
+	typ  Type
+	text string    // Char
+	i8   []int8    // Byte
+	i16  []int16   // Short
+	i32  []int32   // Int
+	f32  []float32 // Float
+	f64  []float64 // Double
+}
+
+// NewAttrs returns an empty attribute set.
+func NewAttrs() *Attrs {
+	return &Attrs{values: map[string]attrValue{}}
+}
+
+// Len returns the number of attributes.
+func (a *Attrs) Len() int { return len(a.names) }
+
+// Names returns attribute names in insertion order.
+func (a *Attrs) Names() []string { return append([]string(nil), a.names...) }
+
+func (a *Attrs) put(name string, v attrValue) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	if _, exists := a.values[name]; !exists {
+		a.names = append(a.names, name)
+	}
+	a.values[name] = v
+	return nil
+}
+
+// SetString sets a text attribute.
+func (a *Attrs) SetString(name, text string) error {
+	return a.put(name, attrValue{typ: Char, text: text})
+}
+
+// SetInts sets an int attribute array.
+func (a *Attrs) SetInts(name string, vals ...int32) error {
+	return a.put(name, attrValue{typ: Int, i32: append([]int32(nil), vals...)})
+}
+
+// SetShorts sets a short attribute array.
+func (a *Attrs) SetShorts(name string, vals ...int16) error {
+	return a.put(name, attrValue{typ: Short, i16: append([]int16(nil), vals...)})
+}
+
+// SetBytes sets a byte attribute array.
+func (a *Attrs) SetBytes(name string, vals ...int8) error {
+	return a.put(name, attrValue{typ: Byte, i8: append([]int8(nil), vals...)})
+}
+
+// SetFloats sets a float attribute array.
+func (a *Attrs) SetFloats(name string, vals ...float32) error {
+	return a.put(name, attrValue{typ: Float, f32: append([]float32(nil), vals...)})
+}
+
+// SetDoubles sets a double attribute array.
+func (a *Attrs) SetDoubles(name string, vals ...float64) error {
+	return a.put(name, attrValue{typ: Double, f64: append([]float64(nil), vals...)})
+}
+
+// GetString fetches a text attribute.
+func (a *Attrs) GetString(name string) (string, bool) {
+	v, ok := a.values[name]
+	if !ok || v.typ != Char {
+		return "", false
+	}
+	return v.text, true
+}
+
+// GetInts fetches an int attribute array.
+func (a *Attrs) GetInts(name string) ([]int32, bool) {
+	v, ok := a.values[name]
+	if !ok || v.typ != Int {
+		return nil, false
+	}
+	return v.i32, true
+}
+
+// GetFloats fetches a float attribute array.
+func (a *Attrs) GetFloats(name string) ([]float32, bool) {
+	v, ok := a.values[name]
+	if !ok || v.typ != Float {
+		return nil, false
+	}
+	return v.f32, true
+}
+
+// GetDoubles fetches a double attribute array.
+func (a *Attrs) GetDoubles(name string) ([]float64, bool) {
+	v, ok := a.values[name]
+	if !ok || v.typ != Double {
+		return nil, false
+	}
+	return v.f64, true
+}
+
+// GetShorts fetches a short attribute array.
+func (a *Attrs) GetShorts(name string) ([]int16, bool) {
+	v, ok := a.values[name]
+	if !ok || v.typ != Short {
+		return nil, false
+	}
+	return v.i16, true
+}
+
+// GetBytes fetches a byte attribute array.
+func (a *Attrs) GetBytes(name string) ([]int8, bool) {
+	v, ok := a.values[name]
+	if !ok || v.typ != Byte {
+		return nil, false
+	}
+	return v.i8, true
+}
+
+// Equal reports deep equality of two attribute sets, ignoring order.
+func (a *Attrs) Equal(b *Attrs) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	an := append([]string(nil), a.names...)
+	bn := append([]string(nil), b.names...)
+	sort.Strings(an)
+	sort.Strings(bn)
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	for _, name := range an {
+		av, bv := a.values[name], b.values[name]
+		if av.typ != bv.typ {
+			return false
+		}
+		if fmt.Sprintf("%v%v%v%v%v%v", av.text, av.i8, av.i16, av.i32, av.f32, av.f64) !=
+			fmt.Sprintf("%v%v%v%v%v%v", bv.text, bv.i8, bv.i16, bv.i32, bv.f32, bv.f64) {
+			return false
+		}
+	}
+	return true
+}
+
+// nelems returns the element count of the attribute payload.
+func (v attrValue) nelems() int {
+	switch v.typ {
+	case Char:
+		return len(v.text)
+	case Byte:
+		return len(v.i8)
+	case Short:
+		return len(v.i16)
+	case Int:
+		return len(v.i32)
+	case Float:
+		return len(v.f32)
+	case Double:
+		return len(v.f64)
+	}
+	return 0
+}

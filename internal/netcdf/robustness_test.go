@@ -1,0 +1,89 @@
+package netcdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Decoders in this repository sit behind a network archive and a shared
+// filesystem; they must reject arbitrary garbage with an error, never a
+// panic or a hang. These property tests feed random and mutated byte
+// streams to the decoder.
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	prop := func(seed int64, n uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%4096)
+		r.Read(data)
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnMutatedValidFile(t *testing.T) {
+	f := New()
+	if err := f.AddDim("tile", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddFloat("v", []string{"tile"}, []float32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Attrs.SetString("title", "mutation target"); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		data := append([]byte(nil), valid...)
+		// Flip 1-4 random bytes.
+		for i := 0; i < r.Intn(4)+1; i++ {
+			data[r.Intn(len(data))] ^= byte(1 << r.Intn(8))
+		}
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsHugeClaimedSizes(t *testing.T) {
+	// A header claiming a gigantic variable must error cleanly rather
+	// than attempting a huge allocation. Construct a valid file and bump
+	// a dimension length in the encoded header.
+	f := New()
+	if err := f.AddDim("n", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddFloat("v", []string{"n"}, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dim length lives at a fixed offset: magic(4) numrecs(4) tag(4)
+	// count(4) namelen(4) name+pad(4) -> length at 24.
+	data[24], data[25], data[26], data[27] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := Decode(data); err == nil {
+		t.Fatal("huge dimension accepted")
+	}
+}

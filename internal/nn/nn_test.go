@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/eoml/eoml/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dparam[i] by central differences.
+func numericalGrad(f func() float64, w []float32, i int) float64 {
+	const eps = 1e-3
+	orig := w[i]
+	w[i] = orig + eps
+	up := f()
+	w[i] = orig - eps
+	down := f()
+	w[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+// checkGradients compares backprop gradients of a model against numerical
+// differentiation on a small random problem.
+func checkGradients(t *testing.T, model *Sequential, x, target *tensor.T, tol float64) {
+	t.Helper()
+	loss := func() float64 {
+		out := model.Forward(x)
+		l, _ := MSELoss(out, target)
+		return l
+	}
+	ZeroGrad(model.Params())
+	out := model.Forward(x)
+	_, grad := MSELoss(out, target)
+	model.Backward(grad)
+
+	for _, p := range model.Params() {
+		// Sample a few indices per parameter to keep runtime sane.
+		step := p.W.Len()/5 + 1
+		for i := 0; i < p.W.Len(); i += step {
+			want := numericalGrad(loss, p.W.Data, i)
+			got := float64(p.G.Data[i])
+			diff := math.Abs(want - got)
+			scale := math.Max(1e-2, math.Abs(want)+math.Abs(got))
+			if diff/scale > tol {
+				t.Errorf("%s[%d]: backprop %v vs numerical %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	model := NewSequential("m",
+		NewDense("d1", 6, 5, r),
+		NewLeakyReLU("a1", 0.1),
+		NewDense("d2", 5, 3, r),
+	)
+	x := tensor.New(4, 6)
+	x.Randn(r, 1)
+	target := tensor.New(4, 3)
+	target.Randn(r, 1)
+	checkGradients(t, model, x, target, 0.05)
+}
+
+func TestConvGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	conv1, err := NewConv2D("c1", 2, 3, 3, 2, 1, 8, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := conv1.Geom()
+	conv2, err := NewConv2D("c2", 3, 2, 3, 1, 1, g1.OutH, g1.OutW, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := conv2.Geom()
+	model := NewSequential("m", conv1, NewLeakyReLU("a", 0.1), conv2)
+	x := tensor.New(2, 2, 8, 8)
+	x.Randn(r, 1)
+	target := tensor.New(2, 2, g2.OutH, g2.OutW)
+	target.Randn(r, 1)
+	checkGradients(t, model, x, target, 0.05)
+}
+
+func TestAutoencoderGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	enc, err := NewConv2D("e1", 1, 4, 3, 2, 1, 8, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := enc.Geom() // 4×4
+	model := NewSequential("ae",
+		enc,
+		NewLeakyReLU("a1", 0.1),
+		NewFlatten("f"),
+		NewDense("lat", 4*g.OutH*g.OutW, 8, r),
+		NewDense("exp", 8, 4*g.OutH*g.OutW, r),
+		NewReshape4D("r", 4, g.OutH, g.OutW),
+		NewUpsample2x("u"),
+		NewSigmoid("s"),
+	)
+	x := tensor.New(2, 1, 8, 8)
+	x.Randn(r, 0.5)
+	// Sigmoid output vs target in (0,1).
+	target := tensor.New(2, 4, 8, 8)
+	for i := range target.Data {
+		target.Data[i] = float32(r.Float64())
+	}
+	checkGradients(t, model, x, target, 0.08)
+}
+
+func TestAdamReducesLossOnRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	model := NewSequential("m",
+		NewDense("d1", 4, 16, r),
+		NewLeakyReLU("a", 0.1),
+		NewDense("d2", 16, 1, r),
+	)
+	opt := NewAdam(0.01)
+	// Learn y = sum(x).
+	x := tensor.New(32, 4)
+	x.Randn(r, 1)
+	y := tensor.New(32, 1)
+	for i := 0; i < 32; i++ {
+		var s float32
+		for j := 0; j < 4; j++ {
+			s += x.Data[i*4+j]
+		}
+		y.Data[i] = s
+	}
+	var first, last float64
+	for epoch := 0; epoch < 300; epoch++ {
+		ZeroGrad(model.Params())
+		out := model.Forward(x)
+		loss, grad := MSELoss(out, y)
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	if last > first*0.05 {
+		t.Fatalf("Adam did not converge: first %v last %v", first, last)
+	}
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	d := NewDense("d", 2, 1, r)
+	x := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	target := tensor.FromSlice([]float32{10}, 1, 1)
+	opt := &SGD{LR: 0.05}
+	var prev float64 = math.Inf(1)
+	for i := 0; i < 50; i++ {
+		ZeroGrad(d.Params())
+		out := d.Forward(x)
+		loss, grad := MSELoss(out, target)
+		if loss > prev+1e-9 {
+			t.Fatalf("SGD loss increased at step %d: %v -> %v", i, prev, loss)
+		}
+		prev = loss
+		d.Backward(grad)
+		opt.Step(d.Params())
+	}
+}
+
+func TestEmbeddingMatchLoss(t *testing.T) {
+	z := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	target := tensor.FromSlice([]float32{0, 0}, 1, 2)
+	loss, grad := EmbeddingMatchLoss(z, target, 0.5)
+	// 0.5 * mean(1+4) = 1.25
+	if math.Abs(loss-1.25) > 1e-9 {
+		t.Fatalf("loss = %v", loss)
+	}
+	// grad = 0.5 * 2*z/2 = z/2
+	if grad.Data[0] != 0.5 || grad.Data[1] != 1.0 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+	if l0, _ := EmbeddingMatchLoss(z, z, 0.5); l0 != 0 {
+		t.Fatalf("self-match loss = %v", l0)
+	}
+}
+
+func TestLeakyReLUForwardBackward(t *testing.T) {
+	l := NewLeakyReLU("a", 0.01)
+	x := tensor.FromSlice([]float32{-2, 0, 3}, 1, 3)
+	y := l.Forward(x)
+	if y.Data[0] != -0.02 || y.Data[1] != 0 || y.Data[2] != 3 {
+		t.Fatalf("forward = %v", y.Data)
+	}
+	g := l.Backward(tensor.FromSlice([]float32{1, 1, 1}, 1, 3))
+	if g.Data[0] != 0.01 || g.Data[2] != 1 {
+		t.Fatalf("backward = %v", g.Data)
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	l := NewSigmoid("s")
+	x := tensor.FromSlice([]float32{-100, 0, 100}, 1, 3)
+	y := l.Forward(x)
+	if y.Data[0] > 1e-6 || math.Abs(float64(y.Data[1]-0.5)) > 1e-6 || y.Data[2] < 1-1e-6 {
+		t.Fatalf("sigmoid = %v", y.Data)
+	}
+}
+
+func TestSaveLoadParams(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	m1 := NewSequential("m", NewDense("d1", 3, 4, r), NewDense("d2", 4, 2, r))
+	path := filepath.Join(t.TempDir(), "model.hdf")
+	meta := map[string]any{"latent": int64(4)}
+	if err := SaveParams(path, m1.Params(), meta); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewSequential("m", NewDense("d1", 3, 4, r), NewDense("d2", 4, 2, r))
+	gotMeta, err := LoadParams(path, m2.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta["latent"] != int64(4) {
+		t.Fatalf("meta = %#v", gotMeta)
+	}
+	x := tensor.New(5, 3)
+	x.Randn(r, 1)
+	y1 := m1.Forward(x)
+	y2 := m2.Forward(x)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("loaded model diverges from saved model")
+		}
+	}
+	// Shape mismatch must fail.
+	m3 := NewSequential("m", NewDense("d1", 3, 5, r))
+	if _, err := LoadParams(path, m3.Params()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestSaveParamsRejectsDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := NewDense("same", 2, 2, r)
+	b := NewDense("same", 2, 2, r)
+	if err := SaveParams(filepath.Join(t.TempDir(), "x.hdf"), append(a.Params(), b.Params()...), nil); err == nil {
+		t.Fatal("duplicate parameter names accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/eoml/eoml/internal/tensor"
+)
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	t       int
+	moments map[*Param]*adamState
+}
+
+type adamState struct {
+	m, v *tensor.T
+}
+
+// NewAdam returns an optimizer with the standard defaults for the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, moments: map[*Param]*adamState{}}
+}
+
+// Step applies one update using the accumulated gradients, then the caller
+// is expected to ZeroGrad before the next batch.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		st, ok := a.moments[p]
+		if !ok {
+			st = &adamState{m: tensor.New(p.W.Shape...), v: tensor.New(p.W.Shape...)}
+			a.moments[p] = st
+		}
+		for i, g := range p.G.Data {
+			gf := float64(g)
+			m := a.Beta1*float64(st.m.Data[i]) + (1-a.Beta1)*gf
+			v := a.Beta2*float64(st.v.Data[i]) + (1-a.Beta2)*gf*gf
+			st.m.Data[i] = float32(m)
+			st.v.Data[i] = float32(v)
+			p.W.Data[i] -= float32(a.LR * (m / c1) / (math.Sqrt(v/c2) + a.Eps))
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent, kept as the baseline
+// optimizer for tests and ablations.
+type SGD struct {
+	LR float64
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i, g := range p.G.Data {
+			p.W.Data[i] -= float32(s.LR * float64(g))
+		}
+	}
+}
+
+// MSELoss computes mean squared error and its gradient with respect to
+// pred: L = mean((pred-target)^2), dL/dpred = 2(pred-target)/n.
+func MSELoss(pred, target *tensor.T) (float64, *tensor.T) {
+	if !pred.SameShape(target) {
+		panic("nn: MSE shape mismatch")
+	}
+	n := float64(pred.Len())
+	grad := tensor.New(pred.Shape...)
+	var sum float64
+	for i := range pred.Data {
+		d := float64(pred.Data[i]) - float64(target.Data[i])
+		sum += d * d
+		grad.Data[i] = float32(2 * d / n)
+	}
+	return sum / n, grad
+}
+
+// EmbeddingMatchLoss computes beta*mean((z - target)^2) treating target as
+// a constant (stop-gradient), returning the loss and dL/dz. This is the
+// rotation-invariance penalty of RICC: embeddings of rotated tiles are
+// pulled toward the embedding of the canonical orientation.
+func EmbeddingMatchLoss(z, target *tensor.T, beta float64) (float64, *tensor.T) {
+	if !z.SameShape(target) {
+		panic("nn: embedding shape mismatch")
+	}
+	n := float64(z.Len())
+	grad := tensor.New(z.Shape...)
+	var sum float64
+	for i := range z.Data {
+		d := float64(z.Data[i]) - float64(target.Data[i])
+		sum += d * d
+		grad.Data[i] = float32(beta * 2 * d / n)
+	}
+	return beta * sum / n, grad
+}

@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/eoml/eoml/internal/hdf"
+)
+
+// SaveParams serializes named parameters into an HDF-lite container. Layer
+// labels must therefore be unique within a model.
+func SaveParams(path string, params []*Param, meta map[string]any) error {
+	f := hdf.NewFile()
+	for k, v := range meta {
+		f.Attrs[k] = v
+	}
+	seen := map[string]bool{}
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		d, err := hdf.NewFloat32(p.Name, p.W.Shape, p.W.Data)
+		if err != nil {
+			return err
+		}
+		if err := f.Add(d); err != nil {
+			return err
+		}
+	}
+	return hdf.WriteFile(path, f)
+}
+
+// LoadParams restores parameter values in place from a container written
+// by SaveParams. Every parameter must be present with a matching shape.
+func LoadParams(path string, params []*Param) (map[string]any, error) {
+	f, err := hdf.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range params {
+		d, err := f.Dataset(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := d.Float32s()
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != p.W.Len() {
+			return nil, fmt.Errorf("nn: parameter %q has %d values, want %d", p.Name, len(vals), p.W.Len())
+		}
+		copy(p.W.Data, vals)
+	}
+	return f.Attrs, nil
+}

@@ -1,0 +1,180 @@
+package parsl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// AppFuture is the result handle of one app invocation.
+type AppFuture struct {
+	ID    string
+	Label string
+
+	mu     sync.Mutex
+	done   chan struct{}
+	result any
+	err    error
+}
+
+func newAppFuture(id, label string) *AppFuture {
+	return &AppFuture{ID: id, Label: label, done: make(chan struct{})}
+}
+
+// Done returns a channel closed at completion.
+func (f *AppFuture) Done() <-chan struct{} { return f.done }
+
+// Get blocks for the result.
+func (f *AppFuture) Get(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.result, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Err returns the error if the future completed; nil otherwise.
+func (f *AppFuture) Err() error {
+	select {
+	case <-f.done:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.err
+	default:
+		return nil
+	}
+}
+
+func (f *AppFuture) complete(result any, err error) {
+	f.mu.Lock()
+	f.result, f.err = result, err
+	f.mu.Unlock()
+	close(f.done)
+}
+
+// App is the body of a Parsl app.
+type App func(ctx context.Context) (any, error)
+
+// DependencyError marks a task skipped because an upstream future failed.
+type DependencyError struct {
+	Task string
+	Dep  string
+	Err  error
+}
+
+// Error describes the failed dependency.
+func (e *DependencyError) Error() string {
+	return fmt.Sprintf("parsl: task %s skipped: dependency %s failed: %v", e.Task, e.Dep, e.Err)
+}
+
+// Unwrap exposes the underlying dependency error.
+func (e *DependencyError) Unwrap() error { return e.Err }
+
+// DFKConfig tunes the DataFlowKernel.
+type DFKConfig struct {
+	// Retries re-runs a failed app body this many times before the
+	// failure is recorded (Parsl's `retries` parameter).
+	Retries int
+}
+
+// DFK is the DataFlowKernel: it tracks dependencies between app futures
+// and submits each task to the executor once its inputs resolve.
+type DFK struct {
+	cfg  DFKConfig
+	exec *HighThroughputExecutor
+
+	mu      sync.Mutex
+	nextID  int
+	pending sync.WaitGroup
+}
+
+// NewDFK builds a kernel over a started executor.
+func NewDFK(exec *HighThroughputExecutor, cfg DFKConfig) (*DFK, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("parsl: DFK needs an executor")
+	}
+	return &DFK{cfg: cfg, exec: exec}, nil
+}
+
+// Submit registers an app invocation with dependencies. The app runs only
+// after every dependency completes successfully; if any dependency fails,
+// the future completes with a DependencyError without running the body.
+func (d *DFK) Submit(label string, app App, deps ...*AppFuture) *AppFuture {
+	d.mu.Lock()
+	d.nextID++
+	id := fmt.Sprintf("app-%06d", d.nextID)
+	d.mu.Unlock()
+	fut := newAppFuture(id, label)
+	d.pending.Add(1)
+
+	go func() {
+		// Wait for dependencies in order; ordering does not matter for
+		// correctness since all must complete.
+		for _, dep := range deps {
+			<-dep.Done()
+			if err := dep.Err(); err != nil {
+				fut.complete(nil, &DependencyError{Task: label, Dep: dep.Label, Err: err})
+				d.pending.Done()
+				return
+			}
+		}
+		task := func() {
+			defer d.pending.Done()
+			var result any
+			var err error
+			for attempt := 0; attempt <= d.cfg.Retries; attempt++ {
+				result, err = runApp(app)
+				if err == nil {
+					break
+				}
+			}
+			fut.complete(result, err)
+		}
+		if err := d.exec.Submit(task); err != nil {
+			fut.complete(nil, err)
+			d.pending.Done()
+		}
+	}()
+	return fut
+}
+
+func runApp(app App) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parsl: app panicked: %v", r)
+		}
+	}()
+	return app(context.Background())
+}
+
+// Map submits one app per item with no inter-dependencies and returns the
+// futures in order — the bag-of-tasks pattern the preprocessing stage
+// uses (one task per granule).
+func (d *DFK) Map(label string, apps []App) []*AppFuture {
+	futs := make([]*AppFuture, len(apps))
+	for i, app := range apps {
+		futs[i] = d.Submit(fmt.Sprintf("%s[%d]", label, i), app)
+	}
+	return futs
+}
+
+// WaitAll blocks until all given futures complete and returns the first
+// error encountered (in future order).
+func WaitAll(ctx context.Context, futs []*AppFuture) error {
+	var firstErr error
+	for _, f := range futs {
+		if _, err := f.Get(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", f.Label, err)
+		}
+	}
+	return firstErr
+}
+
+// Drain waits for every submitted app (including dependency-skipped ones)
+// to reach a terminal state.
+func (d *DFK) Drain() {
+	d.pending.Wait()
+}

@@ -1,0 +1,381 @@
+// Package parsl reimplements the core of the Parsl parallel programming
+// library used by the paper's preprocessing stage: apps that return
+// futures, a DataFlowKernel that fires tasks when their dependencies
+// resolve, and a high-throughput executor that acquires elastic "blocks"
+// of workers from a provider (the Slurm provider on Defiant; a local
+// provider here).
+//
+// The semantics reproduced are the ones the paper's scaling experiments
+// exercise: blocks of nodes × workers-per-node, automatic scale-out while
+// work is queued, scale-in of idle blocks, task retries, and worker-count
+// observability for the Fig. 6 timeline.
+package parsl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Provider allocates and releases blocks of workers, abstracting the
+// cluster resource manager (Slurm on Defiant).
+type Provider interface {
+	// Allocate requests a block; it blocks until the block is granted (as
+	// a Slurm batch allocation would wait in queue) and returns a handle.
+	Allocate(nodes, workersPerNode int) (blockID string, err error)
+	// Release returns a block to the resource manager.
+	Release(blockID string) error
+}
+
+// LocalProvider grants blocks immediately (optionally after a fixed
+// allocation delay that models scheduler latency — part of the
+// preprocessing launch latency measured in Fig. 7).
+type LocalProvider struct {
+	// AllocationDelay is slept before each grant.
+	AllocationDelay time.Duration
+	// MaxNodes bounds total allocated nodes; 0 means unlimited.
+	MaxNodes int
+
+	mu        sync.Mutex
+	nextBlock int
+	nodesUsed map[string]int
+}
+
+// Allocate grants a block after the configured delay.
+func (p *LocalProvider) Allocate(nodes, workersPerNode int) (string, error) {
+	if nodes <= 0 || workersPerNode <= 0 {
+		return "", fmt.Errorf("parsl: block of %d nodes × %d workers", nodes, workersPerNode)
+	}
+	p.mu.Lock()
+	if p.nodesUsed == nil {
+		p.nodesUsed = map[string]int{}
+	}
+	if p.MaxNodes > 0 {
+		total := 0
+		for _, n := range p.nodesUsed {
+			total += n
+		}
+		if total+nodes > p.MaxNodes {
+			p.mu.Unlock()
+			return "", fmt.Errorf("parsl: provider at capacity (%d/%d nodes)", total, p.MaxNodes)
+		}
+	}
+	p.nextBlock++
+	id := fmt.Sprintf("block-%04d", p.nextBlock)
+	p.nodesUsed[id] = nodes
+	p.mu.Unlock()
+	if p.AllocationDelay > 0 {
+		time.Sleep(p.AllocationDelay)
+	}
+	return id, nil
+}
+
+// Release frees a block.
+func (p *LocalProvider) Release(blockID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.nodesUsed[blockID]; !ok {
+		return fmt.Errorf("parsl: unknown block %q", blockID)
+	}
+	delete(p.nodesUsed, blockID)
+	return nil
+}
+
+// NodesInUse reports currently allocated nodes.
+func (p *LocalProvider) NodesInUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, n := range p.nodesUsed {
+		total += n
+	}
+	return total
+}
+
+// HTEXConfig tunes a HighThroughputExecutor.
+type HTEXConfig struct {
+	Label          string
+	Provider       Provider
+	NodesPerBlock  int
+	WorkersPerNode int
+	// InitBlocks blocks are allocated at Start.
+	InitBlocks int
+	// MinBlocks/MaxBlocks bound elastic scaling.
+	MinBlocks, MaxBlocks int
+	// ScaleInterval is the elasticity check period.
+	ScaleInterval time.Duration
+	// IdleTimeout: a block idle this long is released (scale-in).
+	IdleTimeout time.Duration
+	// OnWorkerChange observes the busy-worker count after every change.
+	OnWorkerChange func(busy int)
+}
+
+func (c *HTEXConfig) fillDefaults() error {
+	if c.Provider == nil {
+		c.Provider = &LocalProvider{}
+	}
+	if c.NodesPerBlock <= 0 {
+		c.NodesPerBlock = 1
+	}
+	if c.WorkersPerNode <= 0 {
+		return fmt.Errorf("parsl: executor %q needs workers per node", c.Label)
+	}
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = 1
+	}
+	if c.InitBlocks > c.MaxBlocks {
+		c.InitBlocks = c.MaxBlocks
+	}
+	if c.MinBlocks > c.MaxBlocks {
+		return fmt.Errorf("parsl: executor %q MinBlocks %d > MaxBlocks %d", c.Label, c.MinBlocks, c.MaxBlocks)
+	}
+	if c.ScaleInterval <= 0 {
+		c.ScaleInterval = 10 * time.Millisecond
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 100 * time.Millisecond
+	}
+	return nil
+}
+
+// HighThroughputExecutor runs tasks on elastic blocks of workers.
+type HighThroughputExecutor struct {
+	cfg HTEXConfig
+
+	mu       sync.Mutex
+	queue    chan func()
+	queued   int
+	busy     int
+	blocks   map[string]*block
+	started  bool
+	shutdown bool
+	scalerWG sync.WaitGroup
+	stopScal chan struct{}
+}
+
+type block struct {
+	id       string
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	lastBusy time.Time
+}
+
+// NewHTEX builds an executor.
+func NewHTEX(cfg HTEXConfig) (*HighThroughputExecutor, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &HighThroughputExecutor{
+		cfg:      cfg,
+		queue:    make(chan func(), 1<<16),
+		blocks:   map[string]*block{},
+		stopScal: make(chan struct{}),
+	}, nil
+}
+
+// Label names the executor.
+func (e *HighThroughputExecutor) Label() string { return e.cfg.Label }
+
+// Start allocates the initial blocks and launches the elasticity loop.
+func (e *HighThroughputExecutor) Start() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return nil
+	}
+	e.started = true
+	e.mu.Unlock()
+	for i := 0; i < e.cfg.InitBlocks; i++ {
+		if err := e.addBlock(); err != nil {
+			return err
+		}
+	}
+	e.scalerWG.Add(1)
+	go e.scaler()
+	return nil
+}
+
+// Submit enqueues a ready task closure.
+func (e *HighThroughputExecutor) Submit(task func()) error {
+	e.mu.Lock()
+	if !e.started || e.shutdown {
+		e.mu.Unlock()
+		return fmt.Errorf("parsl: executor %q not running", e.cfg.Label)
+	}
+	e.queued++
+	e.mu.Unlock()
+	select {
+	case e.queue <- task:
+		return nil
+	default:
+		e.mu.Lock()
+		e.queued--
+		e.mu.Unlock()
+		return fmt.Errorf("parsl: executor %q queue full", e.cfg.Label)
+	}
+}
+
+// Shutdown stops scaling, drains queued tasks, and releases all blocks.
+func (e *HighThroughputExecutor) Shutdown() error {
+	e.mu.Lock()
+	if !e.started || e.shutdown {
+		e.mu.Unlock()
+		return nil
+	}
+	e.shutdown = true
+	e.mu.Unlock()
+
+	close(e.stopScal)
+	e.scalerWG.Wait()
+
+	// Ensure something can drain the queue even if all blocks were scaled
+	// in before shutdown.
+	e.mu.Lock()
+	needBlock := e.queued > 0 && len(e.blocks) == 0
+	e.mu.Unlock()
+	if needBlock {
+		if err := e.addBlock(); err != nil {
+			return fmt.Errorf("parsl: shutdown drain: %w", err)
+		}
+	}
+
+	// Drain: wait until the queue empties and no worker is busy.
+	for {
+		e.mu.Lock()
+		idle := e.queued == 0 && e.busy == 0
+		e.mu.Unlock()
+		if idle {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(e.queue)
+
+	e.mu.Lock()
+	blocks := make([]*block, 0, len(e.blocks))
+	for _, b := range e.blocks {
+		blocks = append(blocks, b)
+	}
+	e.blocks = map[string]*block{}
+	e.mu.Unlock()
+	for _, b := range blocks {
+		close(b.stop)
+		b.wg.Wait()
+		if err := e.cfg.Provider.Release(b.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BusyWorkers reports workers currently executing a task.
+func (e *HighThroughputExecutor) BusyWorkers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.busy
+}
+
+// Blocks reports the current block count.
+func (e *HighThroughputExecutor) Blocks() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.blocks)
+}
+
+// QueuedTasks reports tasks waiting for a worker.
+func (e *HighThroughputExecutor) QueuedTasks() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queued
+}
+
+func (e *HighThroughputExecutor) addBlock() error {
+	id, err := e.cfg.Provider.Allocate(e.cfg.NodesPerBlock, e.cfg.WorkersPerNode)
+	if err != nil {
+		return err
+	}
+	b := &block{id: id, stop: make(chan struct{}), lastBusy: time.Now()}
+	workers := e.cfg.NodesPerBlock * e.cfg.WorkersPerNode
+	for w := 0; w < workers; w++ {
+		b.wg.Add(1)
+		go e.worker(b)
+	}
+	e.mu.Lock()
+	e.blocks[id] = b
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *HighThroughputExecutor) worker(b *block) {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case task, ok := <-e.queue:
+			if !ok {
+				return
+			}
+			e.mu.Lock()
+			e.queued--
+			e.busy++
+			busy := e.busy
+			b.lastBusy = time.Now()
+			hook := e.cfg.OnWorkerChange
+			e.mu.Unlock()
+			if hook != nil {
+				hook(busy)
+			}
+			task()
+			e.mu.Lock()
+			e.busy--
+			busy = e.busy
+			b.lastBusy = time.Now()
+			e.mu.Unlock()
+			if hook != nil {
+				hook(busy)
+			}
+		}
+	}
+}
+
+// scaler implements the elasticity strategy: scale out while tasks queue,
+// scale idle blocks in.
+func (e *HighThroughputExecutor) scaler() {
+	defer e.scalerWG.Done()
+	ticker := time.NewTicker(e.cfg.ScaleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopScal:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		queued := e.queued
+		nblocks := len(e.blocks)
+		var idleBlock *block
+		now := time.Now()
+		for _, b := range e.blocks {
+			if now.Sub(b.lastBusy) > e.cfg.IdleTimeout {
+				idleBlock = b
+				break
+			}
+		}
+		e.mu.Unlock()
+
+		switch {
+		case queued > 0 && nblocks < e.cfg.MaxBlocks:
+			// Scale out. Allocation errors are retried on the next tick.
+			_ = e.addBlock()
+		case queued == 0 && idleBlock != nil && nblocks > e.cfg.MinBlocks:
+			// Scale in the idle block.
+			e.mu.Lock()
+			delete(e.blocks, idleBlock.id)
+			e.mu.Unlock()
+			close(idleBlock.stop)
+			idleBlock.wg.Wait()
+			_ = e.cfg.Provider.Release(idleBlock.id)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package parsl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newExec(t *testing.T, cfg HTEXConfig) *HighThroughputExecutor {
+	t.Helper()
+	if cfg.Label == "" {
+		cfg.Label = "test"
+	}
+	if cfg.WorkersPerNode == 0 {
+		cfg.WorkersPerNode = 4
+	}
+	e, err := NewHTEX(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := e.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return e
+}
+
+func TestHTEXRunsTasks(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	var count int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := e.Submit(func() {
+			atomic.AddInt64(&count, 1)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestHTEXBoundedWorkers(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1, NodesPerBlock: 1, WorkersPerNode: 3})
+	var now, peak int64
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		if err := e.Submit(func() {
+			defer wg.Done()
+			v := atomic.AddInt64(&now, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if v <= p || atomic.CompareAndSwapInt64(&peak, p, v) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			atomic.AddInt64(&now, -1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Fatalf("peak %d > 3 workers", peak)
+	}
+}
+
+func TestHTEXElasticScaleOut(t *testing.T) {
+	p := &LocalProvider{}
+	e := newExec(t, HTEXConfig{
+		Provider:       p,
+		InitBlocks:     1,
+		MaxBlocks:      4,
+		NodesPerBlock:  1,
+		WorkersPerNode: 1,
+		ScaleInterval:  2 * time.Millisecond,
+		IdleTimeout:    time.Hour, // no scale-in during this test
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		if err := e.Submit(func() {
+			defer wg.Done()
+			time.Sleep(20 * time.Millisecond)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := e.Blocks(); got < 2 {
+		t.Fatalf("blocks = %d; executor never scaled out", got)
+	}
+	if got := e.Blocks(); got > 4 {
+		t.Fatalf("blocks = %d exceeds MaxBlocks", got)
+	}
+}
+
+func TestHTEXScaleInWhenIdle(t *testing.T) {
+	e := newExec(t, HTEXConfig{
+		InitBlocks:     3,
+		MaxBlocks:      3,
+		MinBlocks:      1,
+		NodesPerBlock:  1,
+		WorkersPerNode: 1,
+		ScaleInterval:  2 * time.Millisecond,
+		IdleTimeout:    10 * time.Millisecond,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Blocks() > 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := e.Blocks(); got != 1 {
+		t.Fatalf("blocks = %d after idle period, want MinBlocks=1", got)
+	}
+}
+
+func TestHTEXWorkerHookSeesActivity(t *testing.T) {
+	var maxBusy int64
+	e := newExec(t, HTEXConfig{
+		InitBlocks:     1,
+		MaxBlocks:      1,
+		WorkersPerNode: 4,
+		OnWorkerChange: func(busy int) {
+			for {
+				cur := atomic.LoadInt64(&maxBusy)
+				if int64(busy) <= cur || atomic.CompareAndSwapInt64(&maxBusy, cur, int64(busy)) {
+					break
+				}
+			}
+		},
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		if err := e.Submit(func() { time.Sleep(10 * time.Millisecond); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if atomic.LoadInt64(&maxBusy) < 2 {
+		t.Fatalf("hook max busy = %d", maxBusy)
+	}
+}
+
+func TestProviderValidationAndCapacity(t *testing.T) {
+	p := &LocalProvider{MaxNodes: 2}
+	if _, err := p.Allocate(0, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	id1, err := p.Allocate(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(1, 1); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+	if p.NodesInUse() != 2 {
+		t.Fatalf("nodes in use = %d", p.NodesInUse())
+	}
+	if err := p.Release(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(id1); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestDFKDependencies(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	d, err := NewDFK(e, DFKConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var mu sync.Mutex
+	record := func(name string) App {
+		return func(ctx context.Context) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return name, nil
+		}
+	}
+	a := d.Submit("a", record("a"))
+	b := d.Submit("b", record("b"), a)
+	c := d.Submit("c", record("c"), a, b)
+	if _, err := c.Get(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	d.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "a" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+	_ = b
+}
+
+func TestDFKDependencyFailureSkipsDownstream(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	d, _ := NewDFK(e, DFKConfig{})
+	ran := false
+	bad := d.Submit("bad", func(ctx context.Context) (any, error) {
+		return nil, errors.New("upstream exploded")
+	})
+	down := d.Submit("down", func(ctx context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	}, bad)
+	_, err := down.Get(context.Background())
+	var depErr *DependencyError
+	if !errors.As(err, &depErr) {
+		t.Fatalf("error %v is not a DependencyError", err)
+	}
+	if depErr.Dep != "bad" {
+		t.Fatalf("dep = %q", depErr.Dep)
+	}
+	if ran {
+		t.Fatal("downstream body ran despite failed dependency")
+	}
+}
+
+func TestDFKRetries(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	d, _ := NewDFK(e, DFKConfig{Retries: 3})
+	var attempts int64
+	f := d.Submit("flaky", func(ctx context.Context) (any, error) {
+		if atomic.AddInt64(&attempts, 1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	})
+	v, err := f.Get(context.Background())
+	if err != nil || v != "ok" {
+		t.Fatalf("result %v, %v", v, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+}
+
+func TestDFKRetriesExhausted(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	d, _ := NewDFK(e, DFKConfig{Retries: 2})
+	var attempts int64
+	f := d.Submit("doomed", func(ctx context.Context) (any, error) {
+		atomic.AddInt64(&attempts, 1)
+		return nil, errors.New("permanent")
+	})
+	if _, err := f.Get(context.Background()); err == nil {
+		t.Fatal("exhausted retries returned success")
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+func TestDFKAppPanicIsError(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	d, _ := NewDFK(e, DFKConfig{})
+	f := d.Submit("panics", func(ctx context.Context) (any, error) {
+		panic("app bug")
+	})
+	if _, err := f.Get(context.Background()); err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+}
+
+func TestDFKMapAndWaitAll(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1, WorkersPerNode: 8})
+	d, _ := NewDFK(e, DFKConfig{})
+	apps := make([]App, 50)
+	for i := range apps {
+		i := i
+		apps[i] = func(ctx context.Context) (any, error) { return i * i, nil }
+	}
+	futs := d.Map("square", apps)
+	if err := WaitAll(context.Background(), futs); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		v, err := f.Get(context.Background())
+		if err != nil || v.(int) != i*i {
+			t.Fatalf("square[%d] = %v, %v", i, v, err)
+		}
+	}
+}
+
+func TestWaitAllReportsFirstError(t *testing.T) {
+	e := newExec(t, HTEXConfig{InitBlocks: 1, MaxBlocks: 1})
+	d, _ := NewDFK(e, DFKConfig{})
+	futs := []*AppFuture{
+		d.Submit("ok", func(ctx context.Context) (any, error) { return nil, nil }),
+		d.Submit("bad", func(ctx context.Context) (any, error) { return nil, fmt.Errorf("nope") }),
+	}
+	err := WaitAll(context.Background(), futs)
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestHTEXConfigValidation(t *testing.T) {
+	if _, err := NewHTEX(HTEXConfig{Label: "x"}); err == nil {
+		t.Error("zero workers per node accepted")
+	}
+	if _, err := NewHTEX(HTEXConfig{Label: "x", WorkersPerNode: 1, MinBlocks: 5, MaxBlocks: 2}); err == nil {
+		t.Error("MinBlocks > MaxBlocks accepted")
+	}
+}
+
+func TestShutdownDrainsQueueEvenWithoutBlocks(t *testing.T) {
+	e, err := NewHTEX(HTEXConfig{
+		Label:          "drain",
+		WorkersPerNode: 2,
+		InitBlocks:     0,
+		MinBlocks:      0,
+		MaxBlocks:      1,
+		ScaleInterval:  time.Hour, // scaler never fires
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := e.Submit(func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("queued task dropped at shutdown")
+	}
+}

@@ -1,0 +1,254 @@
+// Package pipereg implements the federated pipeline-as-a-service registry
+// the paper's §V.A envisions: "a shareable and publicly accessible
+// repository of complete workflows or individual workflow steps, which
+// can be customized with various components from a community-driven
+// pipeline service ... registered as executable and shareable functions".
+//
+// Pipelines are registered under name@version with metadata (owner,
+// facility requirements, tags), carry either a Globus-Flows-style
+// definition or an ordered component list validated against the
+// provenance schema registry, and can be searched, exported, imported,
+// and instantiated with per-run parameter overrides.
+package pipereg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/flows"
+	"github.com/eoml/eoml/internal/provenance"
+)
+
+// Pipeline is one registered, shareable workflow.
+type Pipeline struct {
+	Name        string            `json:"name"`
+	Version     int               `json:"version"`
+	Owner       string            `json:"owner"`
+	Description string            `json:"description"`
+	Tags        []string          `json:"tags,omitempty"`
+	Facilities  []string          `json:"facilities,omitempty"` // required facilities
+	Components  []string          `json:"components,omitempty"` // ordered stage names
+	FlowJSON    json.RawMessage   `json:"flow,omitempty"`       // optional flows definition
+	Defaults    map[string]any    `json:"defaults,omitempty"`   // default parameters
+	Published   time.Time         `json:"published"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// Ref renders the canonical name@version reference.
+func (p *Pipeline) Ref() string { return fmt.Sprintf("%s@%d", p.Name, p.Version) }
+
+// Registry stores pipelines with versioning and search.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string][]*Pipeline // ascending version order
+	schemas *provenance.SchemaRegistry
+}
+
+// NewRegistry builds a registry. schemas may be nil to skip component
+// validation.
+func NewRegistry(schemas *provenance.SchemaRegistry) *Registry {
+	return &Registry{byName: map[string][]*Pipeline{}, schemas: schemas}
+}
+
+// Publish registers a new pipeline version. The version is assigned
+// automatically (1 + latest). Component chains are validated against the
+// schema registry when one is configured; embedded flow definitions must
+// parse.
+func (r *Registry) Publish(p Pipeline) (*Pipeline, error) {
+	if p.Name == "" || strings.ContainsAny(p.Name, "@ \t\n") {
+		return nil, fmt.Errorf("pipereg: invalid pipeline name %q", p.Name)
+	}
+	if p.Owner == "" {
+		return nil, fmt.Errorf("pipereg: pipeline %q needs an owner", p.Name)
+	}
+	if len(p.Components) == 0 && len(p.FlowJSON) == 0 {
+		return nil, fmt.Errorf("pipereg: pipeline %q needs components or a flow definition", p.Name)
+	}
+	if len(p.FlowJSON) > 0 {
+		if _, err := flows.ParseDefinition(p.FlowJSON); err != nil {
+			return nil, fmt.Errorf("pipereg: pipeline %q: %w", p.Name, err)
+		}
+	}
+	if r.schemas != nil && len(p.Components) > 1 {
+		if err := r.schemas.ValidateChain(p.Components); err != nil {
+			return nil, fmt.Errorf("pipereg: pipeline %q: %w", p.Name, err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.byName[p.Name]
+	p.Version = 1
+	if len(versions) > 0 {
+		p.Version = versions[len(versions)-1].Version + 1
+	}
+	if p.Published.IsZero() {
+		p.Published = time.Now()
+	}
+	stored := p
+	r.byName[p.Name] = append(versions, &stored)
+	return &stored, nil
+}
+
+// Get fetches a pipeline by reference: "name" (latest) or "name@N".
+func (r *Registry) Get(ref string) (*Pipeline, error) {
+	name, version := ref, 0
+	if at := strings.LastIndex(ref, "@"); at >= 0 {
+		name = ref[:at]
+		if _, err := fmt.Sscanf(ref[at+1:], "%d", &version); err != nil {
+			return nil, fmt.Errorf("pipereg: bad reference %q", ref)
+		}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.byName[name]
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("pipereg: no pipeline %q", name)
+	}
+	if version == 0 {
+		return versions[len(versions)-1], nil
+	}
+	for _, p := range versions {
+		if p.Version == version {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("pipereg: no version %d of %q (latest %d)", version, name, versions[len(versions)-1].Version)
+}
+
+// List returns the latest version of every pipeline, sorted by name.
+func (r *Registry) List() []*Pipeline {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Pipeline, 0, len(r.byName))
+	for _, versions := range r.byName {
+		out = append(out, versions[len(versions)-1])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Search returns latest pipelines matching all given tags (case
+// insensitive).
+func (r *Registry) Search(tags ...string) []*Pipeline {
+	var out []*Pipeline
+	for _, p := range r.List() {
+		have := map[string]bool{}
+		for _, t := range p.Tags {
+			have[strings.ToLower(t)] = true
+		}
+		all := true
+		for _, t := range tags {
+			if !have[strings.ToLower(t)] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Instance is a pipeline resolved with run parameters.
+type Instance struct {
+	Pipeline *Pipeline
+	Params   map[string]any
+	Flow     *flows.Definition // parsed, when the pipeline embeds one
+}
+
+// Instantiate merges overrides over the pipeline defaults and parses the
+// embedded flow definition if present.
+func (r *Registry) Instantiate(ref string, overrides map[string]any) (*Instance, error) {
+	p, err := r.Get(ref)
+	if err != nil {
+		return nil, err
+	}
+	params := map[string]any{}
+	for k, v := range p.Defaults {
+		params[k] = v
+	}
+	for k, v := range overrides {
+		if _, known := params[k]; !known && len(p.Defaults) > 0 {
+			return nil, fmt.Errorf("pipereg: %s has no parameter %q", p.Ref(), k)
+		}
+		params[k] = v
+	}
+	inst := &Instance{Pipeline: p, Params: params}
+	if len(p.FlowJSON) > 0 {
+		def, err := flows.ParseDefinition(p.FlowJSON)
+		if err != nil {
+			return nil, err
+		}
+		inst.Flow = def
+	}
+	return inst, nil
+}
+
+// Export writes every version of every pipeline as JSON.
+func (r *Registry) Export(w io.Writer) error {
+	r.mu.RLock()
+	var all []*Pipeline
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		all = append(all, r.byName[name]...)
+	}
+	r.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// Import merges an exported registry; versions are preserved, and
+// conflicting (name, version) pairs are rejected.
+func (r *Registry) Import(rd io.Reader) error {
+	var all []*Pipeline
+	if err := json.NewDecoder(rd).Decode(&all); err != nil {
+		return fmt.Errorf("pipereg: import: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range all {
+		for _, existing := range r.byName[p.Name] {
+			if existing.Version == p.Version {
+				return fmt.Errorf("pipereg: import conflict: %s", p.Ref())
+			}
+		}
+	}
+	for _, p := range all {
+		r.byName[p.Name] = append(r.byName[p.Name], p)
+		sort.Slice(r.byName[p.Name], func(i, j int) bool {
+			return r.byName[p.Name][i].Version < r.byName[p.Name][j].Version
+		})
+	}
+	return nil
+}
+
+// EOMLPipeline returns this repository's workflow as a publishable
+// pipeline, with its component chain and default parameters.
+func EOMLPipeline() Pipeline {
+	return Pipeline{
+		Name:        "eo-ml-cloud-classification",
+		Owner:       "olcf",
+		Description: "MODIS download, ocean-cloud tiling, RICC/AICCA inference, shipment",
+		Tags:        []string{"climate", "modis", "ai", "multi-facility"},
+		Facilities:  []string{"olcf"},
+		Components:  []string{"download", "preprocess", "inference", "shipment"},
+		Defaults: map[string]any{
+			"tile_pixels":        16,
+			"min_cloud_fraction": 0.3,
+			"download_workers":   3,
+			"preprocess_workers": 32,
+			"inference_workers":  1,
+		},
+	}
+}

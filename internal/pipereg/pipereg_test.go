@@ -1,0 +1,194 @@
+package pipereg
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/eoml/eoml/internal/provenance"
+)
+
+func registryWithSchemas(t *testing.T) *Registry {
+	t.Helper()
+	schemas := provenance.NewSchemaRegistry()
+	for _, s := range provenance.EOMLSchemas() {
+		if err := schemas.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewRegistry(schemas)
+}
+
+func TestPublishAndGetVersions(t *testing.T) {
+	r := registryWithSchemas(t)
+	v1, err := r.Publish(EOMLPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Version != 1 || v1.Ref() != "eo-ml-cloud-classification@1" {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	p2 := EOMLPipeline()
+	p2.Description = "v2 with continual learning"
+	v2, err := r.Publish(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version != 2 {
+		t.Fatalf("v2 = %d", v2.Version)
+	}
+
+	latest, err := r.Get("eo-ml-cloud-classification")
+	if err != nil || latest.Version != 2 {
+		t.Fatalf("latest = %+v, %v", latest, err)
+	}
+	pinned, err := r.Get("eo-ml-cloud-classification@1")
+	if err != nil || pinned.Version != 1 {
+		t.Fatalf("pinned = %+v, %v", pinned, err)
+	}
+	if _, err := r.Get("eo-ml-cloud-classification@9"); err == nil {
+		t.Fatal("missing version found")
+	}
+	if _, err := r.Get("ghost"); err == nil {
+		t.Fatal("missing pipeline found")
+	}
+	if _, err := r.Get("eo-ml-cloud-classification@x"); err == nil {
+		t.Fatal("malformed ref accepted")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	r := registryWithSchemas(t)
+	cases := []Pipeline{
+		{},
+		{Name: "bad name", Owner: "o", Components: []string{"download"}},
+		{Name: "x@y", Owner: "o", Components: []string{"download"}},
+		{Name: "x", Components: []string{"download"}},
+		{Name: "x", Owner: "o"},
+		{Name: "x", Owner: "o", Components: []string{"download", "inference"}}, // schema mismatch
+		{Name: "x", Owner: "o", FlowJSON: json.RawMessage(`{"bogus": true}`)},
+	}
+	for i, p := range cases {
+		if _, err := r.Publish(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPublishWithFlowDefinition(t *testing.T) {
+	r := registryWithSchemas(t)
+	flowJSON := `{
+		"StartAt": "Infer",
+		"States": {
+			"Infer": {"Type": "Action", "ActionProvider": "inference", "End": true}
+		}
+	}`
+	p := Pipeline{
+		Name:     "inference-only",
+		Owner:    "anl",
+		FlowJSON: json.RawMessage(flowJSON),
+		Defaults: map[string]any{"batch": 128},
+	}
+	if _, err := r.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := r.Instantiate("inference-only", map[string]any{"batch": 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Flow == nil || inst.Flow.StartAt != "Infer" {
+		t.Fatalf("flow not parsed: %+v", inst.Flow)
+	}
+	if inst.Params["batch"] != 256 {
+		t.Fatalf("override lost: %v", inst.Params)
+	}
+}
+
+func TestInstantiateDefaultsAndUnknownParam(t *testing.T) {
+	r := registryWithSchemas(t)
+	if _, err := r.Publish(EOMLPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := r.Instantiate("eo-ml-cloud-classification", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Params["preprocess_workers"] != 32 {
+		t.Fatalf("defaults: %v", inst.Params)
+	}
+	if _, err := r.Instantiate("eo-ml-cloud-classification", map[string]any{"bogus": 1}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := r.Instantiate("ghost", nil); err == nil {
+		t.Fatal("unknown pipeline instantiated")
+	}
+}
+
+func TestListAndSearch(t *testing.T) {
+	r := registryWithSchemas(t)
+	if _, err := r.Publish(EOMLPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	other := Pipeline{
+		Name: "esm-postproc", Owner: "nersc",
+		Components: []string{"download"},
+		Tags:       []string{"climate", "esm"},
+	}
+	if _, err := r.Publish(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.List(); len(got) != 2 || got[0].Name != "eo-ml-cloud-classification" {
+		t.Fatalf("list = %v", got)
+	}
+	if got := r.Search("climate"); len(got) != 2 {
+		t.Fatalf("search climate = %d", len(got))
+	}
+	if got := r.Search("climate", "MODIS"); len(got) != 1 || got[0].Name != "eo-ml-cloud-classification" {
+		t.Fatalf("search modis = %v", got)
+	}
+	if got := r.Search("fusion"); len(got) != 0 {
+		t.Fatalf("search fusion = %v", got)
+	}
+}
+
+func TestExportImportFederation(t *testing.T) {
+	// Facility A publishes; facility B imports — the "federated" story.
+	a := registryWithSchemas(t)
+	if _, err := a.Publish(EOMLPipeline()); err != nil {
+		t.Fatal(err)
+	}
+	p2 := EOMLPipeline()
+	p2.Description = "v2"
+	if _, err := a.Publish(p2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewRegistry(nil)
+	if err := b.Import(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get("eo-ml-cloud-classification")
+	if err != nil || got.Version != 2 {
+		t.Fatalf("imported latest = %+v, %v", got, err)
+	}
+	// Re-import conflicts.
+	if err := b.Import(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("conflicting import accepted")
+	}
+	if err := b.Import(strings.NewReader("{oops")); err == nil {
+		t.Fatal("garbage import accepted")
+	}
+}
+
+func TestRegistryWithoutSchemasSkipsChainValidation(t *testing.T) {
+	r := NewRegistry(nil)
+	p := Pipeline{Name: "x", Owner: "o", Components: []string{"download", "inference"}}
+	if _, err := r.Publish(p); err != nil {
+		t.Fatalf("schema-free registry rejected chain: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Field declares one named, kinded input or output of a component.
+type Field struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // entity kind expected, e.g. "granule"
+	// Optional marks a field that may be absent.
+	Optional bool `json:"optional,omitempty"`
+}
+
+// Schema publishes a workflow component's contract — the paper's "clear
+// input and output schemas for each workflow component".
+type Schema struct {
+	Component string  `json:"component"`
+	Inputs    []Field `json:"inputs"`
+	Outputs   []Field `json:"outputs"`
+}
+
+// SchemaRegistry stores component contracts and validates compositions.
+type SchemaRegistry struct {
+	mu      sync.RWMutex
+	schemas map[string]Schema
+}
+
+// NewSchemaRegistry returns an empty registry.
+func NewSchemaRegistry() *SchemaRegistry {
+	return &SchemaRegistry{schemas: map[string]Schema{}}
+}
+
+// Register publishes a component schema.
+func (r *SchemaRegistry) Register(s Schema) error {
+	if s.Component == "" {
+		return fmt.Errorf("provenance: schema needs a component name")
+	}
+	seen := map[string]bool{}
+	for _, f := range append(append([]Field{}, s.Inputs...), s.Outputs...) {
+		if f.Name == "" || f.Kind == "" {
+			return fmt.Errorf("provenance: schema %q has unnamed or unkinded field", s.Component)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("provenance: schema %q repeats field %q", s.Component, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.schemas[s.Component]; dup {
+		return fmt.Errorf("provenance: schema %q already registered", s.Component)
+	}
+	r.schemas[s.Component] = s
+	return nil
+}
+
+// Get fetches a schema.
+func (r *SchemaRegistry) Get(component string) (Schema, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemas[component]
+	if !ok {
+		return Schema{}, fmt.Errorf("provenance: no schema for %q", component)
+	}
+	return s, nil
+}
+
+// Components lists registered components, sorted.
+func (r *SchemaRegistry) Components() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.schemas))
+	for c := range r.schemas {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateBinding checks that the entity kinds bound to a component's
+// inputs satisfy its schema. bindings maps field name → entity kind.
+func (r *SchemaRegistry) ValidateBinding(component string, bindings map[string]string) error {
+	s, err := r.Get(component)
+	if err != nil {
+		return err
+	}
+	for _, f := range s.Inputs {
+		kind, bound := bindings[f.Name]
+		if !bound {
+			if f.Optional {
+				continue
+			}
+			return fmt.Errorf("provenance: %s: required input %q unbound", component, f.Name)
+		}
+		if kind != f.Kind {
+			return fmt.Errorf("provenance: %s: input %q wants kind %q, got %q", component, f.Name, f.Kind, kind)
+		}
+	}
+	known := map[string]bool{}
+	for _, f := range s.Inputs {
+		known[f.Name] = true
+	}
+	for name := range bindings {
+		if !known[name] {
+			return fmt.Errorf("provenance: %s: unknown input %q", component, name)
+		}
+	}
+	return nil
+}
+
+// ValidateChain checks a linear composition: each component's outputs
+// must cover the next component's required inputs by kind.
+func (r *SchemaRegistry) ValidateChain(components []string) error {
+	if len(components) < 2 {
+		return nil
+	}
+	for i := 0; i+1 < len(components); i++ {
+		from, err := r.Get(components[i])
+		if err != nil {
+			return err
+		}
+		to, err := r.Get(components[i+1])
+		if err != nil {
+			return err
+		}
+		produced := map[string]bool{}
+		for _, f := range from.Outputs {
+			produced[f.Kind] = true
+		}
+		for _, f := range to.Inputs {
+			if f.Optional {
+				continue
+			}
+			if !produced[f.Kind] {
+				return fmt.Errorf("provenance: %s does not produce kind %q required by %s",
+					from.Component, f.Kind, to.Component)
+			}
+		}
+	}
+	return nil
+}
+
+// EOMLSchemas returns the published contracts of this repository's five
+// workflow components.
+func EOMLSchemas() []Schema {
+	return []Schema{
+		{
+			Component: "download",
+			Inputs:    []Field{{Name: "listing", Kind: "archive-listing"}},
+			Outputs:   []Field{{Name: "granules", Kind: "granule"}},
+		},
+		{
+			Component: "preprocess",
+			Inputs:    []Field{{Name: "granules", Kind: "granule"}},
+			Outputs:   []Field{{Name: "tiles", Kind: "tiles"}},
+		},
+		{
+			Component: "inference",
+			Inputs: []Field{
+				{Name: "tiles", Kind: "tiles"},
+				{Name: "model", Kind: "model", Optional: true},
+			},
+			Outputs: []Field{{Name: "labeled", Kind: "tiles"}},
+		},
+		{
+			Component: "shipment",
+			Inputs:    []Field{{Name: "labeled", Kind: "tiles"}},
+			Outputs:   []Field{{Name: "published", Kind: "tiles"}},
+		},
+	}
+}

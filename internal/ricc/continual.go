@@ -1,0 +1,143 @@
+package ricc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/eoml/eoml/internal/nn"
+	"github.com/eoml/eoml/internal/tensor"
+	"github.com/eoml/eoml/internal/tile"
+)
+
+// Continual learning support — the paper's §V roadmap: "AI applications
+// are continually trained periodically on new data without
+// catastrophically forgetting what had been learned previously". The
+// mechanism here is experience replay: updates interleave new tiles with
+// a reservoir of previously seen tiles, which bounds the drift of the
+// encoder on old data. The continual-learning test demonstrates the
+// catastrophic-forgetting failure mode with an empty replay buffer and
+// its mitigation with a populated one.
+
+// ReplayBuffer is a fixed-capacity reservoir sample of past training
+// tiles.
+type ReplayBuffer struct {
+	capacity int
+	seen     int
+	tiles    []*tile.Tile
+	rng      *rand.Rand
+}
+
+// NewReplayBuffer creates a reservoir of the given capacity.
+func NewReplayBuffer(capacity int, seed int64) (*ReplayBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ricc: replay capacity must be positive")
+	}
+	return &ReplayBuffer{capacity: capacity, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Add offers tiles to the reservoir (Vitter's algorithm R).
+func (b *ReplayBuffer) Add(tiles []*tile.Tile) {
+	for _, t := range tiles {
+		b.seen++
+		if len(b.tiles) < b.capacity {
+			b.tiles = append(b.tiles, t)
+			continue
+		}
+		if j := b.rng.Intn(b.seen); j < b.capacity {
+			b.tiles[j] = t
+		}
+	}
+}
+
+// Len reports the current reservoir size.
+func (b *ReplayBuffer) Len() int { return len(b.tiles) }
+
+// Sample draws up to n tiles uniformly without replacement.
+func (b *ReplayBuffer) Sample(n int) []*tile.Tile {
+	if n >= len(b.tiles) {
+		return append([]*tile.Tile(nil), b.tiles...)
+	}
+	idx := b.rng.Perm(len(b.tiles))[:n]
+	out := make([]*tile.Tile, n)
+	for i, j := range idx {
+		out[i] = b.tiles[j]
+	}
+	return out
+}
+
+// ContinualUpdate fine-tunes a trained model on newTiles for the given
+// number of epochs, mixing in replayed tiles from the buffer (if any) at
+// a 1:1 ratio. The model's normalizer is kept fixed so embeddings remain
+// comparable across updates — retraining it would silently relabel the
+// whole archive. The buffer is updated with the new tiles afterwards.
+func (m *Model) ContinualUpdate(newTiles []*tile.Tile, buffer *ReplayBuffer, epochs int) error {
+	if m.Norm == nil {
+		return fmt.Errorf("ricc: continual update requires a trained model")
+	}
+	if len(newTiles) == 0 {
+		return fmt.Errorf("ricc: no new tiles")
+	}
+	if epochs <= 0 {
+		epochs = 1
+	}
+	mix := append([]*tile.Tile(nil), newTiles...)
+	if buffer != nil && buffer.Len() > 0 {
+		mix = append(mix, buffer.Sample(len(newTiles))...)
+	}
+
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + int64(41*len(mix))))
+	opt := nn.NewAdam(m.Cfg.LR / 2) // conservative fine-tuning rate
+	params := m.Params()
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		perm := rng.Perm(len(mix))
+		for start := 0; start < len(perm); start += m.Cfg.BatchSize {
+			end := start + m.Cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			batch := make([]*tile.Tile, 0, end-start)
+			for _, idx := range perm[start:end] {
+				batch = append(batch, mix[idx])
+			}
+			x, err := TilesToTensor(batch, m.Norm)
+			if err != nil {
+				return err
+			}
+			nn.ZeroGrad(params)
+			z := m.encoder.Forward(x)
+			y := m.decoder.Forward(z)
+			_, grad := nn.MSELoss(y, x)
+			gz := m.decoder.Backward(grad)
+			m.encoder.Backward(gz)
+			if m.Cfg.Beta > 0 {
+				zRef := z.Clone()
+				for r := 1; r <= m.Cfg.Rotations; r++ {
+					zr := m.encoder.Forward(tensor.Rot90(x, r))
+					_, gzr := nn.EmbeddingMatchLoss(zr, zRef, m.Cfg.Beta)
+					m.encoder.Backward(gzr)
+				}
+			}
+			opt.Step(params)
+		}
+	}
+	if buffer != nil {
+		buffer.Add(newTiles)
+	}
+	return nil
+}
+
+// ReconstructionError returns the mean squared reconstruction error of
+// the model on tiles — the forgetting metric of the continual tests.
+func (m *Model) ReconstructionError(tiles []*tile.Tile) (float64, error) {
+	if m.Norm == nil {
+		return 0, fmt.Errorf("ricc: model has no normalizer")
+	}
+	x, err := TilesToTensor(tiles, m.Norm)
+	if err != nil {
+		return 0, err
+	}
+	y := m.decoder.Forward(m.encoder.Forward(x))
+	loss, _ := nn.MSELoss(y, x)
+	return loss, nil
+}

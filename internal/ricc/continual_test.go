@@ -1,0 +1,205 @@
+package ricc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/eoml/eoml/internal/tile"
+)
+
+// populationTiles fabricates tiles from a distinct visual population:
+// population 0 is compact bright blobs, population 1 is diagonal wave
+// patterns — different enough that a small autoencoder trained on one
+// reconstructs the other poorly.
+func populationTiles(pop, n int, seed int64) []*tile.Tile {
+	r := rand.New(rand.NewSource(seed))
+	const ts, nb = 8, 3
+	bands := []int{0, 1, 2}
+	tiles := make([]*tile.Tile, n)
+	for i := range tiles {
+		data := make([]float32, nb*ts*ts)
+		cx, cy := 2+r.Float64()*4, 2+r.Float64()*4
+		phase := r.Float64() * 6
+		for b := 0; b < nb; b++ {
+			for y := 0; y < ts; y++ {
+				for x := 0; x < ts; x++ {
+					var v float64
+					if pop == 0 {
+						dx, dy := float64(x)-cx, float64(y)-cy
+						v = 1.2 * math.Exp(-(dx*dx+dy*dy)/4)
+					} else {
+						v = 0.5 + 0.5*math.Sin(float64(x+y)/2+phase)
+					}
+					data[b*ts*ts+y*ts+x] = float32(v + 0.01*r.NormFloat64())
+				}
+			}
+		}
+		tiles[i] = &tile.Tile{Data: data, Bands: bands, TileSize: ts, Label: -1}
+	}
+	return tiles
+}
+
+func continualConfig() Config {
+	return Config{
+		TileSize:  8,
+		Channels:  3,
+		LatentDim: 6,
+		Beta:      0,
+		LR:        3e-3,
+		Epochs:    8,
+		BatchSize: 16,
+		Rotations: 0,
+		Seed:      21,
+	}
+}
+
+func TestReplayBufferReservoir(t *testing.T) {
+	b, err := NewReplayBuffer(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := populationTiles(0, 100, 2)
+	b.Add(all[:5])
+	if b.Len() != 5 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	b.Add(all[5:])
+	if b.Len() != 10 {
+		t.Fatalf("len after overflow = %d", b.Len())
+	}
+	s := b.Sample(4)
+	if len(s) != 4 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	if got := b.Sample(100); len(got) != 10 {
+		t.Fatalf("oversample = %d", len(got))
+	}
+	if _, err := NewReplayBuffer(0, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestContinualUpdateValidation(t *testing.T) {
+	m, err := NewModel(continualConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ContinualUpdate(populationTiles(0, 4, 3), nil, 1); err == nil {
+		t.Fatal("untrained model accepted")
+	}
+	if _, err := m.ReconstructionError(nil); err == nil {
+		t.Fatal("untrained reconstruction accepted")
+	}
+	if _, err := m.Train(populationTiles(0, 32, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ContinualUpdate(nil, nil, 1); err == nil {
+		t.Fatal("empty update accepted")
+	}
+}
+
+func TestReplayMitigatesCatastrophicForgetting(t *testing.T) {
+	popA := populationTiles(0, 64, 5)
+	popB := populationTiles(1, 64, 6)
+	holdoutA := populationTiles(0, 24, 7)
+
+	train := func(withReplay bool) (before, after float64) {
+		m, err := NewModel(continualConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Train(popA); err != nil {
+			t.Fatal(err)
+		}
+		before, err = m.ReconstructionError(holdoutA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf *ReplayBuffer
+		if withReplay {
+			buf, err = NewReplayBuffer(64, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Add(popA)
+		}
+		if err := m.ContinualUpdate(popB, buf, 8); err != nil {
+			t.Fatal(err)
+		}
+		after, err = m.ReconstructionError(holdoutA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return before, after
+	}
+
+	_, afterNoReplay := train(false)
+	beforeReplay, afterReplay := train(true)
+
+	// Replay must retain old-population skill much better than no replay.
+	if !(afterReplay < afterNoReplay*0.7) {
+		t.Fatalf("replay did not mitigate forgetting: with=%.5f without=%.5f", afterReplay, afterNoReplay)
+	}
+	// And stay within a sane multiple of the pre-update error.
+	if afterReplay > beforeReplay*3 {
+		t.Fatalf("replay model still degraded badly: %.5f -> %.5f", beforeReplay, afterReplay)
+	}
+}
+
+func TestContinualUpdateLearnsNewPopulation(t *testing.T) {
+	popA := populationTiles(0, 64, 9)
+	popB := populationTiles(1, 64, 10)
+	holdoutB := populationTiles(1, 24, 11)
+
+	m, err := NewModel(continualConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(popA); err != nil {
+		t.Fatal(err)
+	}
+	beforeB, err := m.ReconstructionError(holdoutB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewReplayBuffer(64, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Add(popA)
+	if err := m.ContinualUpdate(popB, buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	afterB, err := m.ReconstructionError(holdoutB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(afterB < beforeB*0.8) {
+		t.Fatalf("update did not learn the new population: %.5f -> %.5f", beforeB, afterB)
+	}
+	// Buffer absorbed the new tiles.
+	if buf.Len() != 64 {
+		t.Fatalf("buffer len = %d", buf.Len())
+	}
+}
+
+func TestContinualUpdatePreservesNormalizer(t *testing.T) {
+	popA := populationTiles(0, 32, 13)
+	m, err := NewModel(continualConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(popA); err != nil {
+		t.Fatal(err)
+	}
+	minBefore := append([]float32(nil), m.Norm.Min...)
+	if err := m.ContinualUpdate(populationTiles(1, 16, 14), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range minBefore {
+		if m.Norm.Min[i] != minBefore[i] {
+			t.Fatal("continual update changed the normalizer; archive labels would drift")
+		}
+	}
+}

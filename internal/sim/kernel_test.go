@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdersEventsByTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(3, func() { order = append(order, 3) })
+	k.At(1, func() { order = append(order, 1) })
+	k.At(2, func() { order = append(order, 2) })
+	end := k.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestKernelTiesFireInScheduleOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestKernelAfterIsRelative(t *testing.T) {
+	k := NewKernel()
+	var seen []Time
+	k.At(10, func() {
+		k.After(5, func() { seen = append(seen, k.Now()) })
+	})
+	k.Run()
+	if len(seen) != 1 || seen[0] != 15 {
+		t.Fatalf("After fired at %v, want [15]", seen)
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelCancelPreventsFiring(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(1, func() { fired = true })
+	k.Cancel(e)
+	k.Cancel(e) // second cancel is a no-op
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestKernelCancelFromAnotherEvent(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	victim := k.At(2, func() { fired = true })
+	k.At(1, func() { k.Cancel(victim) })
+	k.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestKernelRunUntilStopsAtDeadline(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	now := k.RunUntil(3)
+	if now != 3 {
+		t.Fatalf("RunUntil returned %v, want 3", now)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v events, want 3", len(fired))
+	}
+	k.Run()
+	if len(fired) != 5 {
+		t.Fatalf("after full run fired %v, want 5", len(fired))
+	}
+}
+
+func TestKernelRunUntilAdvancesClockToDeadline(t *testing.T) {
+	k := NewKernel()
+	k.RunUntil(42)
+	if k.Now() != 42 {
+		t.Fatalf("clock = %v, want 42", k.Now())
+	}
+}
+
+func TestKernelStep(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.At(1, func() { n++ })
+	k.At(2, func() { n++ })
+	if !k.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !k.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if k.Step() {
+		t.Fatal("step on empty queue returned true")
+	}
+}
+
+func TestKernelEventsScheduledDuringRun(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			k.After(1, tick)
+		}
+	}
+	k.At(0, tick)
+	end := k.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if end != 99 {
+		t.Fatalf("end = %v, want 99", end)
+	}
+}
+
+// Property: for any batch of events with arbitrary non-negative times, the
+// kernel fires them in non-decreasing time order and the clock never runs
+// backwards.
+func TestKernelMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving schedules and cancels still fires exactly the
+// non-cancelled events.
+func TestKernelCancelProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		total := int(n%64) + 1
+		firedCount := 0
+		cancelled := 0
+		events := make([]*Event, 0, total)
+		for i := 0; i < total; i++ {
+			e := k.At(Time(r.Intn(50)), func() { firedCount++ })
+			events = append(events, e)
+		}
+		for _, e := range events {
+			if r.Float64() < 0.3 {
+				k.Cancel(e)
+				cancelled++
+			}
+		}
+		k.Run()
+		return firedCount == total-cancelled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+)
+
+// Server is a counting resource with FCFS admission: at most Capacity units
+// are held at any instant, and waiters are granted strictly in arrival
+// order. It models exclusive resources such as CPU cores on a node or
+// download worker slots.
+type Server struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  *list.List // of *acquireReq
+}
+
+type acquireReq struct {
+	n       int
+	granted func()
+}
+
+// NewServer returns a Server bound to kernel k with the given capacity.
+func NewServer(k *Kernel, capacity int) *Server {
+	if capacity <= 0 {
+		panic("sim: server capacity must be positive")
+	}
+	return &Server{k: k, capacity: capacity, waiters: list.New()}
+}
+
+// Capacity returns the total number of units.
+func (s *Server) Capacity() int { return s.capacity }
+
+// InUse returns the number of units currently held.
+func (s *Server) InUse() int { return s.inUse }
+
+// Queued returns the number of pending acquire requests.
+func (s *Server) Queued() int { return s.waiters.Len() }
+
+// Acquire requests n units and invokes granted (via the event queue, at the
+// current virtual instant or later) once they are available. Requests are
+// served strictly in FCFS order; a large request at the head blocks smaller
+// ones behind it, matching how a Slurm allocation holds the queue.
+func (s *Server) Acquire(n int, granted func()) {
+	if n <= 0 || n > s.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of capacity %d", n, s.capacity))
+	}
+	s.waiters.PushBack(&acquireReq{n: n, granted: granted})
+	s.dispatch()
+}
+
+// Release returns n units to the server and admits any waiters that now fit.
+func (s *Server) Release(n int) {
+	if n <= 0 || n > s.inUse {
+		panic(fmt.Sprintf("sim: release %d with %d in use", n, s.inUse))
+	}
+	s.inUse -= n
+	s.dispatch()
+}
+
+func (s *Server) dispatch() {
+	for s.waiters.Len() > 0 {
+		front := s.waiters.Front()
+		req := front.Value.(*acquireReq)
+		if s.inUse+req.n > s.capacity {
+			return
+		}
+		s.waiters.Remove(front)
+		s.inUse += req.n
+		// Deliver through the event queue so the grant callback never runs
+		// inside the caller's stack frame; this keeps resource state
+		// transitions atomic with respect to model code.
+		s.k.At(s.k.Now(), req.granted)
+	}
+}
+
+// FairShare is a processor-sharing resource: a fixed total capacity (units
+// of work per virtual second) divided equally among all active jobs. It
+// models bandwidth-like resources — node memory/IO bandwidth, a Lustre OST
+// group, or a WAN link — whose per-client throughput degrades as clients
+// are added. This contention model is what produces the sub-linear on-node
+// worker scaling of Fig. 4a/5a in the paper.
+type FairShare struct {
+	k          *Kernel
+	capacity   float64
+	jobs       map[*ShareJob]struct{}
+	lastSettle Time
+	timer      *Event
+	completed  uint64
+	nextSeq    uint64
+}
+
+// ShareJob is one unit of in-progress work on a FairShare resource.
+type ShareJob struct {
+	remaining float64
+	done      func()
+	owner     *FairShare
+	seq       uint64
+}
+
+// NewFairShare returns a FairShare resource with the given total capacity
+// in work units per second.
+func NewFairShare(k *Kernel, capacity float64) *FairShare {
+	if capacity <= 0 {
+		panic("sim: fair-share capacity must be positive")
+	}
+	return &FairShare{k: k, capacity: capacity, jobs: make(map[*ShareJob]struct{}), lastSettle: k.Now()}
+}
+
+// Capacity returns the total capacity in units per second.
+func (f *FairShare) Capacity() float64 { return f.capacity }
+
+// Active returns the number of jobs currently sharing the resource.
+func (f *FairShare) Active() int { return len(f.jobs) }
+
+// Completed returns the number of jobs that have finished.
+func (f *FairShare) Completed() uint64 { return f.completed }
+
+// Submit enqueues work units of demand and calls done when they have been
+// served. Zero-demand jobs complete at the current instant (via the event
+// queue).
+func (f *FairShare) Submit(work float64, done func()) *ShareJob {
+	if work < 0 {
+		panic("sim: negative fair-share work")
+	}
+	j := &ShareJob{remaining: work, done: done, owner: f, seq: f.nextSeq}
+	f.nextSeq++
+	if work == 0 {
+		f.k.At(f.k.Now(), func() {
+			f.completed++
+			if done != nil {
+				done()
+			}
+		})
+		return j
+	}
+	f.settle()
+	f.jobs[j] = struct{}{}
+	f.reschedule()
+	return j
+}
+
+// Cancel abandons a job before completion; its done callback never runs.
+// Cancelling a finished or already-cancelled job is a no-op.
+func (f *FairShare) Cancel(j *ShareJob) {
+	if _, ok := f.jobs[j]; !ok {
+		return
+	}
+	f.settle()
+	delete(f.jobs, j)
+	f.reschedule()
+}
+
+// settle charges the elapsed interval since the last settle against every
+// active job at the equal-share rate.
+func (f *FairShare) settle() {
+	now := f.k.Now()
+	elapsed := float64(now - f.lastSettle)
+	f.lastSettle = now
+	if elapsed <= 0 || len(f.jobs) == 0 {
+		return
+	}
+	rate := f.capacity / float64(len(f.jobs))
+	for j := range f.jobs {
+		j.remaining -= rate * elapsed
+	}
+}
+
+// reschedule arms the completion timer for the job that will finish first
+// under the current share.
+func (f *FairShare) reschedule() {
+	if f.timer != nil {
+		f.k.Cancel(f.timer)
+		f.timer = nil
+	}
+	if len(f.jobs) == 0 {
+		return
+	}
+	minRemaining := Infinity
+	for j := range f.jobs {
+		if Time(j.remaining) < minRemaining {
+			minRemaining = Time(j.remaining)
+		}
+	}
+	share := f.capacity / float64(len(f.jobs))
+	dt := Duration(float64(minRemaining) / share)
+	if dt < 0 {
+		dt = 0
+	}
+	f.timer = f.k.After(dt, f.complete)
+}
+
+// complete retires every job whose remaining work has reached zero.
+func (f *FairShare) complete() {
+	f.timer = nil
+	f.settle()
+	const eps = 1e-9
+	var finished []*ShareJob
+	for j := range f.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+		}
+	}
+	// Retire in submission order so callback ordering does not depend on
+	// map iteration, keeping simulations bit-for-bit reproducible.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, j := range finished {
+		delete(f.jobs, j)
+	}
+	f.reschedule()
+	for _, j := range finished {
+		f.completed++
+		if j.done != nil {
+			j.done()
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerGrantsUpToCapacity(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, 2)
+	granted := 0
+	for i := 0; i < 3; i++ {
+		s.Acquire(1, func() { granted++ })
+	}
+	k.Run()
+	if granted != 2 {
+		t.Fatalf("granted = %d, want 2 (capacity)", granted)
+	}
+	if s.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", s.Queued())
+	}
+}
+
+func TestServerReleaseAdmitsWaiter(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, 1)
+	var order []string
+	s.Acquire(1, func() {
+		order = append(order, "first")
+		k.After(5, func() { s.Release(1) })
+	})
+	s.Acquire(1, func() { order = append(order, "second:"+formatTime(k.Now())) })
+	k.Run()
+	if len(order) != 2 || order[1] != "second:5" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestServerFCFSHeadOfLineBlocking(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, 4)
+	var order []int
+	s.Acquire(3, func() { order = append(order, 3) }) // fits
+	s.Acquire(4, func() { order = append(order, 4) }) // blocks (needs all 4)
+	s.Acquire(1, func() { order = append(order, 1) }) // fits but must wait behind
+	k.Run()
+	if len(order) != 1 || order[0] != 3 {
+		t.Fatalf("order = %v, want just [3]: FCFS must not let the 1-unit request jump the queue", order)
+	}
+}
+
+func TestServerAcquireValidation(t *testing.T) {
+	k := NewKernel()
+	s := NewServer(k, 2)
+	for _, n := range []int{0, -1, 3} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Acquire(%d) did not panic", n)
+				}
+			}()
+			s.Acquire(n, func() {})
+		}()
+	}
+}
+
+func TestFairShareSingleJobRunsAtFullRate(t *testing.T) {
+	k := NewKernel()
+	f := NewFairShare(k, 10) // 10 units/sec
+	var doneAt Time
+	f.Submit(50, func() { doneAt = k.Now() })
+	k.Run()
+	if doneAt != 5 {
+		t.Fatalf("done at %v, want 5", doneAt)
+	}
+}
+
+func TestFairShareTwoEqualJobsHalveRate(t *testing.T) {
+	k := NewKernel()
+	f := NewFairShare(k, 10)
+	var times []Time
+	f.Submit(50, func() { times = append(times, k.Now()) })
+	f.Submit(50, func() { times = append(times, k.Now()) })
+	k.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 10 {
+		t.Fatalf("completion times = %v, want [10 10]", times)
+	}
+}
+
+func TestFairShareLateArrivalSlowsInProgressJob(t *testing.T) {
+	k := NewKernel()
+	f := NewFairShare(k, 10)
+	var bigDone, smallDone Time
+	f.Submit(100, func() { bigDone = k.Now() })
+	k.At(5, func() {
+		// Big job has done 50 units at full rate. The small job now takes
+		// half the capacity.
+		f.Submit(25, func() { smallDone = k.Now() })
+	})
+	k.Run()
+	// Small: 25 units at 5/sec = 5s -> done at t=10.
+	// Big: 50 remaining; shares until t=10 (25 served), then full rate for
+	// the last 25 -> done at t=12.5.
+	if math.Abs(float64(smallDone-10)) > 1e-6 {
+		t.Fatalf("small done at %v, want 10", smallDone)
+	}
+	if math.Abs(float64(bigDone-12.5)) > 1e-6 {
+		t.Fatalf("big done at %v, want 12.5", bigDone)
+	}
+}
+
+func TestFairShareZeroWorkCompletesImmediately(t *testing.T) {
+	k := NewKernel()
+	f := NewFairShare(k, 1)
+	done := false
+	f.Submit(0, func() { done = true })
+	k.Run()
+	if !done {
+		t.Fatal("zero-work job never completed")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock advanced to %v for zero-work job", k.Now())
+	}
+}
+
+func TestFairShareCancel(t *testing.T) {
+	k := NewKernel()
+	f := NewFairShare(k, 10)
+	var cancelledDone, survivorDone Time
+	j := f.Submit(100, func() { cancelledDone = k.Now() })
+	f.Submit(50, func() { survivorDone = k.Now() })
+	k.At(2, func() { f.Cancel(j) })
+	k.Run()
+	if cancelledDone != 0 {
+		t.Fatalf("cancelled job completed at %v", cancelledDone)
+	}
+	// Survivor: 2s at rate 5 (10 units), then full rate 10 for remaining 40
+	// units (4s) -> done at 6.
+	if math.Abs(float64(survivorDone-6)) > 1e-6 {
+		t.Fatalf("survivor done at %v, want 6", survivorDone)
+	}
+}
+
+func TestFairShareConservesWork(t *testing.T) {
+	// Property: total service time for a batch of jobs equals total work /
+	// capacity (the resource is work-conserving), and completions are
+	// ordered by remaining work.
+	prop := func(seed int64, sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		k := NewKernel()
+		f := NewFairShare(k, 7)
+		total := 0.0
+		count := 0
+		for _, s := range sizes {
+			w := float64(s) + 1
+			total += w
+			f.Submit(w, func() { count++ })
+		}
+		end := k.Run()
+		if count != len(sizes) {
+			return false
+		}
+		return math.Abs(float64(end)-total/7) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFairShareSteadyStateThroughputSaturates(t *testing.T) {
+	// The contention model behind Fig. 4a: workers cycling through a CPU
+	// phase then a shared-IO phase have throughput that saturates at
+	// capacity/ioWork as workers grow.
+	throughput := func(workers int) float64 {
+		k := NewKernel()
+		io := NewFairShare(k, 38.5) // tile-units per second
+		const cpu = 0.069           // seconds per tile
+		const ioWork = 1.0          // units per tile
+		completed := 0
+		deadline := Time(200)
+		var runWorker func()
+		runWorker = func() {
+			k.After(cpu, func() {
+				io.Submit(ioWork, func() {
+					completed++
+					if k.Now() < deadline {
+						runWorker()
+					}
+				})
+			})
+		}
+		for i := 0; i < workers; i++ {
+			runWorker()
+		}
+		k.RunUntil(deadline)
+		return float64(completed) / float64(deadline)
+	}
+
+	r1 := throughput(1)
+	r8 := throughput(8)
+	r64 := throughput(64)
+	if !(r8 > 2.2*r1) {
+		t.Errorf("8 workers did not scale: r1=%.2f r8=%.2f", r1, r8)
+	}
+	if r64 > 39.0 {
+		t.Errorf("64 workers exceeded the shared-resource ceiling: %.2f", r64)
+	}
+	if r64 < 0.9*r8 {
+		t.Errorf("saturated throughput collapsed: r8=%.2f r64=%.2f", r8, r64)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	fa, fb := NewRNG(7).Fork(), NewRNG(7).Fork()
+	for i := 0; i < 100; i++ {
+		if fa.Float64() != fb.Float64() {
+			t.Fatal("forked streams with same lineage diverged")
+		}
+	}
+}
+
+func TestRNGLogNormalFactorPositive(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if f := g.LogNormalFactor(0.5); f <= 0 {
+			t.Fatalf("non-positive jitter factor %v", f)
+		}
+	}
+	if g.LogNormalFactor(0) != 1 {
+		t.Fatal("zero sigma should be an exact 1.0 factor")
+	}
+}
+
+func formatTime(t Time) string {
+	switch t {
+	case 5:
+		return "5"
+	default:
+		return "?"
+	}
+}

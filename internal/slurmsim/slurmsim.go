@@ -1,0 +1,146 @@
+// Package slurmsim is a discrete-event Slurm-like scheduler over the
+// simulated cluster: jobs request whole nodes, wait FCFS in a queue, and
+// receive an allocation with a configurable scheduler latency — the
+// "Slurm scheduler allocating nodes" component of the preprocessing
+// launch latency in Fig. 7. Parsl's block requests map one-to-one onto
+// these jobs.
+package slurmsim
+
+import (
+	"fmt"
+
+	"github.com/eoml/eoml/internal/cluster"
+	"github.com/eoml/eoml/internal/sim"
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// SchedLatency is the virtual delay between a job reaching the head
+	// of the queue with free nodes and its allocation starting.
+	SchedLatency sim.Duration
+}
+
+// JobState tracks a job through the queue.
+type JobState string
+
+// Job states, named as in squeue.
+const (
+	StatePending   JobState = "PENDING"
+	StateRunning   JobState = "RUNNING"
+	StateCompleted JobState = "COMPLETED"
+)
+
+// Allocation is a granted set of nodes. Call Release when the job ends.
+type Allocation struct {
+	JobID int
+	Nodes []*cluster.Node
+
+	s        *Scheduler
+	released bool
+}
+
+// Release returns the nodes to the scheduler.
+func (a *Allocation) Release() {
+	if a.released {
+		return
+	}
+	a.released = true
+	a.s.release(a)
+}
+
+// Scheduler allocates whole nodes FCFS.
+type Scheduler struct {
+	cfg     Config
+	k       *sim.Kernel
+	machine *cluster.Machine
+
+	free    []int // free node IDs, ascending
+	queue   []*job
+	states  map[int]JobState
+	nextJob int
+}
+
+type job struct {
+	id    int
+	nodes int
+	run   func(*Allocation)
+}
+
+// New builds a scheduler over a machine.
+func New(k *sim.Kernel, m *cluster.Machine, cfg Config) *Scheduler {
+	s := &Scheduler{cfg: cfg, k: k, machine: m, states: map[int]JobState{}}
+	for i := 0; i < m.NumNodes(); i++ {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// FreeNodes reports currently unallocated nodes.
+func (s *Scheduler) FreeNodes() int { return len(s.free) }
+
+// QueueLength reports pending jobs.
+func (s *Scheduler) QueueLength() int { return len(s.queue) }
+
+// JobState reports a job's state.
+func (s *Scheduler) JobState(id int) (JobState, error) {
+	st, ok := s.states[id]
+	if !ok {
+		return "", fmt.Errorf("slurmsim: no job %d", id)
+	}
+	return st, nil
+}
+
+// Submit enqueues a whole-node job; run is invoked (in virtual time) when
+// the allocation is granted. Returns the job ID.
+func (s *Scheduler) Submit(nodes int, run func(*Allocation)) (int, error) {
+	if nodes <= 0 || nodes > s.machine.NumNodes() {
+		return 0, fmt.Errorf("slurmsim: job wants %d of %d nodes", nodes, s.machine.NumNodes())
+	}
+	s.nextJob++
+	id := s.nextJob
+	s.states[id] = StatePending
+	s.queue = append(s.queue, &job{id: id, nodes: nodes, run: run})
+	s.dispatch()
+	return id, nil
+}
+
+// dispatch grants the head of the queue while nodes are available. Strict
+// FCFS: a large job at the head blocks smaller jobs behind it, as a
+// no-backfill Slurm partition would.
+func (s *Scheduler) dispatch() {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if head.nodes > len(s.free) {
+			return
+		}
+		s.queue = s.queue[1:]
+		granted := s.free[:head.nodes]
+		s.free = append([]int(nil), s.free[head.nodes:]...)
+
+		alloc := &Allocation{JobID: head.id, s: s}
+		for _, nid := range granted {
+			n, err := s.machine.Node(nid)
+			if err != nil {
+				panic(err) // free list corrupt: programming error
+			}
+			alloc.Nodes = append(alloc.Nodes, n)
+		}
+		s.states[head.id] = StateRunning
+		run := head.run
+		s.k.After(s.cfg.SchedLatency, func() { run(alloc) })
+	}
+}
+
+func (s *Scheduler) release(a *Allocation) {
+	for _, n := range a.Nodes {
+		s.free = append(s.free, n.ID)
+	}
+	// Keep the free list ordered for determinism.
+	for i := 1; i < len(s.free); i++ {
+		for j := i; j > 0 && s.free[j] < s.free[j-1]; j-- {
+			s.free[j], s.free[j-1] = s.free[j-1], s.free[j]
+		}
+	}
+	s.states[a.JobID] = StateCompleted
+	s.dispatch()
+}

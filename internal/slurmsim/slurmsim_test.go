@@ -1,0 +1,197 @@
+package slurmsim
+
+import (
+	"testing"
+
+	"github.com/eoml/eoml/internal/cluster"
+	"github.com/eoml/eoml/internal/sim"
+)
+
+func newSched(t *testing.T, nodes int, latency sim.Duration) (*sim.Kernel, *Scheduler) {
+	t.Helper()
+	k := sim.NewKernel()
+	spec := cluster.Defiant()
+	spec.Nodes = nodes
+	m, err := cluster.New(k, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, New(k, m, Config{SchedLatency: latency})
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	k, s := newSched(t, 4, 0)
+	var got *Allocation
+	id, err := s.Submit(2, func(a *Allocation) { got = a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if got == nil || len(got.Nodes) != 2 {
+		t.Fatalf("allocation %v", got)
+	}
+	if st, _ := s.JobState(id); st != StateRunning {
+		t.Fatalf("state %v", st)
+	}
+	if s.FreeNodes() != 2 {
+		t.Fatalf("free = %d", s.FreeNodes())
+	}
+	got.Release()
+	got.Release() // idempotent
+	if s.FreeNodes() != 4 {
+		t.Fatalf("free after release = %d", s.FreeNodes())
+	}
+	if st, _ := s.JobState(id); st != StateCompleted {
+		t.Fatalf("state %v", st)
+	}
+}
+
+func TestQueueingFCFS(t *testing.T) {
+	k, s := newSched(t, 4, 0)
+	var order []int
+	var alloc1 *Allocation
+	s.Submit(3, func(a *Allocation) {
+		order = append(order, 1)
+		alloc1 = a
+	})
+	// Job 2 wants 3 nodes: must wait even though 1 node is free.
+	s.Submit(3, func(a *Allocation) {
+		order = append(order, 2)
+		a.Release()
+	})
+	// Job 3 wants 1 node: behind job 2 in FCFS order.
+	s.Submit(1, func(a *Allocation) {
+		order = append(order, 3)
+		a.Release()
+	})
+	k.Run()
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order before release: %v (small job must not jump the queue)", order)
+	}
+	if s.QueueLength() != 2 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+	alloc1.Release()
+	k.Run()
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("final order: %v", order)
+	}
+}
+
+func TestSchedulerLatency(t *testing.T) {
+	k, s := newSched(t, 2, 1.5)
+	var grantedAt sim.Time
+	s.Submit(1, func(a *Allocation) {
+		grantedAt = k.Now()
+		a.Release()
+	})
+	k.Run()
+	if grantedAt != 1.5 {
+		t.Fatalf("granted at %v, want 1.5", grantedAt)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, s := newSched(t, 2, 0)
+	if _, err := s.Submit(0, nil); err == nil {
+		t.Error("0-node job accepted")
+	}
+	if _, err := s.Submit(3, nil); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if _, err := s.JobState(99); err == nil {
+		t.Error("unknown job state returned")
+	}
+}
+
+func TestAllocationsAreDisjoint(t *testing.T) {
+	k, s := newSched(t, 6, 0)
+	seen := map[int]bool{}
+	dup := false
+	for i := 0; i < 3; i++ {
+		s.Submit(2, func(a *Allocation) {
+			for _, n := range a.Nodes {
+				if seen[n.ID] {
+					dup = true
+				}
+				seen[n.ID] = true
+			}
+		})
+	}
+	k.Run()
+	if dup {
+		t.Fatal("overlapping allocations")
+	}
+	if len(seen) != 6 {
+		t.Fatalf("allocated %d distinct nodes", len(seen))
+	}
+}
+
+func TestReleaseReusesNodesDeterministically(t *testing.T) {
+	k, s := newSched(t, 2, 0)
+	var first, second []int
+	s.Submit(2, func(a *Allocation) {
+		for _, n := range a.Nodes {
+			first = append(first, n.ID)
+		}
+		a.Release()
+	})
+	k.Run()
+	s.Submit(2, func(a *Allocation) {
+		for _, n := range a.Nodes {
+			second = append(second, n.ID)
+		}
+		a.Release()
+	})
+	k.Run()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("allocations %v %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("node order changed across identical runs: %v vs %v", first, second)
+		}
+	}
+}
+
+// End-to-end DES check: a Parsl-like block running tile workers through a
+// Slurm allocation completes a fixed workload in sensible virtual time.
+func TestBlockOfWorkersProcessesFiles(t *testing.T) {
+	k, s := newSched(t, 2, 2.0)
+	const files = 16
+	const tilesPerFile = 40
+	remaining := files
+	filesDone := 0
+	var finished sim.Time
+	s.Submit(2, func(a *Allocation) {
+		for _, node := range a.Nodes {
+			for w := 0; w < 8; w++ {
+				worker := &cluster.Worker{Node: node, Cost: cluster.DefaultTileCost()}
+				worker.RunQueue(func() (int, bool) {
+					if remaining == 0 {
+						return 0, false
+					}
+					remaining--
+					return tilesPerFile, true
+				}, func(int) {
+					filesDone++
+					if filesDone == files {
+						finished = k.Now()
+						a.Release()
+					}
+				}, nil)
+			}
+		}
+	})
+	k.Run()
+	if filesDone != files {
+		t.Fatalf("files done = %d", filesDone)
+	}
+	// 640 tiles at ≈2 nodes × ≈29 tiles/s plus 2s scheduling ≈ 13s.
+	if finished < 5 || finished > 30 {
+		t.Fatalf("finished at %.1f virtual seconds", float64(finished))
+	}
+	if s.FreeNodes() != 2 {
+		t.Fatalf("nodes not returned: %d", s.FreeNodes())
+	}
+}

@@ -1,0 +1,235 @@
+// Package tensor provides the float32 tensor arithmetic used by the RICC
+// autoencoder: dense matrix multiplication, im2col-based 2-D convolution
+// helpers, and elementwise kernels, with goroutine parallelism on the
+// heavy loops.
+//
+// The representation is a flat float32 slice plus a shape; layouts follow
+// the NCHW convention used throughout the nn package.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// T is a dense n-dimensional float32 tensor.
+type T struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *T {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim in shape %v", shape))
+		}
+		n *= s
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape; len(data) must
+// match the shape volume. The slice is used directly, not copied.
+func FromSlice(data []float32, shape ...int) *T {
+	t := &T{Shape: append([]int(nil), shape...), Data: data}
+	if t.Len() != len(data) {
+		panic(fmt.Sprintf("tensor: %d values for shape %v", len(data), shape))
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *T) Len() int {
+	n := 1
+	for _, s := range t.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Clone deep-copies the tensor.
+func (t *T) Clone() *T {
+	return &T{Shape: append([]int(nil), t.Shape...), Data: append([]float32(nil), t.Data...)}
+}
+
+// Reshape returns a view with a new shape of equal volume.
+func (t *T) Reshape(shape ...int) *T {
+	v := &T{Shape: append([]int(nil), shape...), Data: t.Data}
+	if v.Len() != t.Len() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes volume", t.Shape, shape))
+	}
+	return v
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *T) SameShape(o *T) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero resets all elements.
+func (t *T) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Randn fills the tensor with Gaussian values of the given standard
+// deviation, using a deterministic source.
+func (t *T) Randn(rng *rand.Rand, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * stddev)
+	}
+}
+
+// AddInPlace accumulates o into t elementwise.
+func (t *T) AddInPlace(o *T) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: add %v + %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies all elements by a.
+func (t *T) ScaleInPlace(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// Dot returns the inner product of two equal-shape tensors.
+func Dot(a, b *T) float64 {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: dot %v · %v", a.Shape, b.Shape))
+	}
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// L2 returns the Euclidean norm of the tensor.
+func (t *T) L2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// parallelRows runs fn over [0, n) split across GOMAXPROCS goroutines.
+// Small n runs inline to avoid goroutine overhead.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n].
+func MatMul(a, b *T) *T {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			cr := c.Data[i*n : (i+1)*n]
+			for p, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Data[p*n : (p+1)*n]
+				for j, bv := range br {
+					cr[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTA computes C = Aᵀ·B for A [k,m] and B [k,n].
+func MatMulTA(a, b *T) *T {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulTA %v × %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	// Accumulate per output row to stay race-free under parallelism.
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cr := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				br := b.Data[p*n : (p+1)*n]
+				for j, bv := range br {
+					cr[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTB computes C = A·Bᵀ for A [m,k] and B [n,k].
+func MatMulTB(a, b *T) *T {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulTB %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Data[i*k : (i+1)*k]
+			cr := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range ar {
+					s += ar[p] * br[p]
+				}
+				cr[j] = s
+			}
+		}
+	})
+	return c
+}

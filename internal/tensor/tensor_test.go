@@ -1,0 +1,252 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndReshape(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || len(x.Data) != 24 {
+		t.Fatalf("len = %d", x.Len())
+	}
+	y := x.Reshape(6, 4)
+	if y.Shape[0] != 6 || y.Shape[1] != 4 {
+		t.Fatalf("reshape = %v", y.Shape)
+	}
+	y.Data[0] = 7
+	if x.Data[0] != 7 {
+		t.Fatal("reshape must share storage")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("volume-changing reshape did not panic")
+			}
+		}()
+		x.Reshape(5, 5)
+	}()
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("C = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulTransposesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := New(5, 7)
+	b := New(7, 4)
+	a.Randn(r, 1)
+	b.Randn(r, 1)
+	c := MatMul(a, b)
+
+	// Aᵀ stored transposed, then MatMulTA must agree.
+	at := New(7, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 7; j++ {
+			at.Data[j*5+i] = a.Data[i*7+j]
+		}
+	}
+	c2 := MatMulTA(at, b)
+	// Bᵀ stored transposed, then MatMulTB must agree.
+	bt := New(4, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 4; j++ {
+			bt.Data[j*7+i] = b.Data[i*4+j]
+		}
+	}
+	c3 := MatMulTB(a, bt)
+	for i := range c.Data {
+		if math.Abs(float64(c.Data[i]-c2.Data[i])) > 1e-4 {
+			t.Fatalf("TA mismatch at %d: %v vs %v", i, c.Data[i], c2.Data[i])
+		}
+		if math.Abs(float64(c.Data[i]-c3.Data[i])) > 1e-4 {
+			t.Fatalf("TB mismatch at %d: %v vs %v", i, c.Data[i], c3.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, cfg := range []struct{ n, inC, outC, k, stride, pad, h, w int }{
+		{2, 3, 4, 3, 1, 1, 8, 8},
+		{1, 6, 8, 3, 2, 1, 16, 16},
+		{3, 2, 2, 5, 2, 2, 9, 11},
+		{1, 1, 1, 1, 1, 0, 4, 4},
+	} {
+		g, err := NewConvGeom(cfg.inC, cfg.outC, cfg.k, cfg.stride, cfg.pad, cfg.h, cfg.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := New(cfg.n, cfg.inC, cfg.h, cfg.w)
+		x.Randn(r, 1)
+		w := New(cfg.outC, cfg.inC, cfg.k, cfg.k)
+		w.Randn(r, 0.5)
+		bias := New(cfg.outC)
+		bias.Randn(r, 0.1)
+
+		direct := ConvDirect(x, w, bias, g)
+
+		cols := Im2Col(x, g)
+		wmat := New(cfg.inC*cfg.k*cfg.k, cfg.outC)
+		for oc := 0; oc < cfg.outC; oc++ {
+			for i := 0; i < cfg.inC*cfg.k*cfg.k; i++ {
+				wmat.Data[i*cfg.outC+oc] = w.Data[oc*cfg.inC*cfg.k*cfg.k+i]
+			}
+		}
+		prod := MatMul(cols, wmat) // [n*oh*ow, outC]
+		// Rearrange to NCHW and add bias.
+		viaCols := New(cfg.n, cfg.outC, g.OutH, g.OutW)
+		for b := 0; b < cfg.n; b++ {
+			for oy := 0; oy < g.OutH; oy++ {
+				for ox := 0; ox < g.OutW; ox++ {
+					row := (b*g.OutH+oy)*g.OutW + ox
+					for oc := 0; oc < cfg.outC; oc++ {
+						viaCols.Data[((b*cfg.outC+oc)*g.OutH+oy)*g.OutW+ox] = prod.Data[row*cfg.outC+oc] + bias.Data[oc]
+					}
+				}
+			}
+		}
+		for i := range direct.Data {
+			if math.Abs(float64(direct.Data[i]-viaCols.Data[i])) > 1e-3 {
+				t.Fatalf("cfg %+v: mismatch at %d: %v vs %v", cfg, i, direct.Data[i], viaCols.Data[i])
+			}
+		}
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for random x, y — the defining
+	// property of an adjoint, which is exactly what backprop requires.
+	r := rand.New(rand.NewSource(3))
+	g, err := NewConvGeom(3, 4, 3, 2, 1, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2
+	x := New(n, g.InC, g.InH, g.InW)
+	x.Randn(r, 1)
+	cols := Im2Col(x, g)
+	y := New(cols.Shape[0], cols.Shape[1])
+	y.Randn(r, 1)
+	lhs := Dot(cols, y)
+	back := Col2Im(y, n, g)
+	rhs := Dot(x, back)
+	if math.Abs(lhs-rhs)/math.Max(1, math.Abs(lhs)) > 1e-4 {
+		t.Fatalf("adjoint identity violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestRot90Composition(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	x := New(2, 3, 6, 6)
+	x.Randn(r, 1)
+	// Four rotations must be the identity.
+	y := Rot90(Rot90(Rot90(Rot90(x, 1), 1), 1), 1)
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatal("rot90^4 != identity")
+		}
+	}
+	// Rot90(x,2) must equal Rot90(Rot90(x,1),1).
+	a := Rot90(x, 2)
+	b := Rot90(Rot90(x, 1), 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("rot90 composition mismatch")
+		}
+	}
+	// Negative times behave modulo 4.
+	c := Rot90(x, -1)
+	d := Rot90(x, 3)
+	for i := range c.Data {
+		if c.Data[i] != d.Data[i] {
+			t.Fatal("negative rotation mismatch")
+		}
+	}
+}
+
+func TestRot90KnownPattern(t *testing.T) {
+	// 2×2 plane: [[1,2],[3,4]] rotated 90° CCW -> [[2,4],[1,3]].
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := Rot90(x, 1)
+	want := []float32{2, 4, 1, 3}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Fatalf("rot90 = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestUpsampleDownsampleAdjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := New(2, 3, 4, 5)
+	x.Randn(r, 1)
+	up := Upsample2x(x)
+	if up.Shape[2] != 8 || up.Shape[3] != 10 {
+		t.Fatalf("upsample shape %v", up.Shape)
+	}
+	y := New(2, 3, 8, 10)
+	y.Randn(r, 1)
+	lhs := Dot(up, y)
+	rhs := Dot(x, Downsample2xSum(y))
+	if math.Abs(lhs-rhs)/math.Max(1, math.Abs(lhs)) > 1e-4 {
+		t.Fatalf("upsample adjoint violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestUpsampleValues(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	up := Upsample2x(x)
+	want := []float32{1, 1, 2, 2, 1, 1, 2, 2, 3, 3, 4, 4, 3, 3, 4, 4}
+	for i := range want {
+		if up.Data[i] != want[i] {
+			t.Fatalf("upsample = %v", up.Data)
+		}
+	}
+}
+
+// Property: matmul distributes over addition: (A+B)·C == A·C + B·C.
+func TestMatMulLinearityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := r.Intn(6)+1, r.Intn(6)+1, r.Intn(6)+1
+		a, b, c := New(m, k), New(m, k), New(k, n)
+		a.Randn(r, 1)
+		b.Randn(r, 1)
+		c.Randn(r, 1)
+		sum := a.Clone()
+		sum.AddInPlace(b)
+		left := MatMul(sum, c)
+		right := MatMul(a, c)
+		right.AddInPlace(MatMul(b, c))
+		for i := range left.Data {
+			if math.Abs(float64(left.Data[i]-right.Data[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

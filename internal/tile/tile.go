@@ -1,0 +1,339 @@
+// Package tile implements the preprocessing stage of the EO-ML workflow:
+// decomposing a MODIS swath into fixed-size multi-channel "tiles" and
+// selecting the ocean-cloud tiles used for RICC inference and AICCA label
+// production.
+//
+// Following the paper (§III.2) and the AICCA tile definition, a swath of
+// 2030×1354 pixels × 36 channels is cut into non-overlapping square tiles
+// of 6 selected channels. A tile is kept only if every pixel is ocean and
+// at least 30% of its pixels are cloudy. Tiles whose selected bands carry
+// the L1B fill value (nighttime granules lack reflective bands) are
+// rejected, which reproduces the day/night processing-time variability the
+// paper notes.
+package tile
+
+import (
+	"fmt"
+
+	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/modis"
+)
+
+// Options configures tile extraction.
+type Options struct {
+	// TileSize is the tile edge length in pixels of the input granule.
+	// At full resolution this is 128; granules generated with ScaleDown s
+	// use 128/s so a tile still covers ~100 km × 100 km.
+	TileSize int
+	// Bands are the EV_1KM_RefSB band indices to extract (default
+	// modis.AICCABands).
+	Bands []int
+	// MinCloudFrac is the minimum cloudy-pixel fraction (default 0.3).
+	MinCloudFrac float64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.TileSize == 0 {
+		o.TileSize = modis.TileSize
+	}
+	if o.Bands == nil {
+		o.Bands = modis.AICCABands
+	}
+	if o.MinCloudFrac == 0 {
+		o.MinCloudFrac = 0.3
+	}
+	return o
+}
+
+// Tile is one ocean-cloud tile with its normalized radiances and the
+// MOD06-derived physical properties AICCA attaches to each record.
+type Tile struct {
+	Granule  string // source granule file name (MOD02)
+	Row, Col int    // tile grid position within the swath
+
+	// Data holds band-major normalized radiances: Bands × TileSize ×
+	// TileSize values in physical units (scale/offset applied).
+	Data     []float32
+	Bands    []int
+	TileSize int
+
+	// Geolocation of the tile center.
+	Lat, Lon float32
+
+	// Cloud statistics from MOD06.
+	CloudFrac    float32 // fraction of cloudy pixels
+	MeanCTP      float32 // mean cloud-top pressure over cloudy pixels, hPa
+	MeanCOT      float32 // mean cloud optical thickness
+	MeanCER      float32 // mean cloud effective radius, micron
+	MeanCWP      float32 // mean cloud water path, g/m^2
+	IcePhaseFrac float32 // fraction of cloudy pixels in ice phase
+
+	// Label is the AICCA class assigned by inference; -1 before inference.
+	Label int16
+}
+
+// Stats summarizes an extraction for monitoring and tests.
+type Stats struct {
+	GridRows, GridCols int
+	Candidates         int // total grid positions
+	RejectedLand       int // tiles containing land or coast pixels
+	RejectedCloud      int // all-ocean tiles under the cloud threshold
+	RejectedFill       int // tiles with fill radiances (nighttime)
+	Kept               int
+}
+
+// Result carries the kept tiles plus extraction statistics.
+type Result struct {
+	Tiles []*Tile
+	Stats Stats
+}
+
+// Extract cuts ocean-cloud tiles from one granule triple. The three files
+// must come from the same granule (matching AcquisitionDate attributes).
+func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if err := sameGranule(mod02, mod03, mod06); err != nil {
+		return nil, err
+	}
+
+	rad, err := mod02.Dataset("EV_1KM_RefSB")
+	if err != nil {
+		return nil, fmt.Errorf("tile: MOD02: %w", err)
+	}
+	if len(rad.Dims) != 3 {
+		return nil, fmt.Errorf("tile: EV_1KM_RefSB rank %d, want 3", len(rad.Dims))
+	}
+	nbands, ny, nx := rad.Dims[0], rad.Dims[1], rad.Dims[2]
+	radVals, err := rad.Uint16s()
+	if err != nil {
+		return nil, err
+	}
+	scale, ok := mod02.AttrFloat("radiance_scale")
+	if !ok {
+		return nil, fmt.Errorf("tile: MOD02 missing radiance_scale attribute")
+	}
+	offset, _ := mod02.AttrFloat("radiance_offset")
+	fillAttr, ok := mod02.AttrInt("_FillValue")
+	if !ok {
+		fillAttr = 65535
+	}
+	fill := uint16(fillAttr)
+
+	for _, b := range o.Bands {
+		if b < 0 || b >= nbands {
+			return nil, fmt.Errorf("tile: band %d out of range [0,%d)", b, nbands)
+		}
+	}
+
+	land, err := maskFrom(mod03, "LandSeaMask", ny, nx)
+	if err != nil {
+		return nil, fmt.Errorf("tile: MOD03: %w", err)
+	}
+	cloud, err := maskFrom(mod06, "Cloud_Mask_1km", ny, nx)
+	if err != nil {
+		return nil, fmt.Errorf("tile: MOD06: %w", err)
+	}
+	latD, err := mod03.Dataset("Latitude")
+	if err != nil {
+		return nil, fmt.Errorf("tile: MOD03: %w", err)
+	}
+	lats, err := latD.Float32s()
+	if err != nil {
+		return nil, err
+	}
+	lonD, err := mod03.Dataset("Longitude")
+	if err != nil {
+		return nil, fmt.Errorf("tile: MOD03: %w", err)
+	}
+	lons, err := lonD.Float32s()
+	if err != nil {
+		return nil, err
+	}
+
+	props, err := cloudProps(mod06, ny, nx)
+	if err != nil {
+		return nil, err
+	}
+
+	ts := o.TileSize
+	if ts <= 0 || ts > ny || ts > nx {
+		return nil, fmt.Errorf("tile: tile size %d incompatible with swath %d×%d", ts, ny, nx)
+	}
+	rows, cols := ny/ts, nx/ts
+	granule, _ := mod02.AttrString("ShortName")
+	acq, _ := mod02.AttrString("AcquisitionDate")
+	granule = granule + "." + acq
+
+	res := &Result{Stats: Stats{GridRows: rows, GridCols: cols, Candidates: rows * cols}}
+	npix := ts * ts
+	minCloudPix := int(o.MinCloudFrac * float64(npix))
+
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			y0, x0 := r*ts, c*ts
+			// Pass 1: masks. All pixels must be ocean; count cloudy ones.
+			allOcean := true
+			cloudy := 0
+			for y := y0; y < y0+ts && allOcean; y++ {
+				base := y * nx
+				for x := x0; x < x0+ts; x++ {
+					if land[base+x] != 0 {
+						allOcean = false
+						break
+					}
+					if cloud[base+x] != 0 {
+						cloudy++
+					}
+				}
+			}
+			if !allOcean {
+				res.Stats.RejectedLand++
+				continue
+			}
+			if cloudy < minCloudPix {
+				res.Stats.RejectedCloud++
+				continue
+			}
+			// Pass 2: radiances; reject on fill (night reflective bands).
+			data := make([]float32, len(o.Bands)*npix)
+			hasFill := false
+			for bi, b := range o.Bands {
+				bandBase := b * ny * nx
+				for y := 0; y < ts && !hasFill; y++ {
+					srcBase := bandBase + (y0+y)*nx + x0
+					dstBase := bi*npix + y*ts
+					for x := 0; x < ts; x++ {
+						v := radVals[srcBase+x]
+						if v == fill {
+							hasFill = true
+							break
+						}
+						data[dstBase+x] = float32(float64(v)*scale + offset)
+					}
+				}
+				if hasFill {
+					break
+				}
+			}
+			if hasFill {
+				res.Stats.RejectedFill++
+				continue
+			}
+			center := (y0+ts/2)*nx + x0 + ts/2
+			t := &Tile{
+				Granule:  granule,
+				Row:      r,
+				Col:      c,
+				Data:     data,
+				Bands:    append([]int(nil), o.Bands...),
+				TileSize: ts,
+				Lat:      lats[center],
+				Lon:      lons[center],
+				Label:    -1,
+			}
+			fillCloudStats(t, props, cloud, y0, x0, ts, nx)
+			res.Tiles = append(res.Tiles, t)
+		}
+	}
+	res.Stats.Kept = len(res.Tiles)
+	return res, nil
+}
+
+// sameGranule verifies the three products describe the same observation.
+func sameGranule(files ...*hdf.File) error {
+	var acq string
+	for i, f := range files {
+		a, ok := f.AttrString("AcquisitionDate")
+		if !ok {
+			return fmt.Errorf("tile: product %d missing AcquisitionDate", i)
+		}
+		if i == 0 {
+			acq = a
+		} else if a != acq {
+			return fmt.Errorf("tile: granule mismatch: %q vs %q", acq, a)
+		}
+	}
+	return nil
+}
+
+func maskFrom(f *hdf.File, name string, ny, nx int) ([]uint8, error) {
+	d, err := f.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Dims) != 2 || d.Dims[0] != ny || d.Dims[1] != nx {
+		return nil, fmt.Errorf("tile: %s dims %v, want [%d %d]", name, d.Dims, ny, nx)
+	}
+	return d.Uint8s()
+}
+
+type physProps struct {
+	ctp, cot, cer, cwp []float32
+	phase              []uint8
+}
+
+func cloudProps(mod06 *hdf.File, ny, nx int) (*physProps, error) {
+	get := func(name string) ([]float32, error) {
+		d, err := mod06.Dataset(name)
+		if err != nil {
+			return nil, fmt.Errorf("tile: MOD06: %w", err)
+		}
+		if len(d.Dims) != 2 || d.Dims[0] != ny || d.Dims[1] != nx {
+			return nil, fmt.Errorf("tile: MOD06 %s dims %v, want [%d %d]", name, d.Dims, ny, nx)
+		}
+		return d.Float32s()
+	}
+	p := &physProps{}
+	var err error
+	if p.ctp, err = get("Cloud_Top_Pressure"); err != nil {
+		return nil, err
+	}
+	if p.cot, err = get("Cloud_Optical_Thickness"); err != nil {
+		return nil, err
+	}
+	if p.cer, err = get("Cloud_Effective_Radius"); err != nil {
+		return nil, err
+	}
+	if p.cwp, err = get("Cloud_Water_Path"); err != nil {
+		return nil, err
+	}
+	phaseD, err := mod06.Dataset("Cloud_Phase_Infrared")
+	if err != nil {
+		return nil, fmt.Errorf("tile: MOD06: %w", err)
+	}
+	if p.phase, err = phaseD.Uint8s(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func fillCloudStats(t *Tile, p *physProps, cloud []uint8, y0, x0, ts, nx int) {
+	var sumCTP, sumCOT, sumCER, sumCWP float64
+	cloudy, ice := 0, 0
+	for y := y0; y < y0+ts; y++ {
+		base := y * nx
+		for x := x0; x < x0+ts; x++ {
+			i := base + x
+			if cloud[i] == 0 {
+				continue
+			}
+			cloudy++
+			sumCTP += float64(p.ctp[i])
+			sumCOT += float64(p.cot[i])
+			sumCER += float64(p.cer[i])
+			sumCWP += float64(p.cwp[i])
+			if p.phase[i] == 2 {
+				ice++
+			}
+		}
+	}
+	t.CloudFrac = float32(cloudy) / float32(ts*ts)
+	if cloudy > 0 {
+		t.MeanCTP = float32(sumCTP / float64(cloudy))
+		t.MeanCOT = float32(sumCOT / float64(cloudy))
+		t.MeanCER = float32(sumCER / float64(cloudy))
+		t.MeanCWP = float32(sumCWP / float64(cloudy))
+		t.IcePhaseFrac = float32(ice) / float32(cloudy)
+	}
+}

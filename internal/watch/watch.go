@@ -1,0 +1,197 @@
+// Package watch implements the filesystem crawler behind the workflow's
+// Monitor & Trigger stage: a poll-based scanner that detects newly
+// created files once they are stable (size unchanged across two scans)
+// and hands them to a trigger callback exactly once.
+//
+// Stability detection matters because the paper notes HDF read errors
+// from partially written files; the crawler never triggers on a file that
+// is still growing, and writers in this repository additionally use
+// temp-file + rename so a scan can't even see partial granules.
+package watch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a crawler.
+type Config struct {
+	// Dir is the directory to scan (recursively).
+	Dir string
+	// Pattern filters file names with filepath.Match; empty matches all.
+	Pattern string
+	// Interval is the poll period.
+	Interval time.Duration
+	// IgnoreSuffixes skips in-flight files (".part", ".tmp", ...).
+	IgnoreSuffixes []string
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Dir == "" {
+		return fmt.Errorf("watch: no directory")
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.IgnoreSuffixes == nil {
+		c.IgnoreSuffixes = []string{".part", ".tmp", ".transferring"}
+	}
+	return nil
+}
+
+// Event reports one newly stable file.
+type Event struct {
+	Path string
+	Size int64
+}
+
+// Crawler scans a directory tree and emits each stable file once.
+type Crawler struct {
+	cfg Config
+
+	mu        sync.Mutex
+	lastSize  map[string]int64
+	triggered map[string]bool
+	scans     int
+}
+
+// NewCrawler builds a crawler.
+func NewCrawler(cfg Config) (*Crawler, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Crawler{
+		cfg:       cfg,
+		lastSize:  map[string]int64{},
+		triggered: map[string]bool{},
+	}, nil
+}
+
+// Scans reports how many scans have run.
+func (c *Crawler) Scans() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scans
+}
+
+// ScanOnce walks the tree and returns files that are new since the
+// previous scan and stable (same size in two consecutive scans). Each
+// file is returned at most once over the crawler's lifetime.
+func (c *Crawler) ScanOnce() ([]Event, error) {
+	type seen struct {
+		path string
+		size int64
+	}
+	var found []seen
+	err := filepath.Walk(c.cfg.Dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			// A file may vanish between readdir and stat; skip it.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		for _, suf := range c.cfg.IgnoreSuffixes {
+			if strings.HasSuffix(name, suf) {
+				return nil
+			}
+		}
+		if c.cfg.Pattern != "" {
+			ok, err := filepath.Match(c.cfg.Pattern, name)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		found = append(found, seen{path: path, size: info.Size()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.scans++
+	var events []Event
+	for _, f := range found {
+		if c.triggered[f.path] {
+			continue
+		}
+		prev, known := c.lastSize[f.path]
+		c.lastSize[f.path] = f.size
+		if known && prev == f.size {
+			c.triggered[f.path] = true
+			events = append(events, Event{Path: f.path, Size: f.size})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Path < events[j].Path })
+	return events, nil
+}
+
+// Run polls until ctx is cancelled, invoking trigger for every batch of
+// newly stable files. Trigger errors stop the crawler and are returned.
+func (c *Crawler) Run(ctx context.Context, trigger func(events []Event) error) error {
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			events, err := c.ScanOnce()
+			if err != nil {
+				return err
+			}
+			if len(events) > 0 {
+				if err := trigger(events); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// DrainUntilIdle polls until idleScans consecutive scans produce no new
+// events (or ctx is cancelled), collecting everything triggered. It is
+// the synchronous variant used when downloads are known to be finished.
+func (c *Crawler) DrainUntilIdle(ctx context.Context, idleScans int) ([]Event, error) {
+	if idleScans <= 0 {
+		idleScans = 2
+	}
+	var all []Event
+	idle := 0
+	for idle < idleScans {
+		if ctx.Err() != nil {
+			return all, ctx.Err()
+		}
+		events, err := c.ScanOnce()
+		if err != nil {
+			return all, err
+		}
+		if len(events) == 0 {
+			idle++
+		} else {
+			idle = 0
+			all = append(all, events...)
+		}
+		select {
+		case <-ctx.Done():
+			return all, ctx.Err()
+		case <-time.After(c.cfg.Interval):
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,59 @@
+package yamlite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parse handles user-authored workflow configs; arbitrary text must never
+// panic or loop.
+
+func TestParseNeverPanicsOnRandomText(t *testing.T) {
+	alphabet := []rune("abz: -\"'[]{}#\n\t0123456789.~|&*!%αβ")
+	prop := func(seed int64, n uint16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i := 0; i < int(n)%2048; i++ {
+			b.WriteRune(alphabet[r.Intn(len(alphabet))])
+		}
+		_, _ = Parse([]byte(b.String()))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeeplyNestedDocumentTerminates(t *testing.T) {
+	var b strings.Builder
+	for depth := 0; depth < 200; depth++ {
+		b.WriteString(strings.Repeat(" ", depth*2))
+		b.WriteString("k:\n")
+	}
+	if _, err := Parse([]byte(b.String())); err != nil {
+		// Deep nesting is fine to reject; it must simply not hang.
+		t.Logf("deep nesting rejected: %v", err)
+	}
+}

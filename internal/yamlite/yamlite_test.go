@@ -1,0 +1,331 @@
+package yamlite
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFlatMapping(t *testing.T) {
+	doc := `
+name: eoml
+workers: 8
+rate: 2.5
+enabled: true
+missing: null
+`
+	got, err := ParseMap([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":    "eoml",
+		"workers": int64(8),
+		"rate":    2.5,
+		"enabled": true,
+		"missing": nil,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestParseNestedMapping(t *testing.T) {
+	doc := `
+endpoint:
+  host: defiant.olcf.ornl.gov
+  port: 8443
+  auth:
+    token: abc123
+products:
+  - MOD021KM
+  - MOD03
+  - MOD06_L2
+`
+	got, err := ParseMap([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := got["endpoint"].(map[string]any)
+	if ep["host"] != "defiant.olcf.ornl.gov" || ep["port"] != int64(8443) {
+		t.Fatalf("endpoint = %#v", ep)
+	}
+	if ep["auth"].(map[string]any)["token"] != "abc123" {
+		t.Fatalf("auth = %#v", ep["auth"])
+	}
+	prods := got["products"].([]any)
+	if len(prods) != 3 || prods[2] != "MOD06_L2" {
+		t.Fatalf("products = %#v", prods)
+	}
+}
+
+func TestParseSequenceOfMappings(t *testing.T) {
+	doc := `
+stages:
+  - name: download
+    workers: 3
+  - name: preprocess
+    workers: 32
+`
+	got, err := ParseMap([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := got["stages"].([]any)
+	if len(stages) != 2 {
+		t.Fatalf("stages = %#v", stages)
+	}
+	s1 := stages[1].(map[string]any)
+	if s1["name"] != "preprocess" || s1["workers"] != int64(32) {
+		t.Fatalf("stage[1] = %#v", s1)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	doc := `
+# leading comment
+key: value # trailing comment
+url: "http://x#y" # the fragment is not a comment
+anchor: a#b
+`
+	got, err := ParseMap([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["key"] != "value" {
+		t.Fatalf("key = %#v", got["key"])
+	}
+	if got["url"] != "http://x#y" {
+		t.Fatalf("url = %#v", got["url"])
+	}
+	if got["anchor"] != "a#b" {
+		t.Fatalf("anchor = %#v (mid-token # must not start a comment)", got["anchor"])
+	}
+}
+
+func TestParseQuotedStrings(t *testing.T) {
+	doc := `
+dq: "line\nbreak and \"quote\""
+sq: 'it''s plain'
+plain: hello world
+time: 12:30
+`
+	got, err := ParseMap([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["dq"] != "line\nbreak and \"quote\"" {
+		t.Fatalf("dq = %q", got["dq"])
+	}
+	if got["sq"] != "it's plain" {
+		t.Fatalf("sq = %q", got["sq"])
+	}
+	if got["plain"] != "hello world" {
+		t.Fatalf("plain = %q", got["plain"])
+	}
+	if got["time"] != "12:30" {
+		t.Fatalf("time = %q (colon without space is not a key separator)", got["time"])
+	}
+}
+
+func TestParseFlowCollections(t *testing.T) {
+	doc := `
+bands: [1, 2, 3, 6, 7, 20]
+empty: []
+limits: {cpu: 64, mem: 256.0}
+nested: [[1, 2], [3]]
+strs: ["a, b", 'c']
+`
+	got, err := ParseMap([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := got["bands"].([]any)
+	if len(bands) != 6 || bands[5] != int64(20) {
+		t.Fatalf("bands = %#v", bands)
+	}
+	if len(got["empty"].([]any)) != 0 {
+		t.Fatalf("empty = %#v", got["empty"])
+	}
+	limits := got["limits"].(map[string]any)
+	if limits["cpu"] != int64(64) || limits["mem"] != 256.0 {
+		t.Fatalf("limits = %#v", limits)
+	}
+	nested := got["nested"].([]any)
+	if !reflect.DeepEqual(nested[0], []any{int64(1), int64(2)}) {
+		t.Fatalf("nested = %#v", nested)
+	}
+	strs := got["strs"].([]any)
+	if strs[0] != "a, b" || strs[1] != "c" {
+		t.Fatalf("strs = %#v", strs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":        "a:\n\tb: 1",
+		"duplicate key":     "a: 1\na: 2",
+		"anchor":            "a: &x 1",
+		"alias":             "a: *x",
+		"block scalar":      "a: |",
+		"unterminated dq":   `a: "oops`,
+		"unterminated sq":   "a: 'oops",
+		"unterminated flow": "a: [1, 2",
+		"bad escape":        `a: "\q"`,
+		"seq in map":        "a: 1\n- b",
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: no error for %q", name, doc)
+		}
+	}
+}
+
+func TestParseEmptyDocument(t *testing.T) {
+	for _, doc := range []string{"", "\n\n", "# only comments\n"} {
+		v, err := Parse([]byte(doc))
+		if err != nil || v != nil {
+			t.Fatalf("Parse(%q) = %v, %v", doc, v, err)
+		}
+		m, err := ParseMap([]byte(doc))
+		if err != nil || len(m) != 0 {
+			t.Fatalf("ParseMap(%q) = %v, %v", doc, m, err)
+		}
+	}
+}
+
+func TestParseRootSequence(t *testing.T) {
+	v, err := Parse([]byte("- 1\n- 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, []any{int64(1), int64(2)}) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestParseNullNestedValue(t *testing.T) {
+	got, err := ParseMap([]byte("a:\nb: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != nil || got["b"] != int64(1) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestMarshalRoundTripsHandwrittenDoc(t *testing.T) {
+	doc := `
+workflow:
+  name: eo-ml
+  stages:
+    - name: download
+      workers: 3
+      products: [MOD021KM, MOD03]
+    - name: preprocess
+      workers: 32
+  paths:
+    scratch: /lustre/orion/scratch
+    "weird key": "needs: quoting"
+  ratio: 0.5
+  big: 123456789
+  flag: false
+  nothing: null
+`
+	v1, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Parse(Marshal(v1))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, Marshal(v1))
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("round trip mismatch:\n%#v\n%#v", v1, v2)
+	}
+}
+
+// genValue builds a random value tree using only yamlite-representable
+// types.
+func genValue(r *quickRand, depth int) any {
+	if depth <= 0 {
+		return genScalar(r)
+	}
+	switch r.intn(4) {
+	case 0:
+		n := r.intn(4)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			m[genKey(r, i)] = genValue(r, depth-1)
+		}
+		return m
+	case 1:
+		n := r.intn(4)
+		s := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			s = append(s, genValue(r, depth-1))
+		}
+		return s
+	default:
+		return genScalar(r)
+	}
+}
+
+func genScalar(r *quickRand) any {
+	switch r.intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return r.intn(2) == 0
+	case 2:
+		return int64(r.intn(100000) - 50000)
+	case 3:
+		f := float64(r.intn(1000)) / 8.0
+		if math.Trunc(f) == f {
+			f += 0.5
+		}
+		return f
+	case 4:
+		return strings.Repeat("x", r.intn(5)) + "plain"
+	default:
+		weird := []string{"needs: quote", "# hash", "true", "123", "", "tab\tchar", "new\nline", "- dash", "a'b\"c"}
+		return weird[r.intn(len(weird))]
+	}
+}
+
+func genKey(r *quickRand, i int) string {
+	keys := []string{"alpha", "beta", "gamma", "delta", "weird key", "a:b", "#k", "k" + strings.Repeat("x", i)}
+	return keys[(r.intn(len(keys))+i)%len(keys)]
+}
+
+type quickRand struct{ state uint64 }
+
+func (r *quickRand) intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+// Property: Marshal(Parse) is the identity on randomly generated value
+// trees of supported types.
+func TestMarshalParsePropertyRoundTrip(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := &quickRand{state: seed}
+		v := map[string]any{"root": genValue(r, 3)}
+		data := Marshal(v)
+		got, err := Parse(data)
+		if err != nil {
+			t.Logf("parse error: %v\ndoc:\n%s", err, data)
+			return false
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Logf("mismatch:\n doc:\n%s\n got: %#v\nwant: %#v", data, got, v)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package zambeze implements cross-facility workflow orchestration in the
+// style of the Zambeze framework the paper plans to adopt (§V.A,
+// Skluzacek et al., PEARC 2024): campaigns of activities are dispatched
+// over a message bus to per-facility agents, which execute them through
+// registered plugins. This is the "remote configuration, invocation, and
+// monitoring of workflow components" layer that the paper identifies as
+// the missing piece for seamless OLCF/NERSC/ALCF interoperability.
+//
+// The model:
+//
+//   - an Agent represents one facility (e.g. "olcf", "nersc"); it
+//     registers named plugins (shell-outs, compute submissions, transfer
+//     requests — here, Go callbacks);
+//   - a Campaign is a DAG of Activities, each targeted at a facility and
+//     a plugin with parameters;
+//   - the Orchestrator validates the DAG, dispatches activities whose
+//     dependencies are satisfied, routes them to the right facility's
+//     queue, and tracks per-activity status and a campaign event log.
+package zambeze
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Plugin executes one activity on a facility agent.
+type Plugin func(ctx context.Context, params map[string]any) (any, error)
+
+// Agent is a facility-resident executor.
+type Agent struct {
+	Facility string
+
+	mu      sync.RWMutex
+	plugins map[string]Plugin
+	// Concurrency bounds simultaneous activities at the facility.
+	sem chan struct{}
+}
+
+// NewAgent builds an agent for a facility with the given concurrency.
+func NewAgent(facility string, concurrency int) (*Agent, error) {
+	if facility == "" {
+		return nil, fmt.Errorf("zambeze: agent needs a facility name")
+	}
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	return &Agent{
+		Facility: facility,
+		plugins:  map[string]Plugin{},
+		sem:      make(chan struct{}, concurrency),
+	}, nil
+}
+
+// RegisterPlugin names an executable capability.
+func (a *Agent) RegisterPlugin(name string, p Plugin) error {
+	if name == "" || p == nil {
+		return fmt.Errorf("zambeze: plugin needs a name and a function")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.plugins[name]; dup {
+		return fmt.Errorf("zambeze: plugin %q already registered on %s", name, a.Facility)
+	}
+	a.plugins[name] = p
+	return nil
+}
+
+// Plugins lists registered plugin names, sorted.
+func (a *Agent) Plugins() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.plugins))
+	for name := range a.plugins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// run executes one activity under the agent's concurrency bound.
+func (a *Agent) run(ctx context.Context, plugin string, params map[string]any) (any, error) {
+	a.mu.RLock()
+	p, ok := a.plugins[plugin]
+	a.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("zambeze: facility %s has no plugin %q", a.Facility, plugin)
+	}
+	select {
+	case a.sem <- struct{}{}:
+		defer func() { <-a.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return runPlugin(ctx, p, params)
+}
+
+func runPlugin(ctx context.Context, p Plugin, params map[string]any) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("zambeze: plugin panicked: %v", r)
+		}
+	}()
+	return p(ctx, params)
+}
+
+// Activity is one unit of a campaign.
+type Activity struct {
+	ID        string
+	Facility  string
+	Plugin    string
+	Params    map[string]any
+	DependsOn []string
+}
+
+// Campaign is a named DAG of activities.
+type Campaign struct {
+	Name       string
+	Activities []Activity
+}
+
+// Validate checks IDs, dependencies, and acyclicity.
+func (c *Campaign) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("zambeze: campaign needs a name")
+	}
+	if len(c.Activities) == 0 {
+		return fmt.Errorf("zambeze: campaign %q has no activities", c.Name)
+	}
+	byID := map[string]*Activity{}
+	for i := range c.Activities {
+		act := &c.Activities[i]
+		if act.ID == "" {
+			return fmt.Errorf("zambeze: campaign %q: activity %d has no ID", c.Name, i)
+		}
+		if act.Facility == "" || act.Plugin == "" {
+			return fmt.Errorf("zambeze: activity %q needs a facility and a plugin", act.ID)
+		}
+		if _, dup := byID[act.ID]; dup {
+			return fmt.Errorf("zambeze: duplicate activity ID %q", act.ID)
+		}
+		byID[act.ID] = act
+	}
+	for _, act := range c.Activities {
+		for _, dep := range act.DependsOn {
+			if _, ok := byID[dep]; !ok {
+				return fmt.Errorf("zambeze: activity %q depends on unknown %q", act.ID, dep)
+			}
+			if dep == act.ID {
+				return fmt.Errorf("zambeze: activity %q depends on itself", act.ID)
+			}
+		}
+	}
+	// Cycle detection via Kahn's algorithm.
+	indeg := map[string]int{}
+	out := map[string][]string{}
+	for _, act := range c.Activities {
+		indeg[act.ID] += 0
+		for _, dep := range act.DependsOn {
+			indeg[act.ID]++
+			out[dep] = append(out[dep], act.ID)
+		}
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	visited := 0
+	for len(ready) > 0 {
+		id := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		visited++
+		for _, next := range out[id] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if visited != len(c.Activities) {
+		return fmt.Errorf("zambeze: campaign %q has a dependency cycle", c.Name)
+	}
+	return nil
+}
+
+// ActivityState is a lifecycle state.
+type ActivityState string
+
+// Activity states.
+const (
+	StatePending   ActivityState = "PENDING"
+	StateDispatch  ActivityState = "DISPATCHED"
+	StateSucceeded ActivityState = "SUCCEEDED"
+	StateFailed    ActivityState = "FAILED"
+	StateSkipped   ActivityState = "SKIPPED" // upstream failure
+)
+
+// Event is one campaign log entry.
+type Event struct {
+	Time     time.Time
+	Activity string
+	State    ActivityState
+	Detail   string
+}
+
+// CampaignRun tracks one submitted campaign.
+type CampaignRun struct {
+	Campaign string
+
+	mu      sync.Mutex
+	states  map[string]ActivityState
+	results map[string]any
+	errs    map[string]error
+	events  []Event
+	done    chan struct{}
+}
+
+// State returns an activity's state.
+func (r *CampaignRun) State(activityID string) ActivityState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.states[activityID]
+}
+
+// Result returns an activity's result and error.
+func (r *CampaignRun) Result(activityID string) (any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.results[activityID], r.errs[activityID]
+}
+
+// Events copies the event log.
+func (r *CampaignRun) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Wait blocks until every activity reaches a terminal state; it returns
+// the first activity error in DAG order (nil if all succeeded).
+func (r *CampaignRun) Wait(ctx context.Context) error {
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.errs))
+	for id := range r.errs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := r.errs[id]; err != nil {
+			return fmt.Errorf("activity %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (r *CampaignRun) set(id string, st ActivityState, detail string) {
+	r.mu.Lock()
+	r.states[id] = st
+	r.events = append(r.events, Event{Time: time.Now(), Activity: id, State: st, Detail: detail})
+	r.mu.Unlock()
+}
+
+// Orchestrator routes campaign activities to facility agents.
+type Orchestrator struct {
+	mu     sync.RWMutex
+	agents map[string]*Agent
+}
+
+// NewOrchestrator builds an empty orchestrator.
+func NewOrchestrator() *Orchestrator {
+	return &Orchestrator{agents: map[string]*Agent{}}
+}
+
+// Connect attaches a facility agent.
+func (o *Orchestrator) Connect(a *Agent) error {
+	if a == nil {
+		return fmt.Errorf("zambeze: nil agent")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.agents[a.Facility]; dup {
+		return fmt.Errorf("zambeze: facility %q already connected", a.Facility)
+	}
+	o.agents[a.Facility] = a
+	return nil
+}
+
+// Facilities lists connected facilities, sorted.
+func (o *Orchestrator) Facilities() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.agents))
+	for f := range o.agents {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit validates and launches a campaign asynchronously. Activities run
+// as soon as their dependencies succeed; activities downstream of a
+// failure are skipped.
+func (o *Orchestrator) Submit(ctx context.Context, c *Campaign) (*CampaignRun, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	o.mu.RLock()
+	for _, act := range c.Activities {
+		if _, ok := o.agents[act.Facility]; !ok {
+			o.mu.RUnlock()
+			return nil, fmt.Errorf("zambeze: activity %q targets unconnected facility %q", act.ID, act.Facility)
+		}
+	}
+	o.mu.RUnlock()
+
+	run := &CampaignRun{
+		Campaign: c.Name,
+		states:   map[string]ActivityState{},
+		results:  map[string]any{},
+		errs:     map[string]error{},
+		done:     make(chan struct{}),
+	}
+	doneCh := map[string]chan struct{}{}
+	for _, act := range c.Activities {
+		run.states[act.ID] = StatePending
+		doneCh[act.ID] = make(chan struct{})
+	}
+
+	var wg sync.WaitGroup
+	for i := range c.Activities {
+		act := c.Activities[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(doneCh[act.ID])
+			// Wait for dependencies.
+			for _, dep := range act.DependsOn {
+				select {
+				case <-doneCh[dep]:
+				case <-ctx.Done():
+					run.mu.Lock()
+					run.errs[act.ID] = ctx.Err()
+					run.mu.Unlock()
+					run.set(act.ID, StateFailed, "context cancelled")
+					return
+				}
+				run.mu.Lock()
+				depFailed := run.states[dep] == StateFailed || run.states[dep] == StateSkipped
+				run.mu.Unlock()
+				if depFailed {
+					run.mu.Lock()
+					run.errs[act.ID] = fmt.Errorf("zambeze: dependency %s did not succeed", dep)
+					run.mu.Unlock()
+					run.set(act.ID, StateSkipped, "upstream failure: "+dep)
+					return
+				}
+			}
+			o.mu.RLock()
+			agent := o.agents[act.Facility]
+			o.mu.RUnlock()
+			run.set(act.ID, StateDispatch, "routed to "+act.Facility)
+			result, err := agent.run(ctx, act.Plugin, act.Params)
+			run.mu.Lock()
+			run.results[act.ID] = result
+			run.errs[act.ID] = err
+			run.mu.Unlock()
+			if err != nil {
+				run.set(act.ID, StateFailed, err.Error())
+			} else {
+				run.set(act.ID, StateSucceeded, "")
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(run.done)
+	}()
+	return run, nil
+}

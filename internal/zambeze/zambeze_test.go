@@ -1,0 +1,273 @@
+package zambeze
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func twoFacilityOrchestrator(t *testing.T) (*Orchestrator, *Agent, *Agent) {
+	t.Helper()
+	o := NewOrchestrator()
+	olcf, err := NewAgent("olcf", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nersc, err := NewAgent("nersc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Connect(olcf); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Connect(nersc); err != nil {
+		t.Fatal(err)
+	}
+	return o, olcf, nersc
+}
+
+func TestCrossFacilityCampaign(t *testing.T) {
+	o, olcf, nersc := twoFacilityOrchestrator(t)
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) Plugin {
+		return func(ctx context.Context, params map[string]any) (any, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return name + ":" + fmt.Sprint(params["x"]), nil
+		}
+	}
+	if err := olcf.RegisterPlugin("preprocess", record("olcf.preprocess")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nersc.RegisterPlugin("analyze", record("nersc.analyze")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &Campaign{
+		Name: "eo-ml-cross-site",
+		Activities: []Activity{
+			{ID: "pre", Facility: "olcf", Plugin: "preprocess", Params: map[string]any{"x": 1}},
+			{ID: "ana", Facility: "nersc", Plugin: "analyze", Params: map[string]any{"x": 2}, DependsOn: []string{"pre"}},
+		},
+	}
+	run, err := o.Submit(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "olcf.preprocess" || order[1] != "nersc.analyze" {
+		t.Fatalf("order = %v", order)
+	}
+	if run.State("ana") != StateSucceeded {
+		t.Fatalf("ana state %v", run.State("ana"))
+	}
+	res, err := run.Result("ana")
+	if err != nil || res != "nersc.analyze:2" {
+		t.Fatalf("result %v %v", res, err)
+	}
+}
+
+func TestFailurePropagatesAsSkip(t *testing.T) {
+	o, olcf, _ := twoFacilityOrchestrator(t)
+	ran := int64(0)
+	if err := olcf.RegisterPlugin("boom", func(ctx context.Context, p map[string]any) (any, error) {
+		return nil, errors.New("facility outage")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := olcf.RegisterPlugin("after", func(ctx context.Context, p map[string]any) (any, error) {
+		atomic.AddInt64(&ran, 1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{
+		Name: "fails",
+		Activities: []Activity{
+			{ID: "a", Facility: "olcf", Plugin: "boom"},
+			{ID: "b", Facility: "olcf", Plugin: "after", DependsOn: []string{"a"}},
+			{ID: "c", Facility: "olcf", Plugin: "after", DependsOn: []string{"b"}},
+		},
+	}
+	run, err := o.Submit(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err == nil {
+		t.Fatal("campaign failure swallowed")
+	}
+	if run.State("a") != StateFailed || run.State("b") != StateSkipped || run.State("c") != StateSkipped {
+		t.Fatalf("states: a=%v b=%v c=%v", run.State("a"), run.State("b"), run.State("c"))
+	}
+	if atomic.LoadInt64(&ran) != 0 {
+		t.Fatal("downstream activity ran after upstream failure")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	cases := map[string]*Campaign{
+		"no name":       {Activities: []Activity{{ID: "a", Facility: "f", Plugin: "p"}}},
+		"no activities": {Name: "x"},
+		"no id":         {Name: "x", Activities: []Activity{{Facility: "f", Plugin: "p"}}},
+		"no facility":   {Name: "x", Activities: []Activity{{ID: "a", Plugin: "p"}}},
+		"dup id": {Name: "x", Activities: []Activity{
+			{ID: "a", Facility: "f", Plugin: "p"}, {ID: "a", Facility: "f", Plugin: "p"}}},
+		"unknown dep": {Name: "x", Activities: []Activity{
+			{ID: "a", Facility: "f", Plugin: "p", DependsOn: []string{"ghost"}}}},
+		"self dep": {Name: "x", Activities: []Activity{
+			{ID: "a", Facility: "f", Plugin: "p", DependsOn: []string{"a"}}}},
+		"cycle": {Name: "x", Activities: []Activity{
+			{ID: "a", Facility: "f", Plugin: "p", DependsOn: []string{"b"}},
+			{ID: "b", Facility: "f", Plugin: "p", DependsOn: []string{"a"}}}},
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSubmitRejectsUnknownFacilityAndPlugin(t *testing.T) {
+	o, olcf, _ := twoFacilityOrchestrator(t)
+	if err := olcf.RegisterPlugin("ok", func(ctx context.Context, p map[string]any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Name: "x", Activities: []Activity{{ID: "a", Facility: "alcf", Plugin: "ok"}}}
+	if _, err := o.Submit(context.Background(), c); err == nil {
+		t.Fatal("unconnected facility accepted")
+	}
+	// Unknown plugin is a runtime activity failure, not a submit error.
+	c2 := &Campaign{Name: "y", Activities: []Activity{{ID: "a", Facility: "olcf", Plugin: "ghost"}}}
+	run, err := o.Submit(context.Background(), c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err == nil {
+		t.Fatal("missing plugin succeeded")
+	}
+}
+
+func TestParallelFanOutRespectsAgentConcurrency(t *testing.T) {
+	o := NewOrchestrator()
+	agent, err := NewAgent("olcf", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Connect(agent); err != nil {
+		t.Fatal(err)
+	}
+	var now, peak int64
+	if err := agent.RegisterPlugin("work", func(ctx context.Context, p map[string]any) (any, error) {
+		v := atomic.AddInt64(&now, 1)
+		for {
+			pk := atomic.LoadInt64(&peak)
+			if v <= pk || atomic.CompareAndSwapInt64(&peak, pk, v) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		atomic.AddInt64(&now, -1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var acts []Activity
+	for i := 0; i < 10; i++ {
+		acts = append(acts, Activity{ID: fmt.Sprintf("a%d", i), Facility: "olcf", Plugin: "work"})
+	}
+	run, err := o.Submit(context.Background(), &Campaign{Name: "fan", Activities: acts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds agent bound 2", p)
+	}
+}
+
+func TestEventsLogLifecycle(t *testing.T) {
+	o, olcf, _ := twoFacilityOrchestrator(t)
+	if err := olcf.RegisterPlugin("ok", func(ctx context.Context, p map[string]any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	run, err := o.Submit(context.Background(), &Campaign{
+		Name:       "log",
+		Activities: []Activity{{ID: "a", Facility: "olcf", Plugin: "ok"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	events := run.Events()
+	if len(events) < 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].State != StateDispatch || events[len(events)-1].State != StateSucceeded {
+		t.Fatalf("lifecycle: %v", events)
+	}
+}
+
+func TestPluginPanicIsFailure(t *testing.T) {
+	o, olcf, _ := twoFacilityOrchestrator(t)
+	if err := olcf.RegisterPlugin("panic", func(ctx context.Context, p map[string]any) (any, error) {
+		panic("plugin bug")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := o.Submit(context.Background(), &Campaign{
+		Name:       "p",
+		Activities: []Activity{{ID: "a", Facility: "olcf", Plugin: "panic"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(context.Background()); err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	if _, err := NewAgent("", 1); err == nil {
+		t.Error("empty facility accepted")
+	}
+	a, _ := NewAgent("x", 1)
+	if err := a.RegisterPlugin("", nil); err == nil {
+		t.Error("empty plugin accepted")
+	}
+	if err := a.RegisterPlugin("p", func(ctx context.Context, m map[string]any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterPlugin("p", func(ctx context.Context, m map[string]any) (any, error) { return nil, nil }); err == nil {
+		t.Error("duplicate plugin accepted")
+	}
+	if got := a.Plugins(); len(got) != 1 || got[0] != "p" {
+		t.Errorf("plugins = %v", got)
+	}
+	o := NewOrchestrator()
+	if err := o.Connect(nil); err == nil {
+		t.Error("nil agent accepted")
+	}
+	if err := o.Connect(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Connect(a); err == nil {
+		t.Error("duplicate facility accepted")
+	}
+	if f := o.Facilities(); len(f) != 1 || f[0] != "x" {
+		t.Errorf("facilities = %v", f)
+	}
+}
