@@ -1,0 +1,30 @@
+# Standard entry points for the eoml repo.
+#
+#   make check   — what CI runs: vet + full race-enabled test suite
+#   make bench   — the hot-path benchmarks recorded in BENCH_1.json
+
+GO ?= go
+
+.PHONY: build test vet race bench bench-all check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Hot-path benchmarks from this PR (kernels, arena, batching).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkMatMulBlocked|BenchmarkEncodeArena|BenchmarkLabelFileBatched' -benchmem -benchtime 1s .
+
+# Every figure/table/ablation benchmark in the repo.
+bench-all:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+check: vet race

@@ -10,9 +10,14 @@
 package eoml_test
 
 import (
+	"fmt"
 	"math/rand"
+	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
+	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/cluster42"
 	"github.com/eoml/eoml/internal/experiments"
 	"github.com/eoml/eoml/internal/hdf"
@@ -353,6 +358,126 @@ func BenchmarkHDFDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- PR: blocked kernels, arena reuse, cross-file batching ----------------
+
+// BenchmarkMatMulBlocked compares the naive oracle against the blocked
+// SIMD kernel at the 512^3 shape the acceptance criterion names.
+func BenchmarkMatMulBlocked(b *testing.B) {
+	const m, k, n = 512, 512, 512
+	r := rand.New(rand.NewSource(11))
+	a := tensor.New(m, k)
+	a.Randn(r, 1)
+	c := tensor.New(k, n)
+	c.Randn(r, 1)
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tensor.MatMulNaive(a, c)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tensor.MatMul(a, c)
+		}
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+}
+
+// BenchmarkEncodeArena measures allocation pressure of the arena-backed
+// inference path against the allocate-everything baseline.
+func BenchmarkEncodeArena(b *testing.B) {
+	tiles := benchTiles(256, 16, 6, 9)
+	cfg := ricc.Config{
+		TileSize: 16, Channels: 6, LatentDim: 32, Beta: 0.5,
+		LR: 1e-3, Epochs: 1, BatchSize: 32, Rotations: 1, Seed: 1,
+	}
+	m, err := ricc.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Train(tiles[:64]); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("noarena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.EncodeNoArena(tiles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tiles)), "tiles/op")
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Encode(tiles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tiles)), "tiles/op")
+	})
+}
+
+// BenchmarkLabelFileBatched compares per-file labeling against the
+// cross-file BatchLabeler fed by concurrent watchers. AppendLabels is
+// idempotent, so files can be relabeled across iterations.
+func BenchmarkLabelFileBatched(b *testing.B) {
+	const files, perFile = 8, 32
+	train := benchTiles(64, 8, 3, 5)
+	cfg := ricc.Config{
+		TileSize: 8, Channels: 3, LatentDim: 8, Beta: 0,
+		LR: 2e-3, Epochs: 2, BatchSize: 16, Rotations: 1, Seed: 7,
+	}
+	l, _, err := aicca.Train(train, cfg, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("bench%02d.nc", i))
+		if err := tile.WriteNetCDF(paths[i], benchTiles(perFile, 8, 3, int64(40+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range paths {
+				if _, err := l.LabelFile(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(files*perFile*b.N)/b.Elapsed().Seconds(), "tiles/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bl := aicca.NewBatchLabeler(l, aicca.BatchConfig{
+				MaxTiles: 128, MaxDelay: 2 * time.Millisecond,
+			})
+			var wg sync.WaitGroup
+			errs := make(chan error, files)
+			for _, p := range paths {
+				wg.Add(1)
+				go func(p string) {
+					defer wg.Done()
+					if _, err := bl.LabelFile(p); err != nil {
+						errs <- err
+					}
+				}(p)
+			}
+			wg.Wait()
+			bl.Close()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(files*perFile*b.N)/b.Elapsed().Seconds(), "tiles/s")
+	})
 }
 
 // benchTiles fabricates synthetic tiles for ML benches.

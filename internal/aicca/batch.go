@@ -1,0 +1,189 @@
+package aicca
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/tile"
+	"github.com/eoml/eoml/internal/trace"
+)
+
+// BatchConfig tunes the cross-file inference batcher.
+type BatchConfig struct {
+	// MaxTiles flushes the pending batch once this many tiles are
+	// queued. Matching the encoder's internal batch width (256) means
+	// one coalesced flush is one full encode batch.
+	MaxTiles int
+	// MaxDelay flushes a partial batch this long after its first tile
+	// arrived, bounding the latency a lone file can wait behind an
+	// unfilled batch.
+	MaxDelay time.Duration
+	// Timeline, when set, receives one "inference.batch" span per flush
+	// (tile count at flush start, zero at flush end).
+	Timeline *trace.Timeline
+	// Epoch is the workflow start used for Timeline offsets.
+	Epoch time.Time
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxTiles <= 0 {
+		c.MaxTiles = 256
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 20 * time.Millisecond
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Now()
+	}
+	return c
+}
+
+// batchJob is one caller's tile slice waiting for a coalesced encode.
+type batchJob struct {
+	tiles []*tile.Tile
+	res   chan error
+}
+
+// BatchLabeler coalesces tiles from concurrent LabelFile/LabelTiles
+// callers into shared encode batches. The paper's stage-4 flow fires one
+// inference action per watched file; files are small (tens of tiles), so
+// per-file encodes waste most of each batch. The batcher instead fills a
+// fixed-size batch across files and flushes on size or deadline — one
+// Encode (and one pass through the model arena) per flush.
+//
+// Submission order is preserved per caller; labels are written into the
+// submitted tiles in place, exactly as Labeler.LabelTiles does.
+type BatchLabeler struct {
+	l   *Labeler
+	cfg BatchConfig
+
+	jobs chan batchJob
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewBatchLabeler starts the flusher goroutine. Callers must Close the
+// batcher when done (Close is idempotent).
+func NewBatchLabeler(l *Labeler, cfg BatchConfig) *BatchLabeler {
+	b := &BatchLabeler{
+		l:    l,
+		cfg:  cfg.withDefaults(),
+		jobs: make(chan batchJob, 64),
+		done: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// LabelTiles queues tiles for the next coalesced batch and blocks until
+// they are labeled (in place) or the batch fails.
+func (b *BatchLabeler) LabelTiles(tiles []*tile.Tile) error {
+	if len(tiles) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("aicca: batch labeler is closed")
+	}
+	j := batchJob{tiles: tiles, res: make(chan error, 1)}
+	b.jobs <- j // send under the lock so Close cannot race the channel close
+	b.mu.Unlock()
+	return <-j.res
+}
+
+// LabelFile reads a tile NetCDF, labels its tiles through the shared
+// batch, and rewrites the file with labels appended. File I/O runs on
+// the caller (so concurrent workers parse and write in parallel); only
+// the encode is funneled through the batcher. Returns the number of
+// tiles labeled. Drop-in replacement for Labeler.LabelFile.
+func (b *BatchLabeler) LabelFile(path string) (int, error) {
+	tiles, err := tile.ReadNetCDF(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(tiles) == 0 {
+		return 0, nil
+	}
+	if err := b.LabelTiles(tiles); err != nil {
+		return 0, err
+	}
+	labels := make([]int16, len(tiles))
+	for i, t := range tiles {
+		labels[i] = t.Label
+	}
+	if err := tile.AppendLabels(path, labels); err != nil {
+		return 0, err
+	}
+	return len(tiles), nil
+}
+
+// Close flushes whatever is pending and stops the flusher. Idempotent;
+// LabelTiles calls after Close fail cleanly.
+func (b *BatchLabeler) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	close(b.jobs)
+	b.mu.Unlock()
+	<-b.done
+}
+
+// run is the flusher loop: accumulate jobs until the batch is full or
+// the oldest pending job has waited MaxDelay, then label everything
+// pending in one Encode call.
+func (b *BatchLabeler) run() {
+	defer close(b.done)
+	var pending []batchJob
+	count := 0
+	var deadline <-chan time.Time
+
+	flush := func() {
+		if count == 0 {
+			return
+		}
+		all := make([]*tile.Tile, 0, count)
+		for _, j := range pending {
+			all = append(all, j.tiles...)
+		}
+		if tl := b.cfg.Timeline; tl != nil {
+			tl.Record("inference.batch", time.Since(b.cfg.Epoch).Seconds(), len(all))
+		}
+		_, err := b.l.LabelTiles(all)
+		if tl := b.cfg.Timeline; tl != nil {
+			tl.Record("inference.batch", time.Since(b.cfg.Epoch).Seconds(), 0)
+		}
+		for _, j := range pending {
+			j.res <- err
+		}
+		pending = pending[:0]
+		count = 0
+		deadline = nil
+	}
+
+	for {
+		select {
+		case j, ok := <-b.jobs:
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, j)
+			count += len(j.tiles)
+			if count >= b.cfg.MaxTiles {
+				flush()
+			} else if deadline == nil {
+				deadline = time.After(b.cfg.MaxDelay)
+			}
+		case <-deadline:
+			flush()
+		}
+	}
+}

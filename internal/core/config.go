@@ -51,6 +51,12 @@ type Config struct {
 	// Monitor.
 	PollInterval time.Duration
 
+	// Inference batching: tiles from different watched files are
+	// coalesced into one encode batch, flushed at BatchTiles tiles or
+	// BatchDelay after the first pending tile, whichever comes first.
+	BatchTiles int
+	BatchDelay time.Duration
+
 	// Model artifacts; when both are set the labeler is loaded from disk
 	// instead of being supplied programmatically.
 	ModelPath    string
@@ -70,6 +76,8 @@ func DefaultConfig() Config {
 		TilePixels:        16,
 		MinCloudFrac:      0.3,
 		PollInterval:      50 * time.Millisecond,
+		BatchTiles:        256,
+		BatchDelay:        20 * time.Millisecond,
 	}
 }
 
@@ -107,6 +115,12 @@ func (c *Config) Validate() error {
 	}
 	if c.PollInterval <= 0 {
 		return fmt.Errorf("core: poll interval must be positive")
+	}
+	if c.BatchTiles <= 0 {
+		return fmt.Errorf("core: batch tiles must be positive")
+	}
+	if c.BatchDelay <= 0 {
+		return fmt.Errorf("core: batch delay must be positive")
 	}
 	return nil
 }
@@ -158,6 +172,9 @@ func (c *Config) GranuleIDs() []modis.GranuleID {
 //	  pixels: 16
 //	  min_cloud_fraction: 0.3
 //	poll_interval_ms: 50
+//	batch:
+//	  tiles: 256
+//	  delay_ms: 20
 //	model:
 //	  weights: model.hdf
 //	  codebook: codebook.hdf
@@ -239,6 +256,14 @@ func LoadConfig(data []byte) (*Config, error) {
 	}
 	if v, ok := doc["poll_interval_ms"].(int64); ok {
 		cfg.PollInterval = time.Duration(v) * time.Millisecond
+	}
+	if m, ok := doc["batch"].(map[string]any); ok {
+		if v, ok := m["tiles"].(int64); ok {
+			cfg.BatchTiles = int(v)
+		}
+		if v, ok := m["delay_ms"].(int64); ok {
+			cfg.BatchDelay = time.Duration(v) * time.Millisecond
+		}
 	}
 	if m, ok := doc["model"].(map[string]any); ok {
 		if v, ok := m["weights"].(string); ok {

@@ -219,6 +219,53 @@ func TestPipelineWithNightGranule(t *testing.T) {
 	}
 }
 
+// TestPipelineBatchedInference drives the pipeline with several
+// inference workers and a batch size small enough to force multiple
+// cross-file flushes, then checks every tile still gets labeled exactly
+// once and the per-batch spans show up on the timeline.
+func TestPipelineBatchedInference(t *testing.T) {
+	granules := findProductiveGranules(t, 4, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, granules)
+	cfg.InferenceWorkers = 3
+	cfg.BatchTiles = 8
+	cfg.BatchDelay = 5 * time.Millisecond
+
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TilesLabeled != rep.TilesProduced {
+		t.Errorf("labeled %d of %d tiles", rep.TilesLabeled, rep.TilesProduced)
+	}
+	if rep.FilesShipped != rep.TileFiles {
+		t.Errorf("shipped %d of %d tile files", rep.FilesShipped, rep.TileFiles)
+	}
+	entries, err := os.ReadDir(cfg.DestDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		tiles, err := tile.ReadNetCDF(filepath.Join(cfg.DestDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tl := range tiles {
+			if tl.Label < 0 {
+				t.Fatalf("%s tile %d unlabeled", e.Name(), i)
+			}
+		}
+	}
+	if len(rep.Timeline.Samples("inference.batch")) == 0 {
+		t.Error("no inference.batch spans recorded")
+	}
+}
+
 func TestPipelineLoadsModelFromDisk(t *testing.T) {
 	granules := findProductiveGranules(t, 1, 3)
 	labeler := trainTestLabeler(t, granules[0])
@@ -268,6 +315,8 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.TilePixels = 1 },
 		func(c *Config) { c.MinCloudFrac = 2 },
 		func(c *Config) { c.PollInterval = 0 },
+		func(c *Config) { c.BatchTiles = 0 },
+		func(c *Config) { c.BatchDelay = 0 },
 	}
 	for i, mutate := range cases {
 		cfg := base
@@ -303,6 +352,9 @@ tile:
   pixels: 16
   min_cloud_fraction: 0.3
 poll_interval_ms: 25
+batch:
+  tiles: 128
+  delay_ms: 10
 model:
   weights: m.hdf
   codebook: cb.hdf
@@ -328,6 +380,9 @@ model:
 	}
 	if cfg.PollInterval != 25*time.Millisecond {
 		t.Fatalf("poll: %v", cfg.PollInterval)
+	}
+	if cfg.BatchTiles != 128 || cfg.BatchDelay != 10*time.Millisecond {
+		t.Fatalf("batch: %+v", cfg)
 	}
 	if cfg.ModelPath != "m.hdf" || cfg.CodebookPath != "cb.hdf" {
 		t.Fatalf("model: %+v", cfg)

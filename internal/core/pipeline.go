@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -92,8 +93,20 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 
 	// ---- Stage 3+4 first: arm the monitor and the inference flow so
 	// they overlap preprocessing (files are labeled as they appear).
+	//
+	// Cross-file batcher: tiles from all watched files funnel into shared
+	// encode batches (flush on size or deadline), with per-batch spans on
+	// the run timeline.
+	batcher := aicca.NewBatchLabeler(p.labeler, aicca.BatchConfig{
+		MaxTiles: p.cfg.BatchTiles,
+		MaxDelay: p.cfg.BatchDelay,
+		Timeline: rep.Timeline,
+		Epoch:    start,
+	})
+	defer batcher.Close()
+
 	engine := flows.NewEngine(flows.EngineConfig{})
-	if err := engine.RegisterProvider("inference", p.inferenceProvider()); err != nil {
+	if err := engine.RegisterProvider("inference", p.inferenceProvider(batcher)); err != nil {
 		return nil, err
 	}
 	if err := engine.RegisterProvider("move", p.moveProvider()); err != nil {
@@ -120,46 +133,66 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 	inferCtx, stopCrawler := context.WithCancel(ctx)
 	defer stopCrawler()
 	crawlerDone := make(chan struct{})
-	var flowWG sync.WaitGroup
 	inferenceStarted := false
 
-	go func() {
-		defer close(crawlerDone)
-		_ = crawler.Run(inferCtx, func(events []watch.Event) error {
-			for _, ev := range events {
-				ev := ev
-				flowWG.Add(1)
-				run, err := engine.Start(ctx, flowDef, map[string]any{
-					"file":   ev.Path,
-					"outbox": p.cfg.OutboxDir,
-				})
-				if err != nil {
-					flowWG.Done()
-					return err
-				}
+	// Progress signal: workers nudge this channel after every completed
+	// flow so the post-preprocess wait blocks instead of polling.
+	progress := make(chan struct{}, 1)
+	bump := func() {
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
+	}
+
+	// Bounded inference worker pool: the crawler only enqueues events;
+	// exactly InferenceWorkers goroutines run flows, each synchronously,
+	// so a burst of watched files cannot fan out into a goroutine per
+	// file.
+	events := make(chan watch.Event, 4*p.cfg.InferenceWorkers+64)
+	var poolWG sync.WaitGroup
+	for w := 0; w < p.cfg.InferenceWorkers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for ev := range events {
 				mu.Lock()
 				if !inferenceStarted {
 					inferenceStarted = true
 					rep.Timeline.Record("inference", since(), 1)
 				}
 				mu.Unlock()
-				go func() {
-					defer flowWG.Done()
-					out, err := run.Wait(ctx)
-					mu.Lock()
-					defer mu.Unlock()
-					if err != nil {
-						if flowErr == nil {
-							flowErr = err
-						}
-						return
+				run, err := engine.Start(ctx, flowDef, map[string]any{
+					"file":   ev.Path,
+					"outbox": p.cfg.OutboxDir,
+				})
+				var out map[string]any
+				if err == nil {
+					out, err = run.Wait(ctx)
+				}
+				mu.Lock()
+				if err != nil {
+					if flowErr == nil {
+						flowErr = err
 					}
+				} else {
 					labeled++
 					if n, ok := out["labeled"].(int); ok {
 						tilesLabeled += n
 					}
 					rep.Timeline.Record("inference", since(), 0)
-				}()
+				}
+				mu.Unlock()
+				bump()
+			}
+		}()
+	}
+
+	go func() {
+		defer close(crawlerDone)
+		_ = crawler.Run(inferCtx, func(evs []watch.Event) error {
+			for _, ev := range evs {
+				events <- ev
 			}
 			return nil
 		})
@@ -227,7 +260,10 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 	rep.Spans.Add("preprocess", preStart, since())
 
 	// ---- Wait for inference to catch up -------------------------------
-	waitStart := time.Now()
+	// Workers signal progress after every completed flow, so this blocks
+	// on the channel instead of sleeping and re-polling.
+	stall := time.NewTimer(5 * time.Minute)
+	defer stall.Stop()
 	for {
 		mu.Lock()
 		done := labeled >= expectFiles
@@ -239,17 +275,19 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 		if done {
 			break
 		}
-		if ctx.Err() != nil {
+		select {
+		case <-progress:
+		case <-ctx.Done():
 			return nil, ctx.Err()
-		}
-		if time.Since(waitStart) > 5*time.Minute {
+		case <-stall.C:
 			return nil, fmt.Errorf("core: inference stalled: %d/%d files labeled", labeled, expectFiles)
 		}
-		time.Sleep(p.cfg.PollInterval)
 	}
 	stopCrawler()
-	<-crawlerDone
-	flowWG.Wait()
+	<-crawlerDone // crawler has stopped enqueueing
+	close(events)
+	poolWG.Wait()
+	batcher.Close()
 	mu.Lock()
 	rep.TilesLabeled = tilesLabeled
 	mu.Unlock()
@@ -365,13 +403,13 @@ const inferenceFlowDefinition = `{
   }
 }`
 
-func (p *Pipeline) inferenceProvider() flows.ActionProvider {
+func (p *Pipeline) inferenceProvider(batcher *aicca.BatchLabeler) flows.ActionProvider {
 	return func(ctx context.Context, params map[string]any) (any, error) {
 		path, _ := params["file"].(string)
 		if path == "" {
 			return nil, fmt.Errorf("core: inference action needs a file")
 		}
-		return p.labeler.LabelFile(path)
+		return batcher.LabelFile(path)
 	}
 }
 
@@ -386,21 +424,55 @@ func (p *Pipeline) moveProvider() flows.ActionProvider {
 		labeled, _ := params["labeled"].(int)
 		dst := filepath.Join(outbox, filepath.Base(src))
 		if err := os.Rename(src, dst); err != nil {
-			// Cross-device rename fallback: copy via read/write.
-			data, rerr := os.ReadFile(src)
-			if rerr != nil {
-				return nil, err
-			}
-			if werr := os.WriteFile(dst, data, 0o644); werr != nil {
-				return nil, werr
-			}
-			if rerr := os.Remove(src); rerr != nil {
-				return nil, rerr
+			// Cross-device rename fallback.
+			if cerr := copyPreserving(src, dst); cerr != nil {
+				return nil, cerr
 			}
 		}
 		p.recordInference(src, dst, labeled, started, time.Now())
 		return dst, nil
 	}
+}
+
+// copyPreserving moves src to dst across filesystems: it copies into a
+// temp file next to dst, carries over the source file mode, fsyncs, and
+// renames into place before removing the source — so a crash mid-move
+// can leave a stray temp file but never a truncated dst or a lost file.
+func copyPreserving(src, dst string) error {
+	info, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".move-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath) // no-op once renamed into place
+	if _, err := io.Copy(tmp, in); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, dst); err != nil {
+		return err
+	}
+	return os.Remove(src)
 }
 
 // Summary renders a one-paragraph report.

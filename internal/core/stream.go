@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/flows"
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/modis"
@@ -40,9 +41,18 @@ func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report,
 		}
 	}
 
-	// Monitor + inference flow, as in Run.
+	// Monitor + inference flow, as in Run: one cross-file batcher plus a
+	// bounded worker pool.
+	batcher := aicca.NewBatchLabeler(p.labeler, aicca.BatchConfig{
+		MaxTiles: p.cfg.BatchTiles,
+		MaxDelay: p.cfg.BatchDelay,
+		Timeline: rep.Timeline,
+		Epoch:    start,
+	})
+	defer batcher.Close()
+
 	engine := flows.NewEngine(flows.EngineConfig{})
-	if err := engine.RegisterProvider("inference", p.inferenceProvider()); err != nil {
+	if err := engine.RegisterProvider("inference", p.inferenceProvider(batcher)); err != nil {
 		return nil, err
 	}
 	if err := engine.RegisterProvider("move", p.moveProvider()); err != nil {
@@ -68,38 +78,53 @@ func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report,
 	inferCtx, stopCrawler := context.WithCancel(ctx)
 	defer stopCrawler()
 	crawlerDone := make(chan struct{})
-	var flowWG sync.WaitGroup
-	go func() {
-		defer close(crawlerDone)
-		_ = crawler.Run(inferCtx, func(events []watch.Event) error {
-			for _, ev := range events {
-				ev := ev
-				flowWG.Add(1)
+
+	progress := make(chan struct{}, 1)
+	bump := func() {
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
+	}
+
+	events := make(chan watch.Event, 4*p.cfg.InferenceWorkers+64)
+	var poolWG sync.WaitGroup
+	for w := 0; w < p.cfg.InferenceWorkers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for ev := range events {
 				run, err := engine.Start(ctx, flowDef, map[string]any{
 					"file":   ev.Path,
 					"outbox": p.cfg.OutboxDir,
 				})
-				if err != nil {
-					flowWG.Done()
-					return err
+				var out map[string]any
+				if err == nil {
+					out, err = run.Wait(ctx)
 				}
-				go func() {
-					defer flowWG.Done()
-					out, err := run.Wait(ctx)
-					mu.Lock()
-					defer mu.Unlock()
-					if err != nil {
-						if flowErr == nil {
-							flowErr = err
-						}
-						return
+				mu.Lock()
+				if err != nil {
+					if flowErr == nil {
+						flowErr = err
 					}
+				} else {
 					labeled++
 					if n, ok := out["labeled"].(int); ok {
 						tilesLabeled += n
 					}
 					rep.Timeline.Record("inference", since(), labeled)
-				}()
+				}
+				mu.Unlock()
+				bump()
+			}
+		}()
+	}
+
+	go func() {
+		defer close(crawlerDone)
+		_ = crawler.Run(inferCtx, func(evs []watch.Event) error {
+			for _, ev := range evs {
+				events <- ev
 			}
 			return nil
 		})
@@ -176,8 +201,9 @@ func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report,
 		return nil, err
 	}
 
-	// Drain inference.
-	waitStart := time.Now()
+	// Drain inference: block on worker progress signals, no poll loop.
+	stall := time.NewTimer(5 * time.Minute)
+	defer stall.Stop()
 	for {
 		mu.Lock()
 		done := labeled >= expectFiles
@@ -189,17 +215,19 @@ func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report,
 		if done {
 			break
 		}
-		if ctx.Err() != nil {
+		select {
+		case <-progress:
+		case <-ctx.Done():
 			return nil, ctx.Err()
-		}
-		if time.Since(waitStart) > 5*time.Minute {
+		case <-stall.C:
 			return nil, fmt.Errorf("core: stream inference stalled: %d/%d", labeled, expectFiles)
 		}
-		time.Sleep(p.cfg.PollInterval)
 	}
 	stopCrawler()
 	<-crawlerDone
-	flowWG.Wait()
+	close(events)
+	poolWG.Wait()
+	batcher.Close()
 	mu.Lock()
 	rep.TilesLabeled = tilesLabeled
 	mu.Unlock()

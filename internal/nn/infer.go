@@ -1,0 +1,132 @@
+// Inference-only forward passes.
+//
+// Infer differs from Forward in two ways that matter for the serving
+// path:
+//
+//   - No state is saved for Backward, so one model can serve concurrent
+//     Infer calls as long as each caller brings its own arena.
+//   - Scratch and output buffers come from a tensor.Arena, so
+//     steady-state inference recycles memory instead of regrowing the
+//     heap every batch.
+//
+// Buffer ownership: a layer's Infer may return an arena-owned tensor or
+// a view of its input (reshapes). Sequential.Infer recycles each
+// intermediate back into the arena once the next layer has consumed it,
+// except when the next output aliases it. The tensor returned to the
+// caller is arena-owned: the caller must copy out what it keeps and
+// should Put the tensor back. Never Put the same backing twice.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/eoml/eoml/internal/tensor"
+)
+
+func sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// sameBase reports whether two tensors share a backing array (one is a
+// reshape view of the other).
+func sameBase(a, b *tensor.T) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
+// Infer computes the convolution through the fused direct kernel,
+// skipping the im2col matrix entirely — for RICC-sized batches that
+// matrix is 9× the input and dominated Forward's allocations.
+func (l *Conv2D) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+	g := l.geom
+	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("nn: %s: input %v, want [N %d %d %d]", l.label, x.Shape, g.InC, g.InH, g.InW))
+	}
+	// Transpose weights from the matmul layout [InC*K*K, OutC] kept for
+	// training into the [OutC, InC, K, K] layout the fused kernel reads.
+	kk := g.InC * g.Kernel * g.Kernel
+	wd := a.Get(g.OutC, g.InC, g.Kernel, g.Kernel)
+	for r := 0; r < kk; r++ {
+		row := l.w.W.Data[r*g.OutC : (r+1)*g.OutC]
+		for oc, v := range row {
+			wd.Data[oc*kk+r] = v
+		}
+	}
+	out := a.Get(x.Shape[0], g.OutC, g.OutH, g.OutW)
+	tensor.ConvFusedInto(x, wd, l.b.W, g, out)
+	a.Put(wd)
+	return out
+}
+
+// Infer computes x·W + b into an arena buffer.
+func (l *Dense) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+	if len(x.Shape) != 2 || x.Shape[1] != l.in {
+		panic(fmt.Sprintf("nn: %s: input %v, want [N %d]", l.label, x.Shape, l.in))
+	}
+	out := a.Get(x.Shape[0], l.out)
+	tensor.MatMulInto(x, l.w.W, out)
+	bias := l.b.W.Data
+	for r := 0; r < out.Shape[0]; r++ {
+		row := out.Data[r*l.out : (r+1)*l.out]
+		for j, bv := range bias {
+			row[j] += bv
+		}
+	}
+	return out
+}
+
+// Infer applies the activation into an arena buffer.
+func (l *LeakyReLU) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+	out := a.Get(x.Shape...)
+	for i, v := range x.Data {
+		if v < 0 {
+			v *= l.alpha
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// Infer applies the logistic function into an arena buffer.
+func (l *Sigmoid) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+	out := a.Get(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = sigmoid32(v)
+	}
+	return out
+}
+
+// Infer returns a flattened view; no buffer changes hands.
+func (l *Flatten) Infer(x *tensor.T, _ *tensor.Arena) *tensor.T {
+	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+}
+
+// Infer returns an NCHW view; no buffer changes hands.
+func (l *Reshape4D) Infer(x *tensor.T, _ *tensor.Arena) *tensor.T {
+	return x.Reshape(x.Shape[0], l.c, l.h, l.w)
+}
+
+// Infer upsamples into an arena buffer.
+func (l *Upsample2x) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+	out := a.Get(x.Shape[0], x.Shape[1], 2*x.Shape[2], 2*x.Shape[3])
+	tensor.Upsample2xInto(x, out)
+	return out
+}
+
+// Infer runs all layers, recycling every intermediate buffer back into
+// the arena as soon as the next layer has consumed it. The returned
+// tensor is arena-owned; the caller copies out what it keeps and Puts
+// it back.
+func (s *Sequential) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+	cur := x
+	for _, l := range s.Layers {
+		next := l.Infer(cur, a)
+		// Recycle the intermediate unless it aliases the new output (a
+		// reshape view) or the caller's own input.
+		if cur != x && !sameBase(cur, next) && !sameBase(cur, x) {
+			a.Put(cur)
+		}
+		cur = next
+	}
+	return cur
+}

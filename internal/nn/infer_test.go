@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/eoml/eoml/internal/tensor"
+)
+
+// riccLikeStack builds an encoder+decoder chain exercising every layer
+// type the RICC autoencoder uses: conv, activations, flatten/reshape,
+// dense, and nearest-neighbor upsampling.
+func riccLikeStack(t *testing.T, r *rand.Rand) *Sequential {
+	t.Helper()
+	c1, err := NewConv2D("c1", 3, 8, 3, 2, 1, 16, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewConv2D("c2", 8, 4, 3, 1, 1, 8, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewConv2D("c3", 4, 3, 3, 1, 1, 16, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSequential("stack",
+		c1, NewLeakyReLU("a1", 0.1),
+		c2, NewLeakyReLU("a2", 0.1),
+		NewFlatten("fl"),
+		NewDense("d1", 4*8*8, 4*8*8, r),
+		NewReshape4D("rs", 4, 8, 8),
+		NewUpsample2x("up"),
+		c3, NewSigmoid("sg"),
+	)
+}
+
+func inferDiff(got, want *tensor.T) float64 {
+	worst := 0.0
+	for i := range want.Data {
+		d := math.Abs(float64(got.Data[i]-want.Data[i])) / (1 + math.Abs(float64(want.Data[i])))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestInferMatchesForward(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	model := riccLikeStack(t, r)
+	x := tensor.New(5, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	want := model.Forward(x)
+	arena := tensor.NewArena()
+	for pass := 0; pass < 3; pass++ { // repeated passes hit recycled buffers
+		got := model.Infer(x, arena)
+		if !got.SameShape(want) {
+			t.Fatalf("pass %d: shape %v, want %v", pass, got.Shape, want.Shape)
+		}
+		if d := inferDiff(got, want); d > 1e-5 {
+			t.Fatalf("pass %d: worst relative diff %g", pass, d)
+		}
+		arena.Put(got)
+	}
+}
+
+func TestInferNilArena(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	model := riccLikeStack(t, r)
+	x := tensor.New(2, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	want := model.Forward(x)
+	got := model.Infer(x, nil)
+	if d := inferDiff(got, want); d > 1e-5 {
+		t.Fatalf("worst relative diff %g", d)
+	}
+}
+
+// TestInferConcurrent runs concurrent Infer calls on one model, each
+// with a private arena, under the race detector: Infer must not touch
+// shared layer state the way Forward does.
+func TestInferConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	model := riccLikeStack(t, r)
+	x := tensor.New(3, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	want := model.Forward(x)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := tensor.NewArena()
+			for iter := 0; iter < 5; iter++ {
+				got := model.Infer(x, arena)
+				if d := inferDiff(got, want); d > 1e-5 {
+					t.Errorf("worst relative diff %g", d)
+					return
+				}
+				arena.Put(got)
+			}
+		}()
+	}
+	wg.Wait()
+}

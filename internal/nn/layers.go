@@ -32,9 +32,16 @@ func newParam(name string, shape ...int) *Param {
 // compute Backward; layers are therefore stateful and single-stream (one
 // forward, then one backward). Backward accumulates parameter gradients
 // and returns the gradient with respect to the layer input.
+//
+// Infer is the inference-only pass: it saves no state, so concurrent
+// Infer calls on the same layer are safe as long as each caller brings
+// its own arena. Scratch and output buffers come from the arena (a nil
+// arena degrades to plain allocation); see infer.go for the buffer
+// ownership rules.
 type Layer interface {
 	Forward(x *tensor.T) *tensor.T
 	Backward(grad *tensor.T) *tensor.T
+	Infer(x *tensor.T, a *tensor.Arena) *tensor.T
 	Params() []*Param
 	Name() string
 }
@@ -83,7 +90,9 @@ func (l *Conv2D) Forward(x *tensor.T) *tensor.T {
 		panic(fmt.Sprintf("nn: %s: input %v, want [N %d %d %d]", l.label, x.Shape, l.geom.InC, l.geom.InH, l.geom.InW))
 	}
 	l.inN = x.Shape[0]
-	l.cols = tensor.Im2Col(x, l.geom)
+	// Im2ColInto reuses the previous batch's matrix when the shape is
+	// unchanged, so steady-state training does not regrow the heap.
+	l.cols = tensor.Im2ColInto(x, l.geom, l.cols)
 	prod := tensor.MatMul(l.cols, l.w.W) // [N*OH*OW, OutC]
 	out := tensor.New(l.inN, l.geom.OutC, l.geom.OutH, l.geom.OutW)
 	plane := l.geom.OutH * l.geom.OutW

@@ -70,6 +70,10 @@ type Model struct {
 	Norm    *Normalizer
 	encoder *nn.Sequential
 	decoder *nn.Sequential
+	// arena recycles input, scratch, and activation buffers across
+	// inference calls. sync.Pool-backed, so concurrent Encode calls are
+	// safe and steady-state serving stops regrowing the heap.
+	arena *tensor.Arena
 }
 
 // NewModel builds an untrained model with deterministic initialization.
@@ -114,7 +118,7 @@ func NewModel(cfg Config) (*Model, error) {
 		nn.NewUpsample2x("dec.up2"),
 		d2, nn.NewSigmoid("dec.out"),
 	)
-	return &Model{Cfg: cfg, encoder: encoder, decoder: decoder}, nil
+	return &Model{Cfg: cfg, encoder: encoder, decoder: decoder, arena: tensor.NewArena()}, nil
 }
 
 // Params returns all trainable parameters.
@@ -175,20 +179,31 @@ func TilesToTensor(tiles []*tile.Tile, norm *Normalizer) (*tensor.T, error) {
 		return nil, fmt.Errorf("ricc: empty tile batch")
 	}
 	nb, ts := len(tiles[0].Bands), tiles[0].TileSize
-	npix := ts * ts
 	out := tensor.New(len(tiles), nb, ts, ts)
+	if err := fillTileTensor(out, tiles, norm); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fillTileTensor packs tiles into dst, which must have shape
+// [len(tiles), nb, ts, ts]. Every element is written, so dirty
+// arena-recycled buffers are fine.
+func fillTileTensor(dst *tensor.T, tiles []*tile.Tile, norm *Normalizer) error {
+	nb, ts := dst.Shape[1], dst.Shape[2]
+	npix := ts * ts
 	for i, t := range tiles {
 		if len(t.Bands) != nb || t.TileSize != ts {
-			return nil, fmt.Errorf("ricc: heterogeneous tile %d in batch", i)
+			return fmt.Errorf("ricc: heterogeneous tile %d in batch", i)
 		}
-		dst := out.Data[i*nb*npix : (i+1)*nb*npix]
+		row := dst.Data[i*nb*npix : (i+1)*nb*npix]
 		for b := 0; b < nb; b++ {
 			for p, v := range t.Data[b*npix : (b+1)*npix] {
-				dst[b*npix+p] = norm.apply(b, v)
+				row[b*npix+p] = norm.apply(b, v)
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // EpochStats records per-epoch training losses.
@@ -269,13 +284,53 @@ func (m *Model) Train(tiles []*tile.Tile) ([]EpochStats, error) {
 	return history, nil
 }
 
-// Encode maps tiles to latent vectors using the trained model.
+// Encode maps tiles to latent vectors using the trained model. It runs
+// the stateless Infer path with the model's arena, so input packing,
+// im2col-free conv scratch, and activations are all recycled across
+// batches and across calls; concurrent Encode calls are safe. The
+// returned rows are packed into one backing slab (one allocation for
+// the whole call) owned by the caller.
 func (m *Model) Encode(tiles []*tile.Tile) ([][]float32, error) {
 	if m.Norm == nil {
 		return nil, fmt.Errorf("ricc: model has no normalizer; train or load first")
 	}
-	out := make([][]float32, 0, len(tiles))
+	d := m.Cfg.LatentDim
+	out := make([][]float32, len(tiles))
+	backing := make([]float32, len(tiles)*d)
 	// Encode in bounded batches to cap peak memory.
+	const maxBatch = 256
+	for start := 0; start < len(tiles); start += maxBatch {
+		end := start + maxBatch
+		if end > len(tiles) {
+			end = len(tiles)
+		}
+		n := end - start
+		nb, ts := len(tiles[start].Bands), tiles[start].TileSize
+		x := m.arena.Get(n, nb, ts, ts)
+		if err := fillTileTensor(x, tiles[start:end], m.Norm); err != nil {
+			m.arena.Put(x)
+			return nil, err
+		}
+		z := m.encoder.Infer(x, m.arena)
+		copy(backing[start*d:end*d], z.Data[:n*d])
+		m.arena.Put(z)
+		m.arena.Put(x)
+		for i := start; i < end; i++ {
+			out[i] = backing[i*d : (i+1)*d : (i+1)*d]
+		}
+	}
+	return out, nil
+}
+
+// EncodeNoArena is the reference implementation of Encode with no
+// buffer reuse: the stateful Forward path plus one fresh row copy per
+// tile. It is the oracle the arena path is tested against and the
+// baseline BenchmarkEncodeArena measures allocation savings from.
+func (m *Model) EncodeNoArena(tiles []*tile.Tile) ([][]float32, error) {
+	if m.Norm == nil {
+		return nil, fmt.Errorf("ricc: model has no normalizer; train or load first")
+	}
+	out := make([][]float32, 0, len(tiles))
 	const maxBatch = 256
 	for start := 0; start < len(tiles); start += maxBatch {
 		end := start + maxBatch
@@ -306,7 +361,12 @@ func (m *Model) Reconstruct(tiles []*tile.Tile) (*tensor.T, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.decoder.Forward(m.encoder.Forward(x)), nil
+	z := m.encoder.Infer(x, m.arena)
+	y := m.decoder.Infer(z, m.arena)
+	m.arena.Put(z)
+	out := y.Clone() // hand the caller its own buffer, recycle the arena's
+	m.arena.Put(y)
+	return out, nil
 }
 
 // InvarianceError measures how far embeddings move under 90° rotation:
@@ -321,12 +381,12 @@ func (m *Model) InvarianceError(tiles []*tile.Tile) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	z := m.encoder.Forward(x).Clone()
+	z := m.encoder.Infer(x, m.arena)
 	n, d := z.Shape[0], z.Shape[1]
 	var total float64
 	count := 0
 	for r := 1; r <= 3; r++ {
-		zr := m.encoder.Forward(tensor.Rot90(x, r))
+		zr := m.encoder.Infer(tensor.Rot90(x, r), m.arena)
 		for i := 0; i < n; i++ {
 			var diff, norm float64
 			for j := 0; j < d; j++ {
@@ -338,6 +398,8 @@ func (m *Model) InvarianceError(tiles []*tile.Tile) (float64, error) {
 			total += math.Sqrt(diff) / (math.Sqrt(norm) + 1e-9)
 			count++
 		}
+		m.arena.Put(zr)
 	}
+	m.arena.Put(z)
 	return total / float64(count), nil
 }

@@ -1,0 +1,107 @@
+// Size-bucketed tensor arena. Inference allocates the same handful of
+// activation shapes for every batch; the arena recycles those buffers
+// through per-size-class sync.Pools so the encode hot path stops
+// regrowing the heap on every call.
+//
+// Lifecycle rules (see DESIGN.md §"Tensor arena"):
+//   - Get returns a tensor with UNDEFINED contents; callers must
+//     overwrite every element (all Into kernels in this package do).
+//   - Put recycles a tensor obtained from Get. Never Put a view
+//     (Reshape result) or a tensor handed to an external caller; the
+//     owner of a returned tensor is whoever the API gave it to.
+//   - A nil *Arena is valid and degrades to plain New/no-op Put, so the
+//     same code path serves pooled and unpooled callers.
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// arenaBuckets caps the pooled size classes at 2^27 floats (512 MiB);
+// larger tensors bypass the pool.
+const arenaBuckets = 28
+
+// Arena recycles tensor backing buffers in power-of-two size classes.
+// It is safe for concurrent use; each Get hands out a distinct buffer.
+type Arena struct {
+	pools [arenaBuckets]sync.Pool
+
+	gets  atomic.Int64 // Get calls
+	news  atomic.Int64 // Gets that missed the pool and allocated
+	puts  atomic.Int64 // tensors returned
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// bucketFor returns the smallest b with 1<<b >= n.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a tensor of the given shape with undefined contents. On a
+// pool hit the tensor struct, shape slice, and data buffer are all
+// reused; on a miss the data buffer is allocated at the full size-class
+// capacity so Put can re-bucket it exactly.
+func (a *Arena) Get(shape ...int) *T {
+	if a == nil {
+		return New(shape...)
+	}
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic("tensor: non-positive dim in arena Get")
+		}
+		n *= s
+	}
+	a.gets.Add(1)
+	b := bucketFor(n)
+	if b < arenaBuckets {
+		if v := a.pools[b].Get(); v != nil {
+			t := v.(*T)
+			t.Data = t.Data[:n]
+			t.Shape = append(t.Shape[:0], shape...)
+			return t
+		}
+	}
+	a.news.Add(1)
+	capacity := n
+	if b < arenaBuckets {
+		capacity = 1 << b
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: make([]float32, n, capacity)}
+}
+
+// Put returns a tensor to the arena. Tensors whose capacity is not a
+// pooled size class (e.g. built with New or FromSlice) are dropped for
+// the garbage collector; that is safe, just not recycled.
+func (a *Arena) Put(t *T) {
+	if a == nil || t == nil || cap(t.Data) == 0 {
+		return
+	}
+	c := cap(t.Data)
+	if c&(c-1) != 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b >= arenaBuckets {
+		return
+	}
+	a.puts.Add(1)
+	t.Data = t.Data[:0]
+	a.pools[b].Put(t)
+}
+
+// Stats reports Get calls, pool misses (fresh allocations), and Puts —
+// used by tests to prove reuse.
+func (a *Arena) Stats() (gets, news, puts int64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	return a.gets.Load(), a.news.Load(), a.puts.Load()
+}

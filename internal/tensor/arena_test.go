@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaReusesBuffers(t *testing.T) {
+	a := NewArena()
+	first := a.Get(3, 5, 7)
+	if first.Len() != 105 || len(first.Data) != 105 {
+		t.Fatalf("shape/len mismatch: %v len %d", first.Shape, len(first.Data))
+	}
+	a.Put(first)
+	// Same size class (105 -> 128): must come back from the pool.
+	second := a.Get(128)
+	if &second.Data[:1][0] != &first.Data[:1][0] {
+		t.Fatal("same-class Get did not reuse the pooled buffer")
+	}
+	gets, news, puts := a.Stats()
+	if gets != 2 || news != 1 || puts != 1 {
+		t.Fatalf("stats gets=%d news=%d puts=%d, want 2/1/1", gets, news, puts)
+	}
+}
+
+func TestArenaBucketBoundaries(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 63, 64, 65, 1023, 1024, 1025} {
+		b := bucketFor(n)
+		if 1<<b < n {
+			t.Fatalf("bucketFor(%d) = %d: class too small", n, b)
+		}
+		if b > 0 && 1<<(b-1) >= n {
+			t.Fatalf("bucketFor(%d) = %d: class not minimal", n, b)
+		}
+	}
+}
+
+func TestArenaDropsForeignBuffers(t *testing.T) {
+	a := NewArena()
+	// New allocates exact-size backing (105 is not a power of two), so
+	// Put must drop it rather than mis-bucket it.
+	a.Put(New(3, 5, 7))
+	if _, _, puts := a.Stats(); puts != 0 {
+		t.Fatalf("pooled a non-size-class buffer (puts=%d)", puts)
+	}
+	a.Put(nil) // must not panic
+}
+
+func TestNilArenaDegradesToNew(t *testing.T) {
+	var a *Arena
+	x := a.Get(2, 3)
+	if x.Len() != 6 {
+		t.Fatalf("nil arena Get: %v", x.Shape)
+	}
+	a.Put(x) // no-op, must not panic
+}
+
+func TestArenaConcurrentDistinctBuffers(t *testing.T) {
+	a := NewArena()
+	const workers = 8
+	var wg sync.WaitGroup
+	bufs := make([]*T, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				x := a.Get(64, 9)
+				for i := range x.Data {
+					x.Data[i] = float32(w)
+				}
+				for i := range x.Data {
+					if x.Data[i] != float32(w) {
+						t.Errorf("worker %d saw foreign write", w)
+						return
+					}
+				}
+				if iter == 49 {
+					bufs[w] = x // hold the last one for the aliasing check
+					return
+				}
+				a.Put(x)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		for j := i + 1; j < workers; j++ {
+			if &bufs[i].Data[0] == &bufs[j].Data[0] {
+				t.Fatalf("workers %d and %d hold the same buffer", i, j)
+			}
+		}
+	}
+}

@@ -31,9 +31,21 @@ func NewConvGeom(inC, outC, kernel, stride, pad, inH, inW int) (ConvGeom, error)
 // weight matrix of shape [InC*K*K, OutC]. This is the standard im2col
 // formulation; the ablation bench compares it against the direct loop.
 func Im2Col(x *T, g ConvGeom) *T {
+	return Im2ColInto(x, g, nil)
+}
+
+// Im2ColInto is Im2Col writing into dst when dst already has the right
+// shape; otherwise (nil or mismatched) a fresh matrix is allocated. It
+// returns the matrix used, letting layers reuse their im2col buffer
+// across batches instead of regrowing the heap every forward pass.
+func Im2ColInto(x *T, g ConvGeom, dst *T) *T {
 	n := x.Shape[0]
 	k, stride, pad := g.Kernel, g.Stride, g.Pad
-	cols := New(n*g.OutH*g.OutW, g.InC*k*k)
+	rows, width := n*g.OutH*g.OutW, g.InC*k*k
+	cols := dst
+	if cols == nil || len(cols.Shape) != 2 || cols.Shape[0] != rows || cols.Shape[1] != width {
+		cols = New(rows, width)
+	}
 	inPlane := g.InH * g.InW
 	parallelRows(n*g.OutH, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
@@ -183,6 +195,17 @@ func Rot90(x *T, times int) *T {
 func Upsample2x(x *T) *T {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	out := New(n, c, 2*h, 2*w)
+	Upsample2xInto(x, out)
+	return out
+}
+
+// Upsample2xInto is Upsample2x writing into out, which must have shape
+// [N, C, 2H, 2W]. Every element is overwritten.
+func Upsample2xInto(x, out *T) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if len(out.Shape) != 4 || out.Shape[0] != n || out.Shape[1] != c || out.Shape[2] != 2*h || out.Shape[3] != 2*w {
+		panic(fmt.Sprintf("tensor: upsample into %v from %v", out.Shape, x.Shape))
+	}
 	for p := 0; p < n*c; p++ {
 		src := x.Data[p*h*w:]
 		dst := out.Data[p*4*h*w:]
@@ -197,7 +220,6 @@ func Upsample2x(x *T) *T {
 			}
 		}
 	}
-	return out
 }
 
 // Downsample2xSum is the adjoint of Upsample2x: each output cell is the

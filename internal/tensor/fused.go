@@ -1,0 +1,210 @@
+// Fused direct convolution. For the 3×3 kernels RICC uses, materializing
+// the im2col matrix costs more memory traffic than the convolution
+// itself (K²=9 copies of every input pixel). The fused path keeps the
+// nine weights of one (outC, inC) filter in registers and accumulates
+// straight from the input planes, splitting each output row into border
+// and interior segments so the interior runs without bounds tests.
+// ConvDirect (conv.go) is the reference oracle.
+package tensor
+
+import "fmt"
+
+// ConvFused computes the convolution without an im2col buffer. Weights
+// have shape [OutC, InC, K, K]; bias (optional) has shape [OutC]. For
+// K == 3 it runs the register-resident fast path; other kernel sizes
+// fall back to a generic direct loop.
+func ConvFused(x, w, bias *T, g ConvGeom) *T {
+	out := New(x.Shape[0], g.OutC, g.OutH, g.OutW)
+	ConvFusedInto(x, w, bias, g, out)
+	return out
+}
+
+// ConvFusedInto is ConvFused writing into out, which must have shape
+// [N, OutC, OutH, OutW]. Every element is overwritten, so dirty
+// arena-recycled buffers are fine.
+func ConvFusedInto(x, w, bias *T, g ConvGeom, out *T) {
+	n := x.Shape[0]
+	if len(out.Shape) != 4 || out.Shape[0] != n || out.Shape[1] != g.OutC || out.Shape[2] != g.OutH || out.Shape[3] != g.OutW {
+		panic(fmt.Sprintf("tensor: conv into %v, want [%d %d %d %d]", out.Shape, n, g.OutC, g.OutH, g.OutW))
+	}
+	if g.Kernel == 3 {
+		convFused3x3(x, w, bias, g, out)
+		return
+	}
+	convGeneric(x, w, bias, g, out)
+}
+
+func convFused3x3(x, w, bias *T, g ConvGeom, out *T) {
+	n := x.Shape[0]
+	stride, pad := g.Stride, g.Pad
+	inH, inW := g.InH, g.InW
+	outH, outW := g.OutH, g.OutW
+	inPlane := inH * inW
+	outPlane := outH * outW
+	// Interior ox range: all three taps of a row stay in bounds.
+	oxLo := (pad + stride - 1) / stride
+	if oxLo > outW {
+		oxLo = outW
+	}
+	oxHi := 0
+	if inW >= 3 {
+		oxHi = (inW-3+pad)/stride + 1
+	}
+	if oxHi > outW {
+		oxHi = outW
+	}
+	if oxHi < oxLo {
+		oxHi = oxLo
+	}
+	parallelRows(n*g.OutC, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			b := row / g.OutC
+			oc := row % g.OutC
+			dst := out.Data[row*outPlane : (row+1)*outPlane]
+			var bv float32
+			if bias != nil {
+				bv = bias.Data[oc]
+			}
+			for i := range dst {
+				dst[i] = bv
+			}
+			for c := 0; c < g.InC; c++ {
+				wv := w.Data[((oc*g.InC)+c)*9 : ((oc*g.InC)+c)*9+9 : ((oc*g.InC)+c)*9+9]
+				w0, w1, w2 := wv[0], wv[1], wv[2]
+				w3, w4, w5 := wv[3], wv[4], wv[5]
+				w6, w7, w8 := wv[6], wv[7], wv[8]
+				src := x.Data[(b*g.InC+c)*inPlane : (b*g.InC+c+1)*inPlane]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad
+					var r0, r1, r2 []float32
+					if iy >= 0 && iy < inH {
+						r0 = src[iy*inW : iy*inW+inW]
+					}
+					if iy+1 >= 0 && iy+1 < inH {
+						r1 = src[(iy+1)*inW : (iy+1)*inW+inW]
+					}
+					if iy+2 >= 0 && iy+2 < inH {
+						r2 = src[(iy+2)*inW : (iy+2)*inW+inW]
+					}
+					d := dst[oy*outW : oy*outW+outW]
+					edge := func(ox int) {
+						ix := ox*stride - pad
+						var s float32
+						if r0 != nil {
+							if ix >= 0 && ix < inW {
+								s += w0 * r0[ix]
+							}
+							if ix+1 >= 0 && ix+1 < inW {
+								s += w1 * r0[ix+1]
+							}
+							if ix+2 >= 0 && ix+2 < inW {
+								s += w2 * r0[ix+2]
+							}
+						}
+						if r1 != nil {
+							if ix >= 0 && ix < inW {
+								s += w3 * r1[ix]
+							}
+							if ix+1 >= 0 && ix+1 < inW {
+								s += w4 * r1[ix+1]
+							}
+							if ix+2 >= 0 && ix+2 < inW {
+								s += w5 * r1[ix+2]
+							}
+						}
+						if r2 != nil {
+							if ix >= 0 && ix < inW {
+								s += w6 * r2[ix]
+							}
+							if ix+1 >= 0 && ix+1 < inW {
+								s += w7 * r2[ix+1]
+							}
+							if ix+2 >= 0 && ix+2 < inW {
+								s += w8 * r2[ix+2]
+							}
+						}
+						d[ox] += s
+					}
+					ox := 0
+					for ; ox < oxLo; ox++ {
+						edge(ox)
+					}
+					if r0 != nil && r1 != nil && r2 != nil {
+						// All rows in bounds: unguarded 9-tap interior.
+						for ; ox < oxHi; ox++ {
+							ix := ox*stride - pad
+							d[ox] += w0*r0[ix] + w1*r0[ix+1] + w2*r0[ix+2] +
+								w3*r1[ix] + w4*r1[ix+1] + w5*r1[ix+2] +
+								w6*r2[ix] + w7*r2[ix+1] + w8*r2[ix+2]
+						}
+					} else {
+						// Top/bottom border row: gate per source row only.
+						for ; ox < oxHi; ox++ {
+							ix := ox*stride - pad
+							var s float32
+							if r0 != nil {
+								s += w0*r0[ix] + w1*r0[ix+1] + w2*r0[ix+2]
+							}
+							if r1 != nil {
+								s += w3*r1[ix] + w4*r1[ix+1] + w5*r1[ix+2]
+							}
+							if r2 != nil {
+								s += w6*r2[ix] + w7*r2[ix+1] + w8*r2[ix+2]
+							}
+							d[ox] += s
+						}
+					}
+					for ; ox < outW; ox++ {
+						edge(ox)
+					}
+				}
+			}
+		}
+	})
+}
+
+// convGeneric is the fallback for kernel sizes other than 3, writing
+// into out with the same channel-accumulation order as the 3×3 path.
+func convGeneric(x, w, bias *T, g ConvGeom, out *T) {
+	n := x.Shape[0]
+	k, stride, pad := g.Kernel, g.Stride, g.Pad
+	inPlane := g.InH * g.InW
+	outPlane := g.OutH * g.OutW
+	parallelRows(n*g.OutC, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			b := row / g.OutC
+			oc := row % g.OutC
+			dst := out.Data[row*outPlane : (row+1)*outPlane]
+			var bv float32
+			if bias != nil {
+				bv = bias.Data[oc]
+			}
+			for i := range dst {
+				dst[i] = bv
+			}
+			for c := 0; c < g.InC; c++ {
+				src := x.Data[(b*g.InC+c)*inPlane:]
+				wBase := ((oc * g.InC) + c) * k * k
+				for oy := 0; oy < g.OutH; oy++ {
+					for ox := 0; ox < g.OutW; ox++ {
+						var s float32
+						for ky := 0; ky < k; ky++ {
+							iy := oy*stride + ky - pad
+							if iy < 0 || iy >= g.InH {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ox*stride + kx - pad
+								if ix < 0 || ix >= g.InW {
+									continue
+								}
+								s += src[iy*g.InW+ix] * w.Data[wBase+ky*k+kx]
+							}
+						}
+						dst[oy*g.OutW+ox] += s
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package tensor
+
+// Portable scalar reference implementations of the two SIMD primitives
+// behind the blocked matmul kernels. On amd64 with AVX2+FMA the
+// assembly versions in simd_amd64.s are used instead; these generic
+// loops are the fallback and the oracle the asm is tested against.
+
+// axpyGeneric computes y[i] += alpha * x[i] over len(x) elements.
+func axpyGeneric(alpha float32, x, y []float32) {
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// dotGeneric returns the inner product of x and y over len(x) elements.
+func dotGeneric(x, y []float32) float32 {
+	y = y[:len(x)]
+	var s float32
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+//go:build amd64
+
+package tensor
+
+// useSIMD gates the AVX2+FMA kernels on runtime CPU support (CPUID
+// feature bits plus OS XMM/YMM state saving).
+var useSIMD = cpuSupportsAVX2FMA()
+
+// cpuSupportsAVX2FMA reports whether the CPU and OS support the AVX2 and
+// FMA instructions the assembly kernels use. Implemented in simd_amd64.s.
+func cpuSupportsAVX2FMA() bool
+
+// axpyAVX computes y[i] += alpha * x[i] over len(x) elements with
+// 8-wide FMA. len(y) must be >= len(x). Implemented in simd_amd64.s.
+//
+//go:noescape
+func axpyAVX(alpha float32, x, y []float32)
+
+// dotAVX returns the inner product over len(x) elements with 8-wide
+// FMA. len(y) must be >= len(x). Implemented in simd_amd64.s.
+//
+//go:noescape
+func dotAVX(x, y []float32) float32
+
+// SIMDEnabled reports whether the vector kernels are active; benchmarks
+// surface it so recorded numbers are interpretable across machines.
+func SIMDEnabled() bool { return useSIMD }
+
+func axpy(alpha float32, x, y []float32) {
+	if useSIMD {
+		axpyAVX(alpha, x, y)
+		return
+	}
+	axpyGeneric(alpha, x, y)
+}
+
+func dot(x, y []float32) float32 {
+	if useSIMD {
+		return dotAVX(x, y)
+	}
+	return dotGeneric(x, y)
+}

@@ -1,0 +1,135 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuSupportsAVX2FMA() bool
+//
+// CPUID leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28);
+// XGETBV XCR0 bits 1|2 confirm the OS saves XMM/YMM state;
+// CPUID leaf 7 EBX bit 5 is AVX2.
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18001000, R8
+	CMPL R8, $0x18001000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpyAVX(alpha float32, x, y []float32)
+//
+// y[i] += alpha * x[i] for i < len(x). Caller guarantees
+// len(y) >= len(x). 4x-unrolled 8-wide FMA body, then an 8-wide loop,
+// then a scalar loop for the remainder.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-56
+	VBROADCASTSS alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ x_len+16(FP), CX
+	MOVQ y_base+32(FP), DI
+	MOVQ CX, DX
+	SHRQ $5, DX
+	JZ   axpy_tail8
+axpy_loop32:
+	VMOVUPS (SI), Y1
+	VMOVUPS 32(SI), Y2
+	VMOVUPS 64(SI), Y3
+	VMOVUPS 96(SI), Y4
+	VFMADD213PS (DI), Y0, Y1
+	VFMADD213PS 32(DI), Y0, Y2
+	VFMADD213PS 64(DI), Y0, Y3
+	VFMADD213PS 96(DI), Y0, Y4
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  axpy_loop32
+axpy_tail8:
+	MOVQ CX, DX
+	ANDQ $31, DX
+	MOVQ DX, R8
+	SHRQ $3, R8
+	JZ   axpy_tail1
+axpy_loop8:
+	VMOVUPS (SI), Y1
+	VFMADD213PS (DI), Y0, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ R8
+	JNZ  axpy_loop8
+axpy_tail1:
+	ANDQ $7, DX
+	JZ   axpy_done
+axpy_loop1:
+	VMOVSS (SI), X1
+	VFMADD213SS (DI), X0, X1
+	VMOVSS X1, (DI)
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ DX
+	JNZ  axpy_loop1
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func dotAVX(x, y []float32) float32
+//
+// Inner product over len(x) elements. Caller guarantees
+// len(y) >= len(x). Two independent 8-wide FMA accumulators hide
+// FMA latency; horizontal reduction, then a scalar remainder loop.
+TEXT ·dotAVX(SB), NOSPLIT, $0-52
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	VXORPS Y5, Y5, Y5
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   dot_reduce
+dot_loop16:
+	VMOVUPS (SI), Y1
+	VMOVUPS 32(SI), Y2
+	VFMADD231PS (DI), Y1, Y0
+	VFMADD231PS 32(DI), Y2, Y5
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  dot_loop16
+dot_reduce:
+	VADDPS Y5, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	ANDQ $15, CX
+	JZ   dot_done
+dot_loop1:
+	VMOVSS (SI), X1
+	VMOVSS (DI), X2
+	VFMADD231SS X2, X1, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  dot_loop1
+dot_done:
+	VMOVSS X0, ret+48(FP)
+	VZEROUPPER
+	RET

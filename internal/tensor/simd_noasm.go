@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// SIMDEnabled reports whether the vector kernels are active; on
+// non-amd64 platforms the scalar fallbacks are always used.
+func SIMDEnabled() bool { return false }
+
+func axpy(alpha float32, x, y []float32) { axpyGeneric(alpha, x, y) }
+
+func dot(x, y []float32) float32 { return dotGeneric(x, y) }

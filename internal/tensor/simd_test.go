@@ -1,0 +1,49 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Lengths straddle every unroll boundary in the assembly: scalar tail
+// only, one 8-wide group, the 32-wide body, and combinations.
+var simdLens = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 255, 256, 1000}
+
+func TestAxpyMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, n := range simdLens {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		want := make([]float32, n)
+		for i := range x {
+			x[i] = float32(r.NormFloat64())
+			y[i] = float32(r.NormFloat64())
+			want[i] = y[i]
+		}
+		alpha := float32(r.NormFloat64())
+		axpyGeneric(alpha, x, want)
+		axpy(alpha, x, y)
+		for i := range y {
+			if !close32(y[i], want[i], 1e-6) {
+				t.Fatalf("axpy n=%d: [%d] = %g, want %g", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for _, n := range simdLens {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		for i := range x {
+			x[i] = float32(r.NormFloat64())
+			y[i] = float32(r.NormFloat64())
+		}
+		want := dotGeneric(x, y)
+		got := dot(x, y)
+		if !close32(got, want, 1e-5) {
+			t.Fatalf("dot n=%d: %g, want %g", n, got, want)
+		}
+	}
+}

@@ -159,8 +159,10 @@ func parallelRows(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n].
-func MatMul(a, b *T) *T {
+// MatMulNaive computes C = A·B with the unblocked row-parallel triple
+// loop. It is kept as the reference oracle for the blocked kernel in
+// blocked.go; hot paths should call MatMul.
+func MatMulNaive(a, b *T) *T {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul %v × %v", a.Shape, b.Shape))
 	}
@@ -184,8 +186,9 @@ func MatMul(a, b *T) *T {
 	return c
 }
 
-// MatMulTA computes C = Aᵀ·B for A [k,m] and B [k,n].
-func MatMulTA(a, b *T) *T {
+// MatMulTANaive computes C = Aᵀ·B with the unblocked loop nest; it is
+// the reference oracle for the blocked MatMulTA.
+func MatMulTANaive(a, b *T) *T {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulTA %v × %v", a.Shape, b.Shape))
 	}
@@ -210,8 +213,9 @@ func MatMulTA(a, b *T) *T {
 	return c
 }
 
-// MatMulTB computes C = A·Bᵀ for A [m,k] and B [n,k].
-func MatMulTB(a, b *T) *T {
+// MatMulTBNaive computes C = A·Bᵀ with the unblocked loop nest; it is
+// the reference oracle for the blocked MatMulTB.
+func MatMulTBNaive(a, b *T) *T {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulTB %v × %v", a.Shape, b.Shape))
 	}
