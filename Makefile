@@ -1,14 +1,21 @@
 # Standard entry points for the eoml repo.
 #
-#   make check   — what CI runs: vet + full race-enabled test suite
+#   make check   — what CI runs: gofmt gate + vet + race-enabled tests
 #   make bench   — the hot-path benchmarks recorded in BENCH_1.json
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-all check
+.PHONY: build test vet race fmt bench bench-all check
 
 build:
 	$(GO) build ./...
+
+# gofmt cleanliness gate: fails listing any file that needs formatting.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -27,4 +34,4 @@ bench:
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: vet race
+check: fmt vet race

@@ -152,6 +152,9 @@ func main() {
 		fmt.Printf("eoml: wrote provenance graph to %s\n", *provPath)
 	}
 	fmt.Println("eoml:", rep.Summary())
+	if rep.FlowsFailed > 0 {
+		fmt.Printf("eoml: warning: %d inference flows failed\n", rep.FlowsFailed)
+	}
 	fmt.Println("\nstage latency breakdown:")
 	fmt.Print(rep.Spans.Render())
 	if *timeline {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eoml/eoml/internal/laads"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most base+slack, failing the test if it never does. The slack absorbs
+// runtime/test-framework goroutines that come and go.
+func waitGoroutines(t *testing.T, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d > %d+%d\n%s", n, base, slack, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// cancellingArchive serves the synthetic archive but cancels the given
+// context as soon as the first download request arrives — a
+// deterministic mid-run cancellation point.
+func cancellingArchive(t *testing.T, cancel context.CancelFunc) *httptest.Server {
+	t.Helper()
+	srv, err := laads.NewServer(laads.ServerConfig{ScaleDown: testScale, Token: "test-token"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		once.Do(cancel)
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunCancelledMidRun(t *testing.T) {
+	granules := findProductiveGranules(t, 2, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ts := cancellingArchive(t, cancel)
+	cfg := testConfig(t, ts.URL, granules)
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = p.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not include context.Canceled", err)
+	}
+	ts.Close() // idempotent; drops server+client conn goroutines
+	waitGoroutines(t, base, 3)
+}
+
+func TestRunStreamCancelledMidRun(t *testing.T) {
+	granules := findProductiveGranules(t, 2, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	base := runtime.NumGoroutine()
+
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, nil)
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// One arrival, then the feed goes quiet without closing — the only
+	// way out of the ingest stage is the cancellation.
+	arrivals := make(chan int, 1)
+	arrivals <- granules[0]
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	_, err = p.RunStream(ctx, arrivals)
+	if err == nil {
+		t.Fatal("cancelled stream returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not include context.Canceled", err)
+	}
+	ts.Close()
+	waitGoroutines(t, base, 3)
+}

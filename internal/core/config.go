@@ -51,6 +51,10 @@ type Config struct {
 	// Monitor.
 	PollInterval time.Duration
 
+	// StallTimeout caps how long the run waits for inference to catch up
+	// with the expected tile-file count before declaring a stall.
+	StallTimeout time.Duration
+
 	// Inference batching: tiles from different watched files are
 	// coalesced into one encode batch, flushed at BatchTiles tiles or
 	// BatchDelay after the first pending tile, whichever comes first.
@@ -76,6 +80,7 @@ func DefaultConfig() Config {
 		TilePixels:        16,
 		MinCloudFrac:      0.3,
 		PollInterval:      50 * time.Millisecond,
+		StallTimeout:      5 * time.Minute,
 		BatchTiles:        256,
 		BatchDelay:        20 * time.Millisecond,
 	}
@@ -115,6 +120,9 @@ func (c *Config) Validate() error {
 	}
 	if c.PollInterval <= 0 {
 		return fmt.Errorf("core: poll interval must be positive")
+	}
+	if c.StallTimeout <= 0 {
+		return fmt.Errorf("core: stall timeout must be positive")
 	}
 	if c.BatchTiles <= 0 {
 		return fmt.Errorf("core: batch tiles must be positive")
@@ -172,6 +180,7 @@ func (c *Config) GranuleIDs() []modis.GranuleID {
 //	  pixels: 16
 //	  min_cloud_fraction: 0.3
 //	poll_interval_ms: 50
+//	stall_timeout_ms: 300000
 //	batch:
 //	  tiles: 256
 //	  delay_ms: 20
@@ -256,6 +265,9 @@ func LoadConfig(data []byte) (*Config, error) {
 	}
 	if v, ok := doc["poll_interval_ms"].(int64); ok {
 		cfg.PollInterval = time.Duration(v) * time.Millisecond
+	}
+	if v, ok := doc["stall_timeout_ms"].(int64); ok {
+		cfg.StallTimeout = time.Duration(v) * time.Millisecond
 	}
 	if m, ok := doc["batch"].(map[string]any); ok {
 		if v, ok := m["tiles"].(int64); ok {

@@ -315,6 +315,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.TilePixels = 1 },
 		func(c *Config) { c.MinCloudFrac = 2 },
 		func(c *Config) { c.PollInterval = 0 },
+		func(c *Config) { c.StallTimeout = 0 },
 		func(c *Config) { c.BatchTiles = 0 },
 		func(c *Config) { c.BatchDelay = 0 },
 	}
@@ -352,6 +353,7 @@ tile:
   pixels: 16
   min_cloud_fraction: 0.3
 poll_interval_ms: 25
+stall_timeout_ms: 120000
 batch:
   tiles: 128
   delay_ms: 10
@@ -380,6 +382,9 @@ model:
 	}
 	if cfg.PollInterval != 25*time.Millisecond {
 		t.Fatalf("poll: %v", cfg.PollInterval)
+	}
+	if cfg.StallTimeout != 2*time.Minute {
+		t.Fatalf("stall: %v", cfg.StallTimeout)
 	}
 	if cfg.BatchTiles != 128 || cfg.BatchDelay != 10*time.Millisecond {
 		t.Fatalf("batch: %+v", cfg)

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunAndRunStreamEquivalent drives the identical granule set
+// through both execution modes and asserts the drivers — now thin
+// compositions of the same stage objects — produce matching outcomes.
+func TestRunAndRunStreamEquivalent(t *testing.T) {
+	granules := findProductiveGranules(t, 3, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	ctx := context.Background()
+
+	batchCfg := testConfig(t, ts.URL, granules)
+	batchPipe, err := New(batchCfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRep, err := batchPipe.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamCfg := testConfig(t, ts.URL, nil) // stream mode ignores cfg.Granules
+	streamPipe, err := New(streamCfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make(chan int, len(granules))
+	for _, idx := range granules {
+		arrivals <- idx
+	}
+	close(arrivals)
+	streamRep, err := streamPipe.RunStream(ctx, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if batchRep.GranulesRequested != streamRep.GranulesRequested {
+		t.Errorf("granules: batch %d, stream %d", batchRep.GranulesRequested, streamRep.GranulesRequested)
+	}
+	if batchRep.FilesDownloaded != streamRep.FilesDownloaded {
+		t.Errorf("downloads: batch %d, stream %d", batchRep.FilesDownloaded, streamRep.FilesDownloaded)
+	}
+	if batchRep.TileFiles != streamRep.TileFiles {
+		t.Errorf("tile files: batch %d, stream %d", batchRep.TileFiles, streamRep.TileFiles)
+	}
+	if batchRep.TilesProduced != streamRep.TilesProduced {
+		t.Errorf("tiles produced: batch %d, stream %d", batchRep.TilesProduced, streamRep.TilesProduced)
+	}
+	if batchRep.TilesLabeled != streamRep.TilesLabeled {
+		t.Errorf("tiles labeled: batch %d, stream %d", batchRep.TilesLabeled, streamRep.TilesLabeled)
+	}
+	if batchRep.FilesShipped != streamRep.FilesShipped {
+		t.Errorf("files shipped: batch %d, stream %d", batchRep.FilesShipped, streamRep.FilesShipped)
+	}
+	if batchRep.TilesLabeled == 0 || batchRep.FilesShipped == 0 {
+		t.Fatalf("degenerate run: %s", batchRep.Summary())
+	}
+	if batchRep.FlowsFailed != 0 || streamRep.FlowsFailed != 0 {
+		t.Errorf("flow failures: batch %d, stream %d", batchRep.FlowsFailed, streamRep.FlowsFailed)
+	}
+}

@@ -3,24 +3,19 @@ package core
 import (
 	"context"
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/eoml/eoml/internal/aicca"
-	"github.com/eoml/eoml/internal/flows"
 	"github.com/eoml/eoml/internal/hdf"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/parsl"
 	"github.com/eoml/eoml/internal/provenance"
 	"github.com/eoml/eoml/internal/ricc"
+	"github.com/eoml/eoml/internal/stage"
 	"github.com/eoml/eoml/internal/tile"
 	"github.com/eoml/eoml/internal/trace"
-	"github.com/eoml/eoml/internal/transfer"
-	"github.com/eoml/eoml/internal/watch"
 )
 
 // Report summarizes a completed pipeline run.
@@ -32,6 +27,7 @@ type Report struct {
 	TilesProduced     int
 	TilesLabeled      int
 	FilesShipped      int
+	FlowsFailed       int // label-and-move flows that errored
 	Elapsed           time.Duration
 
 	// Stage telemetry (Fig. 6 / Fig. 7 counterparts for real runs).
@@ -39,7 +35,9 @@ type Report struct {
 	Spans    *trace.Spans
 }
 
-// Pipeline executes the five-stage workflow.
+// Pipeline executes the five-stage workflow. Both execution modes —
+// batch (Run) and streaming (RunStream) — are thin drivers over the
+// same stage objects from internal/stage, composed in different orders.
 type Pipeline struct {
 	cfg     Config
 	labeler *aicca.Labeler
@@ -72,164 +70,120 @@ func New(cfg Config, labeler *aicca.Labeler) (*Pipeline, error) {
 	return &Pipeline{cfg: cfg, labeler: labeler}, nil
 }
 
-// Run executes download → preprocess → monitor/trigger → inference →
-// shipment and returns the run report. Inference overlaps preprocessing,
-// as in the paper's Fig. 6; shipment begins once every tile file is
-// labeled.
-func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
-	start := time.Now()
+// newRun builds the report and the shared run context every driver
+// hands to the stage orchestrator.
+func (p *Pipeline) newRun(granules int) (*Report, *stage.RunContext) {
 	rep := &Report{
-		GranulesRequested: len(p.cfg.GranuleIDs()),
+		GranulesRequested: granules,
 		Timeline:          trace.NewTimeline(),
 		Spans:             trace.NewSpans(),
 	}
-	since := func() float64 { return time.Since(start).Seconds() }
-
-	for _, dir := range []string{p.cfg.DataDir, p.cfg.TileDir, p.cfg.OutboxDir, p.cfg.DestDir} {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, err
-		}
-	}
-
-	// ---- Stage 3+4 first: arm the monitor and the inference flow so
-	// they overlap preprocessing (files are labeled as they appear).
-	//
-	// Cross-file batcher: tiles from all watched files funnel into shared
-	// encode batches (flush on size or deadline), with per-batch spans on
-	// the run timeline.
-	batcher := aicca.NewBatchLabeler(p.labeler, aicca.BatchConfig{
-		MaxTiles: p.cfg.BatchTiles,
-		MaxDelay: p.cfg.BatchDelay,
+	rc := &stage.RunContext{
+		Epoch:    time.Now(),
 		Timeline: rep.Timeline,
-		Epoch:    start,
+		Spans:    rep.Spans,
+		Dirs:     []string{p.cfg.DataDir, p.cfg.TileDir, p.cfg.OutboxDir, p.cfg.DestDir},
+	}
+	return rep, rc
+}
+
+// inferenceService builds the shared monitor+inference stage: crawler,
+// flow engine, cross-file batcher, and bounded worker pool, armed at
+// setup so labeling overlaps preprocessing (the paper's Fig. 6).
+func (p *Pipeline) inferenceService() *stage.InferenceService {
+	return stage.NewInferenceService(stage.InferenceConfig{
+		Labeler:      p.labeler,
+		BatchTiles:   p.cfg.BatchTiles,
+		BatchDelay:   p.cfg.BatchDelay,
+		WatchDir:     p.cfg.TileDir,
+		PollInterval: p.cfg.PollInterval,
+		Workers:      p.cfg.InferenceWorkers,
+		OutboxDir:    p.cfg.OutboxDir,
+		StallTimeout: p.cfg.StallTimeout,
+		OnMoved:      p.recordInference,
 	})
-	defer batcher.Close()
+}
 
-	engine := flows.NewEngine(flows.EngineConfig{})
-	if err := engine.RegisterProvider("inference", p.inferenceProvider(batcher)); err != nil {
-		return nil, err
-	}
-	if err := engine.RegisterProvider("move", p.moveProvider()); err != nil {
-		return nil, err
-	}
-	flowDef, err := flows.ParseDefinition([]byte(inferenceFlowDefinition))
-	if err != nil {
-		return nil, err
-	}
-
-	crawler, err := watch.NewCrawler(watch.Config{
-		Dir:      p.cfg.TileDir,
-		Pattern:  "*.nc",
-		Interval: p.cfg.PollInterval,
+// shipment builds the stage-5 transfer, skipped when upstream produced
+// no tile files.
+func (p *Pipeline) shipment(svc *stage.InferenceService) *stage.Shipment {
+	return stage.NewShipment(stage.ShipmentConfig{
+		SrcDir:    p.cfg.OutboxDir,
+		DestDir:   p.cfg.DestDir,
+		Skip:      func() bool { return svc.Expected() == 0 },
+		OnShipped: p.recordShipment,
 	})
-	if err != nil {
-		return nil, err
-	}
+}
 
-	var mu sync.Mutex
-	labeled := 0
-	tilesLabeled := 0
-	var flowErr error
-	inferCtx, stopCrawler := context.WithCancel(ctx)
-	defer stopCrawler()
-	crawlerDone := make(chan struct{})
-	inferenceStarted := false
+// finish copies the stage outcomes into the report.
+func (p *Pipeline) finish(rep *Report, rc *stage.RunContext, svc *stage.InferenceService, ship *stage.Shipment) {
+	rep.TilesLabeled = svc.TilesLabeled()
+	rep.FlowsFailed = svc.FlowsFailed()
+	rep.FilesShipped = ship.FilesShipped()
+	rep.Elapsed = time.Since(rc.Epoch)
+}
 
-	// Progress signal: workers nudge this channel after every completed
-	// flow so the post-preprocess wait blocks instead of polling.
-	progress := make(chan struct{}, 1)
-	bump := func() {
-		select {
-		case progress <- struct{}{}:
-		default:
-		}
-	}
+// Run executes download → preprocess → monitor/trigger → inference →
+// shipment and returns the run report. The inference service arms
+// during orchestrator setup, so labeling overlaps preprocessing as in
+// the paper's Fig. 6; shipment begins once every tile file is labeled.
+func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
+	rep, rc := p.newRun(len(p.cfg.GranuleIDs()))
+	svc := p.inferenceService()
+	ship := p.shipment(svc)
 
-	// Bounded inference worker pool: the crawler only enqueues events;
-	// exactly InferenceWorkers goroutines run flows, each synchronously,
-	// so a burst of watched files cannot fan out into a goroutine per
-	// file.
-	events := make(chan watch.Event, 4*p.cfg.InferenceWorkers+64)
-	var poolWG sync.WaitGroup
-	for w := 0; w < p.cfg.InferenceWorkers; w++ {
-		poolWG.Add(1)
-		go func() {
-			defer poolWG.Done()
-			for ev := range events {
-				mu.Lock()
-				if !inferenceStarted {
-					inferenceStarted = true
-					rep.Timeline.Record("inference", since(), 1)
-				}
-				mu.Unlock()
-				run, err := engine.Start(ctx, flowDef, map[string]any{
-					"file":   ev.Path,
-					"outbox": p.cfg.OutboxDir,
-				})
-				var out map[string]any
-				if err == nil {
-					out, err = run.Wait(ctx)
-				}
-				mu.Lock()
-				if err != nil {
-					if flowErr == nil {
-						flowErr = err
-					}
-				} else {
-					labeled++
-					if n, ok := out["labeled"].(int); ok {
-						tilesLabeled += n
-					}
-					rep.Timeline.Record("inference", since(), 0)
-				}
-				mu.Unlock()
-				bump()
-			}
-		}()
-	}
-
-	go func() {
-		defer close(crawlerDone)
-		_ = crawler.Run(inferCtx, func(evs []watch.Event) error {
-			for _, ev := range evs {
-				events <- ev
-			}
-			return nil
+	download := stage.Func("download", func(ctx context.Context, rc *stage.RunContext) error {
+		files, bytes, err := p.downloadViaCompute(ctx, p.cfg.GranuleIDs(), func(active int) {
+			rc.Timeline.Record("download", rc.Since(), active)
 		})
-	}()
-
-	// ---- Stage 1: download (Globus-Compute-style fan-out) -------------
-	dlStart := since()
-	files, bytes, err := p.downloadViaCompute(ctx, p.cfg.GranuleIDs(), func(active int) {
-		rep.Timeline.Record("download", since(), active)
+		if err != nil {
+			return err
+		}
+		rep.FilesDownloaded, rep.BytesDownloaded = files, bytes
+		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	rep.FilesDownloaded = files
-	rep.BytesDownloaded = bytes
-	rep.Spans.Add("download", dlStart, since())
+	preprocess := stage.Func("preprocess", func(ctx context.Context, rc *stage.RunContext) error {
+		files, tiles, err := p.preprocessBatch(ctx, rc)
+		if err != nil {
+			return err
+		}
+		rep.TileFiles, rep.TilesProduced = files, tiles
+		svc.ExpectFiles(files)
+		return nil
+	})
 
-	// ---- Stage 2: preprocess (Parsl block) ----------------------------
-	preStart := since()
+	err := stage.NewOrchestrator(rc).Execute(ctx, download, preprocess, svc, ship)
+	p.finish(rep, rc, svc, ship)
+	if err != nil {
+		// The partial report still carries telemetry and the FlowsFailed
+		// count, so callers can see how far the run got.
+		return rep, fmt.Errorf("core: %w", err)
+	}
+	return rep, nil
+}
+
+// preprocessBatch runs the Parsl block over every configured granule
+// and returns (tileFiles, tilesProduced).
+func (p *Pipeline) preprocessBatch(ctx context.Context, rc *stage.RunContext) (int, int, error) {
 	exec, err := parsl.NewHTEX(parsl.HTEXConfig{
 		Label:          "preprocess",
 		WorkersPerNode: p.cfg.PreprocessWorkers,
 		InitBlocks:     1,
 		MaxBlocks:      1,
 		OnWorkerChange: func(busy int) {
-			rep.Timeline.Record("preprocess", since(), busy)
+			rc.Timeline.Record("preprocess", rc.Since(), busy)
 		},
 	})
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	if err := exec.Start(); err != nil {
-		return nil, err
+		return 0, 0, err
 	}
+	defer exec.Shutdown()
 	dfk, err := parsl.NewDFK(exec, parsl.DFKConfig{Retries: 1})
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 
 	granules := p.cfg.GranuleIDs()
@@ -240,99 +194,19 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 			return p.preprocessGranule(g)
 		}
 	}
-	futs := dfk.Map("tiles", apps)
-	expectFiles := 0
-	for i, f := range futs {
+	files, tiles := 0, 0
+	for i, f := range dfk.Map("tiles", apps) {
 		v, err := f.Get(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("core: preprocess granule %d: %w", granules[i].Index, err)
+			return 0, 0, fmt.Errorf("granule %d: %w", granules[i].Index, err)
 		}
 		r := v.(preResult)
-		rep.TilesProduced += r.tiles
+		tiles += r.tiles
 		if r.hasFile {
-			expectFiles++
+			files++
 		}
 	}
-	rep.TileFiles = expectFiles
-	if err := exec.Shutdown(); err != nil {
-		return nil, err
-	}
-	rep.Spans.Add("preprocess", preStart, since())
-
-	// ---- Wait for inference to catch up -------------------------------
-	// Workers signal progress after every completed flow, so this blocks
-	// on the channel instead of sleeping and re-polling.
-	stall := time.NewTimer(5 * time.Minute)
-	defer stall.Stop()
-	for {
-		mu.Lock()
-		done := labeled >= expectFiles
-		err := flowErr
-		mu.Unlock()
-		if err != nil {
-			return nil, fmt.Errorf("core: inference flow: %w", err)
-		}
-		if done {
-			break
-		}
-		select {
-		case <-progress:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-stall.C:
-			return nil, fmt.Errorf("core: inference stalled: %d/%d files labeled", labeled, expectFiles)
-		}
-	}
-	stopCrawler()
-	<-crawlerDone // crawler has stopped enqueueing
-	close(events)
-	poolWG.Wait()
-	batcher.Close()
-	mu.Lock()
-	rep.TilesLabeled = tilesLabeled
-	mu.Unlock()
-	rep.Spans.Add("inference", preStart, since())
-
-	// ---- Stage 5: shipment --------------------------------------------
-	shipStart := since()
-	shipWall := time.Now()
-	if expectFiles > 0 {
-		svc := transfer.NewService(transfer.Options{VerifyChecksum: true, Parallelism: 4})
-		if _, err := svc.RegisterEndpoint("defiant", "ACE Defiant", p.cfg.OutboxDir); err != nil {
-			return nil, err
-		}
-		if _, err := svc.RegisterEndpoint("orion", "Frontier Orion", p.cfg.DestDir); err != nil {
-			return nil, err
-		}
-		taskID, err := svc.SubmitDir("defiant", "orion", ".", ".")
-		if err != nil {
-			return nil, fmt.Errorf("core: shipment: %w", err)
-		}
-		st, err := svc.Wait(ctx, taskID)
-		if err != nil {
-			return nil, err
-		}
-		if st.State != transfer.Succeeded {
-			return nil, fmt.Errorf("core: shipment failed: %v", st.Errors)
-		}
-		rep.FilesShipped = st.FilesDone
-		if p.prov != nil {
-			entries, err := os.ReadDir(p.cfg.OutboxDir)
-			if err == nil {
-				var names []string
-				for _, e := range entries {
-					if !e.IsDir() {
-						names = append(names, e.Name())
-					}
-				}
-				p.recordShipment(names, shipWall, time.Now())
-			}
-		}
-	}
-	rep.Spans.Add("shipment", shipStart, since())
-
-	rep.Elapsed = time.Since(start)
-	return rep, nil
+	return files, tiles, exec.Shutdown()
 }
 
 // preResult is the per-granule outcome of the preprocessing app.
@@ -379,107 +253,14 @@ func (p *Pipeline) preprocessGranule(g modis.GranuleID) (any, error) {
 	return preResult{tiles: len(res.Tiles), hasFile: true}, nil
 }
 
-// inferenceFlowDefinition is the Globus-Flows-style definition of stages
-// 3–4: label the file, then move it to the shipment outbox.
-const inferenceFlowDefinition = `{
-  "Comment": "EO-ML inference flow: label tiles, stage for shipment",
-  "StartAt": "Infer",
-  "States": {
-    "Infer": {
-      "Type": "Action",
-      "ActionProvider": "inference",
-      "Parameters": {"file": "$.file"},
-      "ResultPath": "$.labeled",
-      "Next": "Move"
-    },
-    "Move": {
-      "Type": "Action",
-      "ActionProvider": "move",
-      "Parameters": {"file": "$.file", "outbox": "$.outbox", "labeled": "$.labeled"},
-      "ResultPath": "$.moved",
-      "Next": "Done"
-    },
-    "Done": {"Type": "Succeed"}
-  }
-}`
-
-func (p *Pipeline) inferenceProvider(batcher *aicca.BatchLabeler) flows.ActionProvider {
-	return func(ctx context.Context, params map[string]any) (any, error) {
-		path, _ := params["file"].(string)
-		if path == "" {
-			return nil, fmt.Errorf("core: inference action needs a file")
-		}
-		return batcher.LabelFile(path)
-	}
-}
-
-func (p *Pipeline) moveProvider() flows.ActionProvider {
-	return func(ctx context.Context, params map[string]any) (any, error) {
-		started := time.Now()
-		src, _ := params["file"].(string)
-		outbox, _ := params["outbox"].(string)
-		if src == "" || outbox == "" {
-			return nil, fmt.Errorf("core: move action needs file and outbox")
-		}
-		labeled, _ := params["labeled"].(int)
-		dst := filepath.Join(outbox, filepath.Base(src))
-		if err := os.Rename(src, dst); err != nil {
-			// Cross-device rename fallback.
-			if cerr := copyPreserving(src, dst); cerr != nil {
-				return nil, cerr
-			}
-		}
-		p.recordInference(src, dst, labeled, started, time.Now())
-		return dst, nil
-	}
-}
-
-// copyPreserving moves src to dst across filesystems: it copies into a
-// temp file next to dst, carries over the source file mode, fsyncs, and
-// renames into place before removing the source — so a crash mid-move
-// can leave a stray temp file but never a truncated dst or a lost file.
-func copyPreserving(src, dst string) error {
-	info, err := os.Stat(src)
-	if err != nil {
-		return err
-	}
-	in, err := os.Open(src)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".move-*")
-	if err != nil {
-		return err
-	}
-	tmpPath := tmp.Name()
-	defer os.Remove(tmpPath) // no-op once renamed into place
-	if _, err := io.Copy(tmp, in); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpPath, dst); err != nil {
-		return err
-	}
-	return os.Remove(src)
-}
-
 // Summary renders a one-paragraph report.
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "granules=%d files=%d bytes=%d tileFiles=%d tiles=%d labeled=%d shipped=%d elapsed=%s",
 		r.GranulesRequested, r.FilesDownloaded, r.BytesDownloaded,
 		r.TileFiles, r.TilesProduced, r.TilesLabeled, r.FilesShipped, r.Elapsed.Round(time.Millisecond))
+	if r.FlowsFailed > 0 {
+		fmt.Fprintf(&b, " flowsFailed=%d", r.FlowsFailed)
+	}
 	return b.String()
 }

@@ -66,7 +66,9 @@ func (p *Pipeline) recordPreprocess(g modis.GranuleID, tilePath string, tiles in
 	})
 }
 
-// recordInference registers the labeled entity derived from a tile file.
+// recordInference registers the labeled entity derived from a tile
+// file. It is wired into the stage layer as the inference service's
+// OnMoved hook, so every label-and-move flow reports through it.
 func (p *Pipeline) recordInference(tilePath, outboxPath string, labeled int, started, ended time.Time) {
 	if p.prov == nil {
 		return
@@ -92,7 +94,8 @@ func (p *Pipeline) recordInference(tilePath, outboxPath string, labeled int, sta
 	})
 }
 
-// recordShipment registers shipped entities for each outbox file.
+// recordShipment registers shipped entities for each outbox file. It is
+// the shipment stage's OnShipped hook.
 func (p *Pipeline) recordShipment(names []string, started, ended time.Time) {
 	if p.prov == nil || len(names) == 0 {
 		return

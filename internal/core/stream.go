@@ -3,18 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
-	"os"
-	"sync"
-	"time"
 
-	"github.com/eoml/eoml/internal/aicca"
-	"github.com/eoml/eoml/internal/flows"
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/parsl"
-	"github.com/eoml/eoml/internal/trace"
-	"github.com/eoml/eoml/internal/transfer"
-	"github.com/eoml/eoml/internal/watch"
+	"github.com/eoml/eoml/internal/stage"
 )
 
 // RunStream executes the workflow in streaming mode — the paper's §V
@@ -27,246 +20,101 @@ import (
 // Unlike Run, preprocessing is NOT delayed until all downloads finish:
 // per-granule isolation (atomic writes, per-granule tile files) makes the
 // partial-file hazard of the batch design structurally impossible here.
+// The monitor+inference machinery and the shipment drain are the same
+// stage objects Run composes; only the ingest stage differs.
 func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report, error) {
-	start := time.Now()
-	rep := &Report{
-		Timeline: trace.NewTimeline(),
-		Spans:    trace.NewSpans(),
-	}
-	since := func() float64 { return time.Since(start).Seconds() }
+	rep, rc := p.newRun(0)
+	svc := p.inferenceService()
+	ship := p.shipment(svc)
 
-	for _, dir := range []string{p.cfg.DataDir, p.cfg.TileDir, p.cfg.OutboxDir, p.cfg.DestDir} {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, err
-		}
-	}
-
-	// Monitor + inference flow, as in Run: one cross-file batcher plus a
-	// bounded worker pool.
-	batcher := aicca.NewBatchLabeler(p.labeler, aicca.BatchConfig{
-		MaxTiles: p.cfg.BatchTiles,
-		MaxDelay: p.cfg.BatchDelay,
-		Timeline: rep.Timeline,
-		Epoch:    start,
+	ingest := stage.Func("ingest", func(ctx context.Context, rc *stage.RunContext) error {
+		return p.ingestStream(ctx, rc, arrivals, rep, svc)
 	})
-	defer batcher.Close()
 
-	engine := flows.NewEngine(flows.EngineConfig{})
-	if err := engine.RegisterProvider("inference", p.inferenceProvider(batcher)); err != nil {
-		return nil, err
-	}
-	if err := engine.RegisterProvider("move", p.moveProvider()); err != nil {
-		return nil, err
-	}
-	flowDef, err := flows.ParseDefinition([]byte(inferenceFlowDefinition))
+	err := stage.NewOrchestrator(rc).Execute(ctx, ingest, svc, ship)
+	p.finish(rep, rc, svc, ship)
 	if err != nil {
-		return nil, err
+		// Partial report: telemetry and counts up to the failure point.
+		return rep, fmt.Errorf("core: stream: %w", err)
 	}
-	crawler, err := watch.NewCrawler(watch.Config{
-		Dir:      p.cfg.TileDir,
-		Pattern:  "*.nc",
-		Interval: p.cfg.PollInterval,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return rep, nil
+}
 
-	var mu sync.Mutex
-	labeled := 0
-	tilesLabeled := 0
-	var flowErr error
-	inferCtx, stopCrawler := context.WithCancel(ctx)
-	defer stopCrawler()
-	crawlerDone := make(chan struct{})
-
-	progress := make(chan struct{}, 1)
-	bump := func() {
-		select {
-		case progress <- struct{}{}:
-		default:
-		}
-	}
-
-	events := make(chan watch.Event, 4*p.cfg.InferenceWorkers+64)
-	var poolWG sync.WaitGroup
-	for w := 0; w < p.cfg.InferenceWorkers; w++ {
-		poolWG.Add(1)
-		go func() {
-			defer poolWG.Done()
-			for ev := range events {
-				run, err := engine.Start(ctx, flowDef, map[string]any{
-					"file":   ev.Path,
-					"outbox": p.cfg.OutboxDir,
-				})
-				var out map[string]any
-				if err == nil {
-					out, err = run.Wait(ctx)
-				}
-				mu.Lock()
-				if err != nil {
-					if flowErr == nil {
-						flowErr = err
-					}
-				} else {
-					labeled++
-					if n, ok := out["labeled"].(int); ok {
-						tilesLabeled += n
-					}
-					rep.Timeline.Record("inference", since(), labeled)
-				}
-				mu.Unlock()
-				bump()
-			}
-		}()
-	}
-
-	go func() {
-		defer close(crawlerDone)
-		_ = crawler.Run(inferCtx, func(evs []watch.Event) error {
-			for _, ev := range evs {
-				events <- ev
-			}
-			return nil
-		})
-	}()
-
-	// A persistent preprocessing executor handles granules as they land.
+// ingestStream consumes the arrival feed: each granule's product triple
+// is downloaded and its preprocessing app submitted to a persistent
+// executor; once the stream closes, the preprocessing backlog drains and
+// the inference service learns how many tile files to expect.
+func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arrivals <-chan int, rep *Report, svc *stage.InferenceService) error {
 	exec, err := parsl.NewHTEX(parsl.HTEXConfig{
 		Label:          "stream-preprocess",
 		WorkersPerNode: p.cfg.PreprocessWorkers,
 		InitBlocks:     1,
 		MaxBlocks:      1,
 		OnWorkerChange: func(busy int) {
-			rep.Timeline.Record("preprocess", since(), busy)
+			rc.Timeline.Record("preprocess", rc.Since(), busy)
 		},
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := exec.Start(); err != nil {
-		return nil, err
+		return err
 	}
+	defer exec.Shutdown()
 	dfk, err := parsl.NewDFK(exec, parsl.DFKConfig{Retries: 1})
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	client := laads.NewClient(p.cfg.ArchiveURL, p.cfg.ArchiveToken)
 	var futs []*parsl.AppFuture
-
-	// Consume the stream: download each arrival's product triple, then
-	// submit its preprocessing app.
-	for idx := range arrivals {
+	for open := true; open; {
+		var idx int
+		select {
+		case idx, open = <-arrivals:
+			if !open {
+				continue
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		if idx < 0 || idx >= modis.GranulesPerDay {
-			exec.Shutdown()
-			return nil, fmt.Errorf("core: stream granule index %d out of range", idx)
+			return fmt.Errorf("granule index %d out of range", idx)
 		}
 		g := modis.GranuleID{Satellite: p.cfg.Satellite, Year: p.cfg.Year, DOY: p.cfg.DOY, Index: idx}
 		rep.GranulesRequested++
-		rep.Timeline.Record("download", since(), 1)
+		rc.Timeline.Record("download", rc.Since(), 1)
 		var tasks []laads.Task
 		for _, prod := range p.cfg.Products() {
 			tasks = append(tasks, laads.Task{Product: prod, Year: g.Year, DOY: g.DOY, Name: modis.FileName(prod, g)})
 		}
 		dlRep, err := client.DownloadAll(ctx, tasks, p.cfg.DataDir, p.cfg.DownloadWorkers)
 		if err != nil {
-			exec.Shutdown()
-			return nil, fmt.Errorf("core: stream download granule %d: %w", idx, err)
+			return fmt.Errorf("download granule %d: %w", idx, err)
 		}
 		rep.FilesDownloaded += len(dlRep.Files)
 		rep.BytesDownloaded += dlRep.TotalBytes
-		rep.Timeline.Record("download", since(), 0)
+		rc.Timeline.Record("download", rc.Since(), 0)
 
 		futs = append(futs, dfk.Submit(fmt.Sprintf("stream-tiles[%d]", idx), func(ctx context.Context) (any, error) {
 			return p.preprocessGranule(g)
 		}))
 	}
 
-	// Stream closed: drain preprocessing.
-	expectFiles := 0
+	// Stream closed: drain preprocessing and publish the expectation.
+	expect := 0
 	for i, f := range futs {
 		v, err := f.Get(ctx)
 		if err != nil {
-			exec.Shutdown()
-			return nil, fmt.Errorf("core: stream preprocess %d: %w", i, err)
+			return fmt.Errorf("preprocess %d: %w", i, err)
 		}
 		r := v.(preResult)
 		rep.TilesProduced += r.tiles
 		if r.hasFile {
-			expectFiles++
+			expect++
 		}
 	}
-	rep.TileFiles = expectFiles
-	if err := exec.Shutdown(); err != nil {
-		return nil, err
-	}
-
-	// Drain inference: block on worker progress signals, no poll loop.
-	stall := time.NewTimer(5 * time.Minute)
-	defer stall.Stop()
-	for {
-		mu.Lock()
-		done := labeled >= expectFiles
-		err := flowErr
-		mu.Unlock()
-		if err != nil {
-			return nil, fmt.Errorf("core: stream inference: %w", err)
-		}
-		if done {
-			break
-		}
-		select {
-		case <-progress:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-stall.C:
-			return nil, fmt.Errorf("core: stream inference stalled: %d/%d", labeled, expectFiles)
-		}
-	}
-	stopCrawler()
-	<-crawlerDone
-	close(events)
-	poolWG.Wait()
-	batcher.Close()
-	mu.Lock()
-	rep.TilesLabeled = tilesLabeled
-	mu.Unlock()
-
-	// Shipment.
-	shipWall := time.Now()
-	if expectFiles > 0 {
-		svc := transfer.NewService(transfer.Options{VerifyChecksum: true, Parallelism: 4})
-		if _, err := svc.RegisterEndpoint("defiant", "ACE Defiant", p.cfg.OutboxDir); err != nil {
-			return nil, err
-		}
-		if _, err := svc.RegisterEndpoint("orion", "Frontier Orion", p.cfg.DestDir); err != nil {
-			return nil, err
-		}
-		taskID, err := svc.SubmitDir("defiant", "orion", ".", ".")
-		if err != nil {
-			return nil, err
-		}
-		st, err := svc.Wait(ctx, taskID)
-		if err != nil {
-			return nil, err
-		}
-		if st.State != transfer.Succeeded {
-			return nil, fmt.Errorf("core: stream shipment failed: %v", st.Errors)
-		}
-		rep.FilesShipped = st.FilesDone
-		if p.prov != nil {
-			entries, err := os.ReadDir(p.cfg.OutboxDir)
-			if err == nil {
-				var names []string
-				for _, e := range entries {
-					if !e.IsDir() {
-						names = append(names, e.Name())
-					}
-				}
-				p.recordShipment(names, shipWall, time.Now())
-			}
-		}
-	}
-	rep.Elapsed = time.Since(start)
-	return rep, nil
+	rep.TileFiles = expect
+	svc.ExpectFiles(expect)
+	return exec.Shutdown()
 }

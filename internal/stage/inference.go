@@ -1,0 +1,388 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/aicca"
+	"github.com/eoml/eoml/internal/flows"
+	"github.com/eoml/eoml/internal/watch"
+)
+
+// flowDefinition is the Globus-Flows-style definition of stages 3–4:
+// label the watched file, then move it to the shipment outbox.
+const flowDefinition = `{
+  "Comment": "EO-ML inference flow: label tiles, stage for shipment",
+  "StartAt": "Infer",
+  "States": {
+    "Infer": {
+      "Type": "Action",
+      "ActionProvider": "inference",
+      "Parameters": {"file": "$.file"},
+      "ResultPath": "$.labeled",
+      "Next": "Move"
+    },
+    "Move": {
+      "Type": "Action",
+      "ActionProvider": "move",
+      "Parameters": {"file": "$.file", "outbox": "$.outbox", "labeled": "$.labeled"},
+      "ResultPath": "$.moved",
+      "Next": "Done"
+    },
+    "Done": {"Type": "Succeed"}
+  }
+}`
+
+// InferenceConfig tunes an InferenceService.
+type InferenceConfig struct {
+	// Labeler performs the actual tile classification.
+	Labeler *aicca.Labeler
+	// BatchTiles / BatchDelay tune the cross-file encode batcher.
+	BatchTiles int
+	BatchDelay time.Duration
+	// WatchDir is the directory the monitor crawls for tile files.
+	WatchDir string
+	// Pattern filters watched file names; default "*.nc".
+	Pattern string
+	// PollInterval is the crawler scan period.
+	PollInterval time.Duration
+	// Workers bounds the inference worker pool; default 1.
+	Workers int
+	// OutboxDir receives labeled files staged for shipment.
+	OutboxDir string
+	// StallTimeout caps the wait for inference to catch up with the
+	// expected file count; default 5 minutes.
+	StallTimeout time.Duration
+	// OnMoved, when set, observes every labeled file move (provenance).
+	OnMoved func(src, dst string, labeled int, started, ended time.Time)
+}
+
+func (c InferenceConfig) withDefaults() InferenceConfig {
+	if c.Pattern == "" {
+		c.Pattern = "*.nc"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// InferenceService is the monitor & trigger + inference machinery of
+// the workflow as one reusable stage: a filesystem crawler feeding a
+// bounded worker pool that runs the label-and-move flow through a
+// cross-file encode batcher. Both the batch and the streaming driver
+// compose this same service.
+//
+// Lifecycle: Setup builds the batcher, flow engine, and crawler and
+// arms the background goroutines (so labeling overlaps preprocessing);
+// ExpectFiles tells the service how many tile files upstream produced;
+// Run blocks until that many flows completed (successfully or not) and
+// returns the join of all flow errors; Drain retires the crawler, pool,
+// and batcher gracefully; Close is the idempotent forced variant for
+// error paths.
+type InferenceService struct {
+	cfg InferenceConfig
+
+	batcher     *aicca.BatchLabeler
+	engine      *flows.Engine
+	def         *flows.Definition
+	crawler     *watch.Crawler
+	events      chan watch.Event
+	progress    chan struct{}
+	stopCrawler context.CancelFunc
+	crawlerDone chan struct{}
+	poolWG      sync.WaitGroup
+	armed       bool
+	stopOnce    sync.Once
+
+	mu           sync.Mutex
+	expected     int
+	expectSet    bool
+	completed    int
+	filesLabeled int
+	tilesLabeled int
+	flowErrs     []error
+}
+
+// NewInferenceService builds an unarmed service; Setup arms it.
+func NewInferenceService(cfg InferenceConfig) *InferenceService {
+	return &InferenceService{cfg: cfg.withDefaults()}
+}
+
+// Name implements Stage.
+func (s *InferenceService) Name() string { return "inference" }
+
+// Setup builds the machinery and arms the crawler and worker pool.
+func (s *InferenceService) Setup(ctx context.Context, rc *RunContext) error {
+	s.batcher = aicca.NewBatchLabeler(s.cfg.Labeler, aicca.BatchConfig{
+		MaxTiles: s.cfg.BatchTiles,
+		MaxDelay: s.cfg.BatchDelay,
+		Timeline: rc.Timeline,
+		Epoch:    rc.Epoch,
+	})
+	s.engine = flows.NewEngine(flows.EngineConfig{})
+	if err := s.engine.RegisterProvider("inference", s.inferenceProvider()); err != nil {
+		return err
+	}
+	if err := s.engine.RegisterProvider("move", s.moveProvider()); err != nil {
+		return err
+	}
+	def, err := flows.ParseDefinition([]byte(flowDefinition))
+	if err != nil {
+		return err
+	}
+	s.def = def
+	s.crawler, err = watch.NewCrawler(watch.Config{
+		Dir:      s.cfg.WatchDir,
+		Pattern:  s.cfg.Pattern,
+		Interval: s.cfg.PollInterval,
+	})
+	if err != nil {
+		return err
+	}
+
+	s.events = make(chan watch.Event, 4*s.cfg.Workers+64)
+	s.progress = make(chan struct{}, 1)
+	s.crawlerDone = make(chan struct{})
+	crawlCtx, stop := context.WithCancel(ctx)
+	s.stopCrawler = stop
+
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.poolWG.Add(1)
+		go s.worker(ctx, rc)
+	}
+	go func() {
+		defer close(s.crawlerDone)
+		_ = s.crawler.Run(crawlCtx, func(evs []watch.Event) error {
+			for _, ev := range evs {
+				// Enqueue must never block past cancellation: after the
+				// pool exits (cancelled run), nothing drains events, so a
+				// bare send could wedge the crawler goroutine forever.
+				select {
+				case s.events <- ev:
+				case <-crawlCtx.Done():
+					return crawlCtx.Err()
+				}
+			}
+			return nil
+		})
+	}()
+	s.armed = true
+	return nil
+}
+
+// worker labels and moves watched files until the event channel closes.
+func (s *InferenceService) worker(ctx context.Context, rc *RunContext) {
+	defer s.poolWG.Done()
+	for ev := range s.events {
+		run, err := s.engine.Start(ctx, s.def, map[string]any{
+			"file":   ev.Path,
+			"outbox": s.cfg.OutboxDir,
+		})
+		var out map[string]any
+		if err == nil {
+			out, err = run.Wait(ctx)
+		}
+		s.mu.Lock()
+		s.completed++
+		if err != nil {
+			s.flowErrs = append(s.flowErrs, fmt.Errorf("flow %s: %w", filepath.Base(ev.Path), err))
+		} else {
+			s.filesLabeled++
+			if n, ok := out["labeled"].(int); ok {
+				s.tilesLabeled += n
+			}
+			rc.Timeline.Record("inference", rc.Since(), s.filesLabeled)
+		}
+		s.mu.Unlock()
+		s.bump()
+	}
+}
+
+// bump nudges the progress channel so Run re-checks its condition.
+func (s *InferenceService) bump() {
+	select {
+	case s.progress <- struct{}{}:
+	default:
+	}
+}
+
+// ExpectFiles tells the service how many tile files upstream produced;
+// Run returns once that many flows have completed. Safe to call while
+// Run is already waiting.
+func (s *InferenceService) ExpectFiles(n int) {
+	s.mu.Lock()
+	s.expected = n
+	s.expectSet = true
+	s.mu.Unlock()
+	s.bump()
+}
+
+// Run blocks until every expected file's flow completed, then returns
+// the join of all flow errors (nil when every flow succeeded). Failed
+// flows still count toward completion, so a bad file cannot stall the
+// run — its error surfaces in the join instead.
+func (s *InferenceService) Run(ctx context.Context, rc *RunContext) error {
+	stall := time.NewTimer(s.cfg.StallTimeout)
+	defer stall.Stop()
+	for {
+		s.mu.Lock()
+		done := s.expectSet && s.completed >= s.expected
+		completed, expected := s.completed, s.expected
+		s.mu.Unlock()
+		if done {
+			break
+		}
+		select {
+		case <-s.progress:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-stall.C:
+			return fmt.Errorf("inference stalled: %d/%d files processed", completed, expected)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return errors.Join(s.flowErrs...)
+}
+
+// Drain gracefully retires the crawler, worker pool, and batcher.
+func (s *InferenceService) Drain(ctx context.Context, rc *RunContext) error {
+	s.shutdown()
+	return nil
+}
+
+// Close tears the service down on any exit path; idempotent.
+func (s *InferenceService) Close() error {
+	if s.armed {
+		s.shutdown()
+	} else if s.batcher != nil {
+		s.batcher.Close()
+	}
+	return nil
+}
+
+// shutdown stops the crawler, joins the pool, and closes the batcher,
+// exactly once. Ordering matters: the crawler must have exited before
+// events is closed, and the pool must have exited before the batcher
+// (workers mid-flow still need it) is flushed and closed.
+func (s *InferenceService) shutdown() {
+	s.stopOnce.Do(func() {
+		s.stopCrawler()
+		<-s.crawlerDone
+		close(s.events)
+		s.poolWG.Wait()
+		s.batcher.Close()
+	})
+}
+
+// FilesLabeled reports how many watched files were labeled and moved.
+func (s *InferenceService) FilesLabeled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.filesLabeled
+}
+
+// TilesLabeled reports the total tiles labeled across all files.
+func (s *InferenceService) TilesLabeled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tilesLabeled
+}
+
+// FlowsFailed reports how many label-and-move flows failed.
+func (s *InferenceService) FlowsFailed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flowErrs)
+}
+
+// Expected reports the expected file count (zero until ExpectFiles).
+func (s *InferenceService) Expected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expected
+}
+
+func (s *InferenceService) inferenceProvider() flows.ActionProvider {
+	return func(ctx context.Context, params map[string]any) (any, error) {
+		path, _ := params["file"].(string)
+		if path == "" {
+			return nil, fmt.Errorf("stage: inference action needs a file")
+		}
+		return s.batcher.LabelFile(path)
+	}
+}
+
+func (s *InferenceService) moveProvider() flows.ActionProvider {
+	return func(ctx context.Context, params map[string]any) (any, error) {
+		started := time.Now()
+		src, _ := params["file"].(string)
+		outbox, _ := params["outbox"].(string)
+		if src == "" || outbox == "" {
+			return nil, fmt.Errorf("stage: move action needs file and outbox")
+		}
+		labeled, _ := params["labeled"].(int)
+		dst := filepath.Join(outbox, filepath.Base(src))
+		if err := os.Rename(src, dst); err != nil {
+			// Cross-device rename fallback.
+			if cerr := copyPreserving(src, dst); cerr != nil {
+				return nil, cerr
+			}
+		}
+		if s.cfg.OnMoved != nil {
+			s.cfg.OnMoved(src, dst, labeled, started, time.Now())
+		}
+		return dst, nil
+	}
+}
+
+// copyPreserving moves src to dst across filesystems: it copies into a
+// temp file next to dst, carries over the source file mode, fsyncs, and
+// renames into place before removing the source — so a crash mid-move
+// can leave a stray temp file but never a truncated dst or a lost file.
+func copyPreserving(src, dst string) error {
+	info, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".move-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath) // no-op once renamed into place
+	if _, err := io.Copy(tmp, in); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, dst); err != nil {
+		return err
+	}
+	return os.Remove(src)
+}

@@ -1,0 +1,108 @@
+package stage
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/eoml/eoml/internal/transfer"
+)
+
+// ShipmentConfig tunes a Shipment stage.
+type ShipmentConfig struct {
+	// SrcDir is shipped (recursively) to DestDir.
+	SrcDir  string
+	DestDir string
+	// SrcName / DestName label the endpoints; defaults "defiant"/"orion"
+	// after the paper's facilities.
+	SrcName  string
+	DestName string
+	// Parallelism bounds concurrent file copies; default 4.
+	Parallelism int
+	// Skip, when set and returning true at run time, elides the transfer
+	// entirely (e.g. no tile files were produced upstream).
+	Skip func() bool
+	// OnShipped, when set, observes the shipped file names (provenance).
+	OnShipped func(names []string, started, ended time.Time)
+}
+
+func (c ShipmentConfig) withDefaults() ShipmentConfig {
+	if c.SrcName == "" {
+		c.SrcName = "ACE Defiant"
+	}
+	if c.DestName == "" {
+		c.DestName = "Frontier Orion"
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	return c
+}
+
+// Shipment is the workflow's stage 5 as a Stage: a checksum-verified
+// Globus-Transfer-style move of the outbox to the destination facility.
+type Shipment struct {
+	cfg ShipmentConfig
+
+	filesShipped int
+}
+
+// NewShipment builds the shipment stage.
+func NewShipment(cfg ShipmentConfig) *Shipment {
+	return &Shipment{cfg: cfg.withDefaults()}
+}
+
+// Name implements Stage.
+func (s *Shipment) Name() string { return "shipment" }
+
+// Run performs the transfer (unless skipped) and records the outcome.
+func (s *Shipment) Run(ctx context.Context, rc *RunContext) error {
+	if s.cfg.Skip != nil && s.cfg.Skip() {
+		return nil
+	}
+	started := time.Now()
+	svc := transfer.NewService(transfer.Options{VerifyChecksum: true, Parallelism: s.cfg.Parallelism})
+	if _, err := svc.RegisterEndpoint("defiant", s.cfg.SrcName, s.cfg.SrcDir); err != nil {
+		return err
+	}
+	if _, err := svc.RegisterEndpoint("orion", s.cfg.DestName, s.cfg.DestDir); err != nil {
+		return err
+	}
+	taskID, err := svc.SubmitDir("defiant", "orion", ".", ".")
+	if err != nil {
+		return err
+	}
+	st, err := svc.Wait(ctx, taskID)
+	if err != nil {
+		return err
+	}
+	if st.State != transfer.Succeeded {
+		return fmt.Errorf("shipment failed: %v", st.Errors)
+	}
+	s.filesShipped = st.FilesDone
+	if s.cfg.OnShipped != nil {
+		if names, err := listFiles(s.cfg.SrcDir); err == nil {
+			s.cfg.OnShipped(names, started, time.Now())
+		}
+	}
+	return nil
+}
+
+// FilesShipped reports how many files the transfer completed.
+func (s *Shipment) FilesShipped() int { return s.filesShipped }
+
+// listFiles returns the plain-file names directly under dir.
+func listFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}

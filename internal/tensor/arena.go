@@ -28,9 +28,9 @@ const arenaBuckets = 28
 type Arena struct {
 	pools [arenaBuckets]sync.Pool
 
-	gets  atomic.Int64 // Get calls
-	news  atomic.Int64 // Gets that missed the pool and allocated
-	puts  atomic.Int64 // tensors returned
+	gets atomic.Int64 // Get calls
+	news atomic.Int64 // Gets that missed the pool and allocated
+	puts atomic.Int64 // tensors returned
 }
 
 // NewArena returns an empty arena.

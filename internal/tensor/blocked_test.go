@@ -108,9 +108,9 @@ func TestConvFusedMatchesDirect(t *testing.T) {
 		{4, 3, 3, 3, 2, 10, 13},
 		{2, 2, 3, 1, 2, 4, 3}, // pad wider than interior
 		{3, 2, 3, 2, 0, 9, 7},
-		{2, 3, 1, 1, 0, 6, 6}, // generic fallback: k=1
+		{2, 3, 1, 1, 0, 6, 6},  // generic fallback: k=1
 		{2, 3, 5, 2, 2, 11, 9}, // generic fallback: k=5
-		{1, 2, 2, 1, 1, 5, 5}, // generic fallback: even kernel
+		{1, 2, 2, 1, 1, 5, 5},  // generic fallback: even kernel
 	}
 	for _, cs := range cases {
 		g, err := NewConvGeom(cs.inC, cs.outC, cs.k, cs.stride, cs.pad, cs.inH, cs.inW)
