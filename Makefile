@@ -1,11 +1,12 @@
 # Standard entry points for the eoml repo.
 #
-#   make check   — what CI runs: gofmt gate + vet + race-enabled tests
+#   make check   — what CI runs: gofmt gate + vet + eomlvet + race tests
+#   make lint    — the repo's own analyzer suite (cmd/eomlvet)
 #   make bench   — the hot-path benchmarks recorded in BENCH_1.json
 
 GO ?= go
 
-.PHONY: build test vet race fmt bench bench-all check
+.PHONY: build test vet lint race fmt bench bench-all check
 
 build:
 	$(GO) build ./...
@@ -20,8 +21,16 @@ fmt:
 test:
 	$(GO) test ./...
 
+# go vet plus the two extra passes worth running explicitly: copied locks
+# and discarded pure-function results.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -unusedresult ./...
+
+# eomlvet: the repo's own stdlib-only analyzers for concurrency and
+# resource invariants (see DESIGN.md §10). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/eomlvet ./...
 
 race:
 	$(GO) test -race ./...
@@ -34,4 +43,4 @@ bench:
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: fmt vet race
+check: fmt vet lint race

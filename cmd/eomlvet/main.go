@@ -1,0 +1,71 @@
+// Command eomlvet runs the repo's static-analysis suite (internal/analysis)
+// over the module containing the working directory. It is the `make lint`
+// gate: zero diagnostics exits 0, anything else prints editor-friendly
+// `path/file.go:line:col: check: message` lines and exits 1.
+//
+// Usage:
+//
+//	eomlvet [./...]
+//	eomlvet -list
+//
+// The only supported pattern is the whole module (`./...`, the default):
+// the analyzers are cheap compared to type-checking, and the invariants
+// they enforce are module-wide properties. Suppress a finding in-code
+// with `//eomlvet:ignore <check> <rationale>` (see internal/analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eoml/eoml/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the checks in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: eomlvet [-list] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "eomlvet: unsupported pattern %q (only ./... is supported)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunModule(root, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "eomlvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eomlvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ArenaPair keeps the tensor.Arena honest: the arena only amortizes
+// allocations (PR 1's 305→15 allocs/op win) if every Get is returned
+// with a Put. A function that Gets and never Puts silently regresses the
+// hot path back to the allocator. The check is per function declaration:
+// a function calling (tensor.Arena).Get must either call Put (directly,
+// deferred, or in a nested literal) or visibly transfer ownership by
+// returning the gotten tensor — the Layer.Infer contract, where the
+// caller recycles. Any other transfer (storing the tensor in a field,
+// handing it to a goroutine) carries an ignore directive naming the new
+// owner.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "a function that calls tensor.Arena.Get must Put the tensor back, return it to the caller, or document the ownership transfer with an ignore directive",
+	Run:  runArenaPair,
+}
+
+const tensorPkg = "github.com/eoml/eoml/internal/tensor"
+
+func runArenaPair(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkArenaPairs(pass, fd)
+			}
+		}
+	}
+}
+
+func checkArenaPairs(pass *Pass, fd *ast.FuncDecl) {
+	var gets []*ast.CallExpr
+	puts := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		switch {
+		case isMethodOn(fn, tensorPkg, "Arena", "Get"):
+			gets = append(gets, call)
+		case isMethodOn(fn, tensorPkg, "Arena", "Put"):
+			puts++
+		}
+		return true
+	})
+	// Any Put in the function is taken as evidence of pairing discipline;
+	// per-tensor matching is the reviewer's job, count matching is ours.
+	if len(gets) == 0 || puts > 0 {
+		return
+	}
+	parents := parentMap(fd.Body)
+	for _, get := range gets {
+		if returnsOwnership(pass, parents, fd, get) {
+			continue
+		}
+		pass.Reportf(get.Pos(), "tensor.Arena Get without any Put in %s; the tensor never returns to the arena", fd.Name.Name)
+	}
+}
+
+// returnsOwnership reports whether the Get call's result is returned by
+// the function, directly or through the variable it is assigned to.
+func returnsOwnership(pass *Pass, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, get *ast.CallExpr) bool {
+	switch p := parents[get].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		if len(p.Lhs) != 1 || len(p.Rhs) != 1 {
+			return false
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		returned := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			// The returned expression must BE the tensor variable;
+			// returning a field or element of it still leaks the buffer.
+			for _, res := range ret.Results {
+				if use, ok := ast.Unparen(res).(*ast.Ident); ok && pass.Info.ObjectOf(use) == obj {
+					returned = true
+				}
+			}
+			return !returned
+		})
+		return returned
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck guards the durability edges of the pipeline: an error from
+// Close, Sync, or Flush on a write path, or from os.Rename, is the only
+// notification that buffered bytes never reached disk — the atomic
+// write-then-rename pattern the granule writers rely on is void if those
+// errors vanish. Two rules:
+//
+//  1. A statement that discards an error result from a Close/Sync/Flush
+//     method or from os.Rename is flagged. Discarding deliberately (an
+//     error path that already has a better error to return) is spelled
+//     `_ = f.Close()` — the explicit blank assignment is the
+//     acknowledgement and is not flagged.
+//  2. `defer f.Close()` on a file obtained from os.Create, os.OpenFile,
+//     or os.CreateTemp is flagged: the write-path close error is
+//     unobservable from a plain defer. Close explicitly before rename,
+//     or fold the close error into a named return.
+//
+// Read-path defers (os.Open, response bodies) are idiomatic and exempt.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "errors from Close/Sync/Flush and os.Rename must be checked (or explicitly discarded with _ =) on write paths",
+	Run:  runCloseCheck,
+}
+
+// closeMethods are the flush-to-durability methods whose error results
+// matter on write paths.
+var closeMethods = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// fileCreators are the os functions whose result is a write-path file.
+var fileCreators = []string{"Create", "OpenFile", "CreateTemp"}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		created := writePathFiles(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := discardsError(pass, call); ok {
+						pass.Reportf(n.Pos(), "%s error discarded; check it or acknowledge with `_ = ...`", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if obj := deferredCloseTarget(pass, n.Call); obj != nil {
+					if creator := created[obj]; creator != nil {
+						pass.Reportf(n.Pos(), "defer %s.Close() on a file from os.%s discards the write-path close error; close explicitly and check, or fold into a named return", obj.Name(), creator.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// discardsError reports whether call returns an error that the caller is
+// dropping, for the Close/Sync/Flush + os.Rename family. Returns a
+// human-readable callee name.
+func discardsError(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !returnsError(fn) {
+		return "", false
+	}
+	if isPkgFunc(fn, "os", "Rename") {
+		return "os.Rename", true
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil && closeMethods[fn.Name()] {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// writePathFiles maps variables assigned from os.Create / os.OpenFile /
+// os.CreateTemp anywhere in the file to the creating function.
+func writePathFiles(pass *Pass, f *ast.File) map[types.Object]*types.Func {
+	out := map[types.Object]*types.Func{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		creator := false
+		for _, name := range fileCreators {
+			if isPkgFunc(fn, "os", name) {
+				creator = true
+			}
+		}
+		if !creator {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				out[obj] = fn
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deferredCloseTarget returns the object x in `defer x.Close()`, or nil.
+func deferredCloseTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}

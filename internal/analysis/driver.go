@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DefaultAnalyzers returns the full eomlvet suite in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		CtxSend,
+		SleepPoll,
+		LoneGoroutine,
+		CloseCheck,
+		ArenaPair,
+		SpanPair,
+	}
+}
+
+// internalOnly scopes a check to library code under internal/.
+func internalOnly(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/")
+}
+
+// pathSuffixAny scopes a check to packages whose import path ends in one
+// of the given suffixes.
+func pathSuffixAny(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, s := range suffixes {
+			if strings.HasSuffix(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// RunModule loads every package in the module rooted at moduleDir and
+// runs the analyzers over it, honoring each analyzer's path scope and
+// the in-code ignore directives. The returned diagnostics are sorted by
+// position with paths relative to the module root; an empty slice means
+// the tree holds every invariant.
+func RunModule(moduleDir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags = append(diags, RunAnalyzer(a, loader.Fset, pkg)...)
+		}
+		diags = applyIgnores(diags, collectIgnores(loader.Fset, pkg.Files), known)
+		all = append(all, diags...)
+	}
+	for i := range all {
+		if rel, ok := strings.CutPrefix(all[i].Pos.Filename, moduleDir+"/"); ok {
+			all[i].Pos.Filename = rel
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return all, nil
+}
+
+// RunAnalyzer runs one analyzer over one loaded package, ignoring the
+// analyzer's path scope (the caller owns scoping decisions).
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	pass := &Pass{
+		Fset:   fset,
+		Files:  pkg.Files,
+		Pkg:    pkg.Types,
+		Info:   pkg.Info,
+		check:  a.Name,
+		report: func(d Diagnostic) { out = append(out, d) },
+	}
+	a.Run(pass)
+	return out
+}

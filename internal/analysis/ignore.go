@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//eomlvet:ignore <check> <rationale>
+//
+// The directive suppresses <check> diagnostics on its own line and on
+// the line directly below it (so it works both trailing a statement and
+// standing alone above one). The rationale is mandatory: a bare ignore
+// is reported as a diagnostic itself, because an unexplained exemption
+// is exactly the review knowledge this suite exists to preserve.
+const ignorePrefix = "eomlvet:ignore"
+
+type ignoreDirective struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// collectIgnores extracts every ignore directive in the files.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				d := &ignoreDirective{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.check = fields[0]
+					d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether d silences diag.
+func (d *ignoreDirective) suppresses(diag Diagnostic) bool {
+	return d.check == diag.Check &&
+		d.pos.Filename == diag.Pos.Filename &&
+		(d.pos.Line == diag.Pos.Line || d.pos.Line == diag.Pos.Line-1)
+}
+
+// applyIgnores drops suppressed diagnostics and appends directive-level
+// findings: a directive with no rationale, with an unknown check name,
+// or that suppressed nothing (stale) is itself reported.
+func applyIgnores(diags []Diagnostic, directives []*ignoreDirective, known map[string]bool) []Diagnostic {
+	kept := diags[:0]
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.suppresses(diag) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	for _, d := range directives {
+		switch {
+		case d.check == "":
+			kept = append(kept, Diagnostic{Pos: d.pos, Check: "ignore",
+				Message: "eomlvet:ignore needs a check name and a rationale"})
+		case !known[d.check]:
+			kept = append(kept, Diagnostic{Pos: d.pos, Check: "ignore",
+				Message: fmt.Sprintf("eomlvet:ignore names unknown check %q", d.check)})
+		case d.reason == "":
+			kept = append(kept, Diagnostic{Pos: d.pos, Check: "ignore",
+				Message: "eomlvet:ignore " + d.check + " has no rationale; say why this site is exempt"})
+		case !d.used:
+			kept = append(kept, Diagnostic{Pos: d.pos, Check: "ignore",
+				Message: "eomlvet:ignore " + d.check + " suppresses nothing here; remove the stale directive"})
+		}
+	}
+	return kept
+}

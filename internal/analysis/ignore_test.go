@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseIgnores parses src and returns its directives.
+func parseIgnores(t *testing.T, src string) (*token.FileSet, []*ignoreDirective) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, collectIgnores(fset, []*ast.File{f})
+}
+
+func TestIgnoreDirectiveParsing(t *testing.T) {
+	_, directives := parseIgnores(t, `package p
+
+//eomlvet:ignore sleeppoll modeled overhead in the simulator
+func a() {}
+
+//eomlvet:ignore ctxsend
+func b() {}
+
+//eomlvet:ignore
+func c() {}
+`)
+	if len(directives) != 3 {
+		t.Fatalf("directives = %d, want 3", len(directives))
+	}
+	if directives[0].check != "sleeppoll" || directives[0].reason != "modeled overhead in the simulator" {
+		t.Fatalf("directive 0 = %+v", directives[0])
+	}
+	if directives[1].check != "ctxsend" || directives[1].reason != "" {
+		t.Fatalf("directive 1 = %+v", directives[1])
+	}
+	if directives[2].check != "" {
+		t.Fatalf("directive 2 = %+v", directives[2])
+	}
+}
+
+func TestApplyIgnores(t *testing.T) {
+	known := map[string]bool{"sleeppoll": true, "ctxsend": true}
+	mk := func(line int, check string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: "fix.go", Line: line}, Check: check, Message: "m"}
+	}
+	dir := func(line int, check, reason string) *ignoreDirective {
+		return &ignoreDirective{pos: token.Position{Filename: "fix.go", Line: line}, check: check, reason: reason}
+	}
+
+	t.Run("suppresses same and next line with rationale", func(t *testing.T) {
+		got := applyIgnores(
+			[]Diagnostic{mk(5, "sleeppoll"), mk(6, "sleeppoll"), mk(9, "sleeppoll")},
+			[]*ignoreDirective{dir(5, "sleeppoll", "why"), dir(9, "ctxsend", "why")},
+			known)
+		// Line 5 (same line) and 6 (next line) suppressed; line 9 has a
+		// directive for a different check, so the finding survives and
+		// the directive is stale.
+		var msgs []string
+		for _, d := range got {
+			msgs = append(msgs, d.String())
+		}
+		joined := strings.Join(msgs, "\n")
+		if len(got) != 2 ||
+			!strings.Contains(joined, "fix.go:9: sleeppoll") ||
+			!strings.Contains(joined, "suppresses nothing") {
+			t.Fatalf("got:\n%s", joined)
+		}
+	})
+
+	t.Run("missing rationale is a finding", func(t *testing.T) {
+		got := applyIgnores(
+			[]Diagnostic{mk(5, "sleeppoll")},
+			[]*ignoreDirective{dir(5, "sleeppoll", "")},
+			known)
+		if len(got) != 1 || got[0].Check != "ignore" || !strings.Contains(got[0].Message, "no rationale") {
+			t.Fatalf("got: %v", got)
+		}
+	})
+
+	t.Run("unknown check is a finding", func(t *testing.T) {
+		got := applyIgnores(nil,
+			[]*ignoreDirective{dir(5, "nosuchcheck", "why")},
+			known)
+		if len(got) != 1 || !strings.Contains(got[0].Message, "unknown check") {
+			t.Fatalf("got: %v", got)
+		}
+	})
+
+	t.Run("bare directive is a finding", func(t *testing.T) {
+		got := applyIgnores(nil, []*ignoreDirective{dir(5, "", "")}, known)
+		if len(got) != 1 || !strings.Contains(got[0].Message, "needs a check name") {
+			t.Fatalf("got: %v", got)
+		}
+	})
+}

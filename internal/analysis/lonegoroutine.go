@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LoneGoroutine flags `go func(){...}()` literals with no visible join
+// discipline. A goroutine the spawner cannot wait for outlives runs,
+// leaks on error paths, and races teardown — PR 1's goroutine-per-event
+// spawn was exactly this. A literal counts as joined when its body (or a
+// nested literal, e.g. a deferred closure) signals completion: it calls
+// Done on a sync.WaitGroup, closes a channel, or sends on a channel the
+// spawner can drain. Named-function goroutines (`go s.worker()`) are out
+// of scope; their join lives at the callee and is audited there.
+var LoneGoroutine = &Analyzer{
+	Name:      "lonegoroutine",
+	Doc:       "go func literals must signal completion (WaitGroup.Done, channel close, or channel send) so the spawner can join them",
+	AppliesTo: internalOnly,
+	Run:       runLoneGoroutine,
+}
+
+func runLoneGoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !signalsCompletion(pass, lit.Body) {
+				pass.Reportf(g.Pos(), "goroutine literal has no join: nothing in its body calls WaitGroup.Done, closes a channel, or sends on one")
+			}
+			return true
+		})
+	}
+}
+
+// signalsCompletion reports whether the body contains any completion
+// signal a spawner could join on.
+func signalsCompletion(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if isMethodOn(fn, "sync", "WaitGroup", "Done") {
+				found = true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

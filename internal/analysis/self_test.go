@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite over this module the same way
+// `eomlvet ./...` (make lint) does and asserts zero diagnostics: every
+// invariant the suite mechanizes holds across the tree, and every
+// intentional exemption carries a rationale. A failure here prints the
+// exact findings a contributor would see from make lint.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module (stdlib from source); skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunModule(root, DefaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		t.Fatalf("eomlvet found %d issue(s) in the repo:\n%s", len(diags), b.String())
+	}
+}
+
+// TestRunModuleCoversAllPackages guards the loader's package discovery:
+// the walk must find the module root package, cmd/, examples/, and every
+// internal/ package, and must not descend into testdata.
+func TestRunModuleCoversAllPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, p := range pkgs {
+		paths[p.Path] = true
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("loader descended into testdata: %s", p.Path)
+		}
+	}
+	for _, must := range []string{
+		"github.com/eoml/eoml",
+		"github.com/eoml/eoml/cmd/eomlvet",
+		"github.com/eoml/eoml/internal/analysis",
+		"github.com/eoml/eoml/internal/stage",
+		"github.com/eoml/eoml/internal/tensor",
+		"github.com/eoml/eoml/examples/streaming",
+	} {
+		if !paths[must] {
+			t.Errorf("loader missed package %s (got %d packages)", must, len(pkgs))
+		}
+	}
+}

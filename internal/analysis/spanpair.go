@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SpanPair pairs telemetry span lifetimes: a trace.Spans.Begin with no
+// reachable End leaves the span unrecorded, which silently blanks a row
+// of the Fig. 7 latency breakdown — the failure is invisible until
+// someone reads the report. Within one function declaration, the handle
+// returned by Begin must either have End called on it (directly,
+// deferred, or in a nested literal) or escape the function (returned,
+// stored, or passed on), in which case the receiver owns the End.
+// Discarding the handle outright is always an error: nothing can ever
+// End that span.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "trace.Spans.Begin must have a paired SpanHandle.End, or the handle must escape to the owner that will End it",
+	Run:  runSpanPair,
+}
+
+const tracePkg = "github.com/eoml/eoml/internal/trace"
+
+func runSpanPair(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkSpanPairs(pass, fd)
+			}
+		}
+	}
+}
+
+func checkSpanPairs(pass *Pass, fd *ast.FuncDecl) {
+	// Parent links let us classify how each Begin call's result is used.
+	parents := parentMap(fd.Body)
+
+	// Find every Begin call and the identifier its handle is bound to.
+	type binding struct {
+		call *ast.CallExpr
+		def  *ast.Ident // nil when the result is used without a variable
+	}
+	var bindings []binding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBeginCall(pass, call) {
+			return true
+		}
+		b := binding{call: call}
+		if assign, ok := parents[call].(*ast.AssignStmt); ok && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 {
+			if id, ok := assign.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				b.def = id
+			}
+		}
+		bindings = append(bindings, b)
+		return true
+	})
+
+	for _, b := range bindings {
+		if b.def == nil {
+			switch parents[b.call].(type) {
+			case *ast.SelectorExpr:
+				// Chained use (Begin(...).End(...)): the pair is immediate.
+			case *ast.ExprStmt, *ast.AssignStmt:
+				// A bare statement, or `_ = Begin(...)`: the handle is gone.
+				pass.Reportf(b.call.Pos(), "span Begin handle discarded in %s; nothing can ever End this span", fd.Name.Name)
+			default:
+				// Result flows somewhere (return, call argument, composite
+				// literal): the receiver owns the End.
+			}
+			continue
+		}
+		obj := pass.Info.ObjectOf(b.def)
+		if obj == nil {
+			continue
+		}
+		ended, escaped := false, false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id == b.def || pass.Info.ObjectOf(id) != obj {
+				return true
+			}
+			// Classify the use: `h.End(...)` is the pair; another method
+			// or field access keeps the handle local and proves nothing;
+			// any remaining use (return, call argument, store) hands the
+			// handle to code that can End it.
+			if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+				if sel.Sel.Name == "End" {
+					if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+						ended = true
+					}
+				}
+				return true
+			}
+			escaped = true
+			return true
+		})
+		if !ended && !escaped {
+			pass.Reportf(b.call.Pos(), "span Begin in %s has no paired End and the handle never escapes; the span is never recorded", fd.Name.Name)
+		}
+	}
+}
+
+// isBeginCall reports whether call is (trace.Spans).Begin.
+func isBeginCall(pass *Pass, call *ast.CallExpr) bool {
+	return isMethodOn(calleeFunc(pass.Info, call), tracePkg, "Spans", "Begin")
+}

@@ -1,0 +1,59 @@
+// Package arenapair is the golden fixture for the arenapair analyzer.
+package arenapair
+
+import (
+	"sync"
+
+	"github.com/eoml/eoml/internal/tensor"
+)
+
+func badLeak(a *tensor.Arena) float32 {
+	x := a.Get(4, 4) // want "without any Put"
+	return x.Data[0]
+}
+
+type holder struct {
+	buf *tensor.T
+}
+
+func badFieldStore(h *holder, a *tensor.Arena) {
+	h.buf = a.Get(8) // want "without any Put"
+}
+
+func goodPaired(a *tensor.Arena) {
+	x := a.Get(4, 4)
+	defer a.Put(x)
+}
+
+func goodLoopPaired(a *tensor.Arena) {
+	for i := 0; i < 3; i++ {
+		x := a.Get(8)
+		a.Put(x)
+	}
+}
+
+func goodPutInNestedLiteral(a *tensor.Arena) {
+	x := a.Get(8)
+	defer func() { a.Put(x) }()
+}
+
+func goodOwnershipReturnedDirect(a *tensor.Arena) *tensor.T {
+	// The Layer.Infer contract: the caller owns the tensor and recycles.
+	return a.Get(16)
+}
+
+func goodOwnershipReturnedViaVar(a *tensor.Arena) *tensor.T {
+	out := a.Get(16)
+	out.Data[0] = 1
+	return out
+}
+
+func goodFieldStoreDocumented(h *holder, a *tensor.Arena) {
+	//eomlvet:ignore arenapair ownership transfers to holder, whose release method Puts the buffer
+	h.buf = a.Get(8)
+}
+
+func goodUnrelatedGet(p *sync.Pool) any {
+	// sync.Pool.Get is not tensor.Arena.Get.
+	return p.Get()
+}

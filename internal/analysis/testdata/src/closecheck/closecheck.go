@@ -1,0 +1,84 @@
+// Package closecheck is the golden fixture for the closecheck analyzer.
+package closecheck
+
+import (
+	"bufio"
+	"os"
+)
+
+func badBareClose(f *os.File) {
+	f.Close() // want "Close error discarded"
+}
+
+func badBareSync(f *os.File) {
+	f.Sync() // want "Sync error discarded"
+}
+
+func badBareFlush(w *bufio.Writer) {
+	w.Flush() // want "Flush error discarded"
+}
+
+func badBareRename() {
+	os.Rename("a", "b") // want "os.Rename error discarded"
+}
+
+func badDeferOnWritePath(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "write-path close error"
+	_, err = f.WriteString("data")
+	return err
+}
+
+func badDeferOnOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "write-path close error"
+	return nil
+}
+
+func goodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func goodChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func goodDeferOnReadPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func goodWritePathFoldedIntoReturn(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("data")
+	return err
+}
+
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func goodNoErrorResult(q quiet) {
+	q.Close()
+}

@@ -1,0 +1,52 @@
+// Package ctxsend is the golden fixture for the ctxsend analyzer.
+package ctxsend
+
+import "context"
+
+func badBare(ch chan int) {
+	ch <- 1 // want "channel send outside a select"
+	<-ch    // want "channel receive outside a select"
+}
+
+func badRange(ch chan int) {
+	for range ch { // want "range over a channel"
+	}
+}
+
+func badSelectWithoutDone(ch chan int, other chan struct{}) {
+	select {
+	case ch <- 1: // want "channel send outside a select"
+	case <-other: // want "channel receive outside a select"
+	}
+}
+
+func badInCaseBody(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+		ch <- 1 // want "channel send outside a select"
+	}
+}
+
+func goodSelectDone(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	case <-ctx.Done():
+	}
+}
+
+func goodSelectDefault(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func goodIgnoredBoundedJoin(done chan struct{}) {
+	//eomlvet:ignore ctxsend bounded join: the producer closes done unconditionally before exiting
+	<-done
+}

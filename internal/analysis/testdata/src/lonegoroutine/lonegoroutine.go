@@ -1,0 +1,63 @@
+// Package lonegoroutine is the golden fixture for the lonegoroutine
+// analyzer.
+package lonegoroutine
+
+import "sync"
+
+func badFireAndForget(work func()) {
+	go func() { // want "no join"
+		work()
+	}()
+}
+
+func badShadowedClose(work func(string)) {
+	close := work
+	go func() { // want "no join"
+		close("x")
+	}()
+}
+
+func goodWaitGroup(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodWaitGroupInNestedLiteral(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() { wg.Done() }()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodChannelClose(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+func goodChannelSend(work func() error) error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- work()
+	}()
+	return <-errs
+}
+
+func goodNamedFunction(work func()) {
+	// Named-function goroutines are out of scope; the join discipline is
+	// audited at the callee.
+	go namedWorker(work)
+}
+
+func namedWorker(work func()) { work() }

@@ -1,0 +1,59 @@
+// Package sleeppoll is the golden fixture for the sleeppoll analyzer.
+package sleeppoll
+
+import (
+	"context"
+	"time"
+)
+
+func badForever() {
+	for {
+		time.Sleep(time.Millisecond) // want "sleep-poll"
+	}
+}
+
+func badRange(xs []int) {
+	for range xs {
+		time.Sleep(time.Millisecond) // want "sleep-poll"
+	}
+}
+
+func badNested(ready func() bool) {
+	for i := 0; i < 10; i++ {
+		if !ready() {
+			time.Sleep(10 * time.Millisecond) // want "sleep-poll"
+		}
+	}
+}
+
+func goodSingleSleep() {
+	time.Sleep(time.Second)
+}
+
+func goodLiteralResetsScope() []func() {
+	var fns []func()
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() { time.Sleep(time.Millisecond) })
+	}
+	return fns
+}
+
+func goodTimerSelect(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func goodIgnoredModeledOverhead() {
+	for {
+		//eomlvet:ignore sleeppoll modeled overhead: the sleep is the simulated latency under test
+		time.Sleep(time.Millisecond)
+		return
+	}
+}

@@ -1,0 +1,42 @@
+// Package spanpair is the golden fixture for the spanpair analyzer.
+package spanpair
+
+import "github.com/eoml/eoml/internal/trace"
+
+func badDiscarded(sp *trace.Spans) {
+	sp.Begin("download", 0) // want "handle discarded"
+}
+
+func badBlankAssigned(sp *trace.Spans) {
+	_ = sp.Begin("download", 0) // want "handle discarded"
+}
+
+func badNeverEnded(sp *trace.Spans) {
+	h := sp.Begin("download", 0) // want "no paired End"
+	println(h.Name())
+}
+
+func goodDirectEnd(sp *trace.Spans) {
+	h := sp.Begin("download", 0)
+	h.End(1)
+}
+
+func goodDeferredEnd(sp *trace.Spans) {
+	h := sp.Begin("download", 0)
+	defer func() { h.End(2) }()
+}
+
+func goodChained(sp *trace.Spans) {
+	sp.Begin("download", 0).End(1)
+}
+
+func goodEscapeReturn(sp *trace.Spans) *trace.SpanHandle {
+	// The caller owns the End.
+	return sp.Begin("download", 0)
+}
+
+func goodEscapeArgument(sp *trace.Spans) {
+	finish(sp.Begin("download", 0))
+}
+
+func finish(h *trace.SpanHandle) { h.End(3) }

@@ -203,6 +203,7 @@ func (e *Engine) execute(ctx context.Context, def *Definition, run *Run, doc map
 		switch st.Type {
 		case TypeAction:
 			if e.cfg.ActionOverhead > 0 {
+				//eomlvet:ignore sleeppoll modeled Step Functions action overhead, one bounded sleep per state; the loop checks ctx.Err() each iteration
 				time.Sleep(e.cfg.ActionOverhead)
 			}
 			e.mu.Lock()

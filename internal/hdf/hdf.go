@@ -497,7 +497,7 @@ func WriteFile(path string, f *File) error {
 		return err
 	}
 	if err := Write(out, f); err != nil {
-		out.Close()
+		_ = out.Close() // the Write error is the one worth reporting
 		os.Remove(tmp)
 		return err
 	}

@@ -267,3 +267,37 @@ func TestGranuleCacheServesIdenticalBytes(t *testing.T) {
 		t.Fatalf("server stats: %d reqs, %d bytes (file %d)", reqs, sent, len(a))
 	}
 }
+
+func TestTokenBucketTakeRespectsContext(t *testing.T) {
+	// A bucket with a tiny refill rate would block a large take for
+	// minutes; cancellation must release the waiter promptly and report
+	// the context error without consuming budget.
+	b := newTokenBucket(1 << 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.take(ctx, 1<<20) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("take returned nil after cancellation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("take did not return after cancellation")
+	}
+	// An uncancelled take within budget still succeeds immediately.
+	if err := b.take(context.Background(), 1); err != nil {
+		t.Fatalf("small take failed: %v", err)
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	if err := sleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("uncancelled sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepCtx(ctx, time.Hour); err == nil {
+		t.Fatal("cancelled sleep returned nil")
+	}
+}

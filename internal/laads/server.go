@@ -17,6 +17,7 @@
 package laads
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -146,7 +147,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case 4:
 		s.serveListing(w, product, year, doy)
 	case 5:
-		s.serveGranule(w, product, year, doy, parts[4])
+		s.serveGranule(w, r, product, year, doy, parts[4])
 	default:
 		http.NotFound(w, r)
 	}
@@ -175,7 +176,7 @@ func (s *Server) serveListing(w http.ResponseWriter, p modis.Product, year, doy 
 	}
 }
 
-func (s *Server) serveGranule(w http.ResponseWriter, p modis.Product, year, doy int, name string) {
+func (s *Server) serveGranule(w http.ResponseWriter, r *http.Request, p modis.Product, year, doy int, name string) {
 	wantP, g, err := modis.ParseFileName(name)
 	if err != nil || wantP != p || g.Year != year || g.DOY != doy {
 		http.Error(w, "no such granule", http.StatusNotFound)
@@ -188,7 +189,7 @@ func (s *Server) serveGranule(w http.ResponseWriter, p modis.Product, year, doy 
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	s.sendShaped(w, data)
+	s.sendShaped(r.Context(), w, data)
 }
 
 // granuleBytes returns (and caches) the encoded granule.
@@ -221,8 +222,11 @@ func (s *Server) granuleBytes(p modis.Product, g modis.GranuleID, key string) ([
 // sendShaped writes data under the per-connection and aggregate caps.
 // Pacing happens *before* each chunk (against the bytes already sent), so
 // a file smaller than one chunk still observes the rate on its tail and a
-// throttled connection never bursts the whole payload at once.
-func (s *Server) sendShaped(w http.ResponseWriter, data []byte) {
+// throttled connection never bursts the whole payload at once. Every wait
+// observes ctx (the request context), so a client that disconnects mid-
+// transfer releases its server goroutine immediately instead of sleeping
+// through the remaining shaped bytes.
+func (s *Server) sendShaped(ctx context.Context, w http.ResponseWriter, data []byte) {
 	chunk := 64 << 10
 	if s.cfg.PerConnBytesPerSec > 0 {
 		// ~20 pacing decisions per second of nominal transfer time.
@@ -241,7 +245,9 @@ func (s *Server) sendShaped(w http.ResponseWriter, data []byte) {
 		if s.cfg.PerConnBytesPerSec > 0 && sent > 0 {
 			ideal := time.Duration(float64(sent) / float64(s.cfg.PerConnBytesPerSec) * float64(time.Second))
 			if elapsed := time.Since(start); elapsed < ideal {
-				time.Sleep(ideal - elapsed)
+				if err := sleepCtx(ctx, ideal-elapsed); err != nil {
+					return
+				}
 			}
 		}
 		n := chunk
@@ -249,7 +255,9 @@ func (s *Server) sendShaped(w http.ResponseWriter, data []byte) {
 			n = len(data) - sent
 		}
 		if s.limiter != nil {
-			s.limiter.take(int64(n))
+			if err := s.limiter.take(ctx, int64(n)); err != nil {
+				return
+			}
 		}
 		if _, err := w.Write(data[sent : sent+n]); err != nil {
 			return
@@ -261,6 +269,18 @@ func (s *Server) sendShaped(w http.ResponseWriter, data []byte) {
 		s.mu.Lock()
 		s.bytesSent += int64(n)
 		s.mu.Unlock()
+	}
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -276,8 +296,11 @@ func newTokenBucket(rate int64) *tokenBucket {
 	return &tokenBucket{rate: rate, tokens: float64(rate) / 10, last: time.Now()}
 }
 
-// take blocks until n bytes of budget are available.
-func (b *tokenBucket) take(n int64) {
+// take blocks until n bytes of budget are available or ctx is cancelled.
+// Each wait is sized to the current deficit rather than a fixed poll
+// interval, and a cancelled waiter consumes no budget — so one dead
+// connection never steals tokens from the live ones.
+func (b *tokenBucket) take(ctx context.Context, n int64) error {
 	for {
 		b.mu.Lock()
 		now := time.Now()
@@ -289,11 +312,13 @@ func (b *tokenBucket) take(n int64) {
 		if b.tokens >= float64(n) {
 			b.tokens -= float64(n)
 			b.mu.Unlock()
-			return
+			return nil
 		}
 		deficit := float64(n) - b.tokens
 		b.mu.Unlock()
-		time.Sleep(time.Duration(deficit / float64(b.rate) * float64(time.Second)))
+		if err := sleepCtx(ctx, time.Duration(deficit/float64(b.rate)*float64(time.Second))); err != nil {
+			return err
+		}
 	}
 }
 

@@ -143,6 +143,7 @@ type HighThroughputExecutor struct {
 	cfg HTEXConfig
 
 	mu       sync.Mutex
+	idle     *sync.Cond // signalled whenever queued or busy drops
 	queue    chan func()
 	queued   int
 	busy     int
@@ -165,12 +166,14 @@ func NewHTEX(cfg HTEXConfig) (*HighThroughputExecutor, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &HighThroughputExecutor{
+	e := &HighThroughputExecutor{
 		cfg:      cfg,
 		queue:    make(chan func(), 1<<16),
 		blocks:   map[string]*block{},
 		stopScal: make(chan struct{}),
-	}, nil
+	}
+	e.idle = sync.NewCond(&e.mu)
+	return e, nil
 }
 
 // Label names the executor.
@@ -210,6 +213,7 @@ func (e *HighThroughputExecutor) Submit(task func()) error {
 	default:
 		e.mu.Lock()
 		e.queued--
+		e.idle.Broadcast()
 		e.mu.Unlock()
 		return fmt.Errorf("parsl: executor %q queue full", e.cfg.Label)
 	}
@@ -239,16 +243,13 @@ func (e *HighThroughputExecutor) Shutdown() error {
 		}
 	}
 
-	// Drain: wait until the queue empties and no worker is busy.
-	for {
-		e.mu.Lock()
-		idle := e.queued == 0 && e.busy == 0
-		e.mu.Unlock()
-		if idle {
-			break
-		}
-		time.Sleep(time.Millisecond)
+	// Drain: wait until the queue empties and no worker is busy. Workers
+	// signal e.idle on every decrement, so this blocks without polling.
+	e.mu.Lock()
+	for e.queued != 0 || e.busy != 0 {
+		e.idle.Wait()
 	}
+	e.mu.Unlock()
 	close(e.queue)
 
 	e.mu.Lock()
@@ -331,6 +332,7 @@ func (e *HighThroughputExecutor) worker(b *block) {
 			e.busy--
 			busy = e.busy
 			b.lastBusy = time.Now()
+			e.idle.Broadcast()
 			e.mu.Unlock()
 			if hook != nil {
 				hook(busy)

@@ -183,6 +183,7 @@ func (s *InferenceService) Setup(ctx context.Context, rc *RunContext) error {
 // worker labels and moves watched files until the event channel closes.
 func (s *InferenceService) worker(ctx context.Context, rc *RunContext) {
 	defer s.poolWG.Done()
+	//eomlvet:ignore ctxsend bounded drain: shutdown() closes events only after the crawler (sole sender) has exited, so the range always terminates
 	for ev := range s.events {
 		run, err := s.engine.Start(ctx, s.def, map[string]any{
 			"file":   ev.Path,
@@ -278,6 +279,7 @@ func (s *InferenceService) Close() error {
 func (s *InferenceService) shutdown() {
 	s.stopOnce.Do(func() {
 		s.stopCrawler()
+		//eomlvet:ignore ctxsend bounded join: stopCrawler cancels the crawler context, and the crawler closes crawlerDone on exit unconditionally
 		<-s.crawlerDone
 		close(s.events)
 		s.poolWG.Wait()
@@ -367,15 +369,15 @@ func copyPreserving(src, dst string) error {
 	tmpPath := tmp.Name()
 	defer os.Remove(tmpPath) // no-op once renamed into place
 	if _, err := io.Copy(tmp, in); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the copy error is the one worth reporting
 		return err
 	}
 	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {

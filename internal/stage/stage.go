@@ -171,9 +171,9 @@ func (o *Orchestrator) Execute(ctx context.Context, stages ...Stage) error {
 				ok = false
 				break
 			}
-			t0 := o.rc.Since()
+			span := o.rc.Spans.Begin(st.Name(), o.rc.Since())
 			err := st.Run(ctx, o.rc)
-			o.rc.Spans.Add(st.Name(), t0, o.rc.Since())
+			span.End(o.rc.Since())
 			if _, drains := st.(Drainer); drains {
 				drainable = append(drainable, st)
 			}

@@ -290,7 +290,7 @@ func (s *Service) copyOnce(src, dst string) (int64, error) {
 				b[0] ^= 0xFF
 				f.WriteAt(b[:], corruptAt)
 			}
-			f.Close()
+			_ = f.Close() // fault injection is best-effort by design
 		}
 	}
 
