@@ -1,12 +1,16 @@
 # Standard entry points for the eoml repo.
 #
 #   make check   — what CI runs: gofmt gate + vet + eomlvet + race tests
+#                  + a reduced-size bench smoke (bench-ci)
 #   make lint    — the repo's own analyzer suite (cmd/eomlvet)
-#   make bench   — the hot-path benchmarks recorded in BENCH_1.json
+#   make bench   — the hot-path benchmarks, emitted as $(BENCH_OUT)
 
 GO ?= go
+BENCHTIME ?= 1s
+BENCH_OUT ?= BENCH_4.json
+BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkEncodeArena|BenchmarkLabelFileBatched|BenchmarkTileExtract
 
-.PHONY: build test vet lint race fmt bench bench-all check
+.PHONY: build test vet lint race fmt bench bench-ci bench-all check
 
 build:
 	$(GO) build ./...
@@ -35,12 +39,23 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# Hot-path benchmarks from this PR (kernels, arena, batching).
+# Hot-path benchmarks (kernels, arena, batching, tile throughput),
+# emitted as a machine-readable record via cmd/benchjson. Two steps so a
+# bench failure fails the target (sh pipelines swallow the first exit code).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkMatMulBlocked|BenchmarkEncodeArena|BenchmarkLabelFileBatched' -benchmem -benchtime 1s .
+	$(GO) test -run xxx -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) . > bench.out.tmp
+	$(GO) run ./cmd/benchjson -pr 4 \
+		-title "Pipeline observability PR: hot-path benches (matmul, arena, batcher, tile extraction)" \
+		-command "make bench BENCHTIME=$(BENCHTIME)" < bench.out.tmp > $(BENCH_OUT)
+	@rm -f bench.out.tmp
+	@echo "wrote $(BENCH_OUT)"
+
+# CI smoke at reduced size: one iteration per bench, result discarded.
+bench-ci:
+	@$(MAKE) --no-print-directory bench BENCHTIME=1x BENCH_OUT=/tmp/eoml-bench-ci.json
 
 # Every figure/table/ablation benchmark in the repo.
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: fmt vet lint race
+check: fmt vet lint race bench-ci

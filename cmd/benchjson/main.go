@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable benchmark record the repo commits per PR (BENCH_N.json).
+// It parses the standard benchmark lines — iterations, ns/op, B/op,
+// allocs/op, and any b.ReportMetric custom units — plus the goos/goarch/cpu
+// header go test prints, and emits one JSON document:
+//
+//	go test -run xxx -bench 'MatMulBlocked|TileExtract' -benchmem . |
+//	    benchjson -pr 4 -title "..." -command "make bench" > BENCH_4.json
+//
+// Units become JSON-safe keys ("ns/op" → "ns_per_op", "B/op" →
+// "bytes_per_op", "tiles/s" → "tiles_per_s"); sub-benchmark names keep
+// their full slash-separated path with the -<cpus> suffix stripped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number recorded in the document")
+	title := flag.String("title", "", "one-line description of what was benchmarked")
+	command := flag.String("command", "", "the command that produced the input, for reproducibility")
+	notes := flag.String("notes", "", "free-form caveats (noise, host sharing, ...)")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date recorded in the document")
+	flag.Parse()
+
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines on stdin")
+	}
+	doc.PR = *pr
+	doc.Title = *title
+	doc.Command = *command
+	doc.Notes = *notes
+	doc.Date = *date
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Host describes the machine the benchmarks ran on, from the go test
+// header when present and the runtime otherwise.
+type Host struct {
+	CPU    string `json:"cpu"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+}
+
+// Document is the emitted record, shape-compatible with BENCH_1.json.
+type Document struct {
+	PR         int                           `json:"pr"`
+	Title      string                        `json:"title"`
+	Date       string                        `json:"date"`
+	Host       Host                          `json:"host"`
+	Command    string                        `json:"command"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	Notes      string                        `json:"notes,omitempty"`
+}
+
+// Parse reads `go test -bench` output and collects every benchmark
+// result line and the host header.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{
+		Host:       Host{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()},
+		Benchmarks: map[string]map[string]float64{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var s string
+		switch {
+		case scanHeader(line, "goos: ", &s):
+			doc.Host.GOOS = s
+		case scanHeader(line, "goarch: ", &s):
+			doc.Host.GOARCH = s
+		case scanHeader(line, "cpu: ", &s):
+			doc.Host.CPU = s
+		default:
+			name, metrics, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			if _, dup := doc.Benchmarks[name]; dup {
+				return nil, fmt.Errorf("duplicate benchmark %s (use -count 1)", name)
+			}
+			doc.Benchmarks[name] = metrics
+		}
+	}
+	return doc, sc.Err()
+}
+
+func scanHeader(line, prefix string, out *string) bool {
+	if len(line) > len(prefix) && line[:len(prefix)] == prefix {
+		*out = line[len(prefix):]
+		return true
+	}
+	return false
+}

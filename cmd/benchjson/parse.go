@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkName/sub-8   	  10	 12362599 ns/op	 21.71 GFLOPS	 40122 B/op	 15 allocs/op
+//
+// Returns the name (cpu suffix stripped), a unit→value map including the
+// iteration count as "iterations", and whether the line parsed.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	iters, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", nil, false
+	}
+	// Value/unit pairs follow the iteration count.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return "", nil, false
+	}
+	metrics := map[string]float64{"iterations": iters}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[jsonKey(rest[i+1])] = v
+	}
+	return stripCPUSuffix(fields[0]), metrics, true
+}
+
+// stripCPUSuffix removes the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, without touching sub-benchmark names that contain
+// dashes of their own.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// jsonKey normalizes a benchmark unit into a JSON-safe identifier:
+// "ns/op" → "ns_per_op", "B/op" → "bytes_per_op", "MB/s" → "mb_per_s",
+// "tiles/granule" → "tiles_per_granule".
+func jsonKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	unit = strings.ReplaceAll(unit, "-", "_")
+	return strings.ToLower(unit)
+}

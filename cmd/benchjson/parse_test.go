@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine(
+		"BenchmarkMatMulBlocked/blocked-8   \t     100\t  12362599 ns/op\t  21.71 GFLOPS\t   40122 B/op\t      15 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if name != "BenchmarkMatMulBlocked/blocked" {
+		t.Fatalf("name %q", name)
+	}
+	want := map[string]float64{
+		"iterations": 100, "ns_per_op": 12362599,
+		"gflops": 21.71, "bytes_per_op": 40122, "allocs_per_op": 15,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tgithub.com/eoml/eoml\t12.3s",
+		"goos: linux",
+		"BenchmarkBroken 12", // no metrics
+		"Benchmark 12 x ns/op",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":               "BenchmarkX",
+		"BenchmarkX/sub-case-4":      "BenchmarkX/sub-case",
+		"BenchmarkNoSuffix":          "BenchmarkNoSuffix",
+		"BenchmarkX/size=512x512-32": "BenchmarkX/size=512x512",
+	}
+	for in, wantOut := range cases {
+		if got := stripCPUSuffix(in); got != wantOut {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, wantOut)
+		}
+	}
+}
+
+func TestParseDocument(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: github.com/eoml/eoml
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTileExtract-2            	      33	  35881523 ns/op	       272.0 tiles/granule
+BenchmarkLabelFileBatched/batched-2 	      66	  17252926 ns/op	     14838 tiles/s
+PASS
+ok  	github.com/eoml/eoml	4.2s
+`
+	doc, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Host.GOOS != "linux" || doc.Host.GOARCH != "amd64" || !strings.Contains(doc.Host.CPU, "Xeon") {
+		t.Fatalf("host %+v", doc.Host)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	if v := doc.Benchmarks["BenchmarkTileExtract"]["tiles_per_granule"]; v != 272 {
+		t.Fatalf("tiles_per_granule = %v", v)
+	}
+	if v := doc.Benchmarks["BenchmarkLabelFileBatched/batched"]["tiles_per_s"]; v != 14838 {
+		t.Fatalf("tiles_per_s = %v", v)
+	}
+}
+
+func TestParseRejectsDuplicates(t *testing.T) {
+	input := "BenchmarkX-2 10 5 ns/op\nBenchmarkX-2 10 6 ns/op\n"
+	if _, err := Parse(strings.NewReader(input)); err == nil {
+		t.Fatal("duplicate benchmark lines not rejected")
+	}
+}

@@ -1,12 +1,27 @@
 // Command eoml runs the five-stage EO-ML workflow from a YAML
 // declaration, in the spirit of the paper's user-facing configuration:
 //
-//	eoml -config workflow.yaml [-train] [-train-classes 8]
+//	eoml -init -config workflow.yaml            # write a sample declaration
+//	eoml -config workflow.yaml -train           # offline stages + batch run
+//	eoml -config workflow.yaml                  # batch run with saved model
+//	eoml -config workflow.yaml -stream          # streaming run
+//	eoml -config workflow.yaml -metrics-addr localhost:9090
 //
 // With -train, the tool first performs the offline stages (download
 // training granules, fit the RICC autoencoder, cluster the AICCA
 // codebook) and saves the artifacts to the paths named under `model:` in
 // the config; otherwise it loads them from those paths.
+//
+// With -metrics-addr (or the metrics_addr config key), the tool serves
+// live observability endpoints for the lifetime of the run: /metrics
+// (Prometheus text exposition; append ?format=json for JSON) and
+// /healthz (200 while every stage is live, 503 once a stage stalls or
+// fails). See docs/OPERATIONS.md for the metric catalogue.
+//
+// Other flags: -timeline prints the worker-activity timeline,
+// -stream-gap-ms sets the streaming inter-arrival gap, -provenance
+// exports the run's provenance graph, -train-classes and -train-epochs
+// tune training.
 package main
 
 import (
@@ -14,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -48,11 +65,18 @@ tile:
   pixels: 8                # 128 / archive scale (laads-server -scale 16)
   min_cloud_fraction: 0.3
 
-poll_interval_ms: 50
+poll_interval_ms: 50      # monitor crawl period
+stall_timeout_ms: 300000  # abort if inference makes no progress this long
+
+batch:
+  tiles: 256              # flush a coalesced encode batch at this many tiles
+  delay_ms: 20            # ... or this long after its first tile
 
 model:
   weights: /tmp/eoml/ricc.hdf
   codebook: /tmp/eoml/aicca-codebook.hdf
+
+# metrics_addr: localhost:9090  # serve /metrics and /healthz during the run
 `
 
 func main() {
@@ -64,6 +88,7 @@ func main() {
 	stream := flag.Bool("stream", false, "process granules as a stream instead of a batch")
 	streamGapMS := flag.Int("stream-gap-ms", 100, "inter-arrival gap in streaming mode")
 	provPath := flag.String("provenance", "", "write the run's provenance graph (JSON) to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address for the run (overrides metrics_addr in the config)")
 	initConfig := flag.Bool("init", false, "write a sample workflow declaration to -config and exit")
 	flag.Parse()
 
@@ -113,6 +138,30 @@ func main() {
 	if *provPath != "" {
 		prov = eoml.NewProvenanceStore()
 		pipe.SetProvenance(prov)
+	}
+
+	if addr := *metricsAddr; addr != "" || cfg.MetricsAddr != "" {
+		if addr == "" {
+			addr = cfg.MetricsAddr
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", pipe.Metrics())
+		mux.Handle("/healthz", pipe.Health())
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("eoml: metrics listener: %v", err)
+		}
+		srv := &http.Server{Handler: mux}
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			_ = srv.Serve(ln) // returns once Close is called below
+		}()
+		defer func() {
+			_ = srv.Close()
+			<-served
+		}()
+		fmt.Printf("eoml: serving /metrics and /healthz on http://%s\n", ln.Addr())
 	}
 
 	var rep *eoml.Report

@@ -1,7 +1,8 @@
 // Command laads-server runs the simulated NASA LAADS DAAC archive: an
 // HTTP server generating synthetic MODIS granules on demand, with
-// LAADS-style listing and download endpoints, optional token auth, and
-// bandwidth shaping.
+// LAADS-style listing and download endpoints, optional token auth,
+// bandwidth shaping, and a /metrics endpoint for the archive-side
+// request, byte, and token-bucket-wait series.
 //
 // Usage:
 //
@@ -16,6 +17,7 @@ import (
 	"net/http"
 
 	"github.com/eoml/eoml/internal/laads"
+	"github.com/eoml/eoml/internal/metrics"
 )
 
 func main() {
@@ -27,18 +29,24 @@ func main() {
 	failRate := flag.Float64("fail-rate", 0, "inject 503 responses with this probability")
 	flag.Parse()
 
+	reg := metrics.NewRegistry()
 	srv, err := laads.NewServer(laads.ServerConfig{
 		ScaleDown:            *scale,
 		Token:                *token,
 		PerConnBytesPerSec:   int64(*perConn * 1e6),
 		AggregateBytesPerSec: int64(*aggregate * 1e6),
 		FailureRate:          *failRate,
+		Metrics:              reg,
 	})
 	if err != nil {
 		log.Fatalf("laads-server: %v", err)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/", srv)
 	fmt.Printf("laads-server: serving synthetic MODIS archive on %s (%s)\n", *addr, srv)
 	fmt.Printf("  listing:  GET /archive/MOD021KM/2022/1/\n")
 	fmt.Printf("  download: GET /archive/MOD021KM/2022/1/<file>.hdf\n")
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	fmt.Printf("  metrics:  GET /metrics\n")
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

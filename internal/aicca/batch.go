@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/tile"
 	"github.com/eoml/eoml/internal/trace"
 )
@@ -24,6 +25,9 @@ type BatchConfig struct {
 	Timeline *trace.Timeline
 	// Epoch is the workflow start used for Timeline offsets.
 	Epoch time.Time
+	// Metrics, when set, receives batch-size and flush-latency
+	// histograms per flush. Nil is valid.
+	Metrics *metrics.Registry
 }
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -61,6 +65,9 @@ type BatchLabeler struct {
 	jobs chan batchJob
 	done chan struct{}
 
+	batchTiles   *metrics.Histogram
+	flushSeconds *metrics.Histogram
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -74,6 +81,10 @@ func NewBatchLabeler(l *Labeler, cfg BatchConfig) *BatchLabeler {
 		jobs: make(chan batchJob, 64),
 		done: make(chan struct{}),
 	}
+	b.batchTiles = b.cfg.Metrics.Histogram("eoml_labeler_batch_tiles",
+		"Tiles per coalesced encode batch at flush time.", metrics.SizeBuckets())
+	b.flushSeconds = b.cfg.Metrics.Histogram("eoml_labeler_flush_seconds",
+		"Wall-clock seconds per coalesced encode flush.", metrics.DurationBuckets())
 	go b.run()
 	return b
 }
@@ -156,7 +167,10 @@ func (b *BatchLabeler) run() {
 		if tl := b.cfg.Timeline; tl != nil {
 			tl.Record("inference.batch", time.Since(b.cfg.Epoch).Seconds(), len(all))
 		}
+		started := time.Now()
 		_, err := b.l.LabelTiles(all)
+		b.batchTiles.Observe(float64(len(all)))
+		b.flushSeconds.Observe(time.Since(started).Seconds())
 		if tl := b.cfg.Timeline; tl != nil {
 			tl.Record("inference.batch", time.Since(b.cfg.Epoch).Seconds(), 0)
 		}

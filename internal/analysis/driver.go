@@ -15,6 +15,7 @@ func DefaultAnalyzers() []*Analyzer {
 		CloseCheck,
 		ArenaPair,
 		SpanPair,
+		PkgDoc,
 	}
 }
 

@@ -119,6 +119,7 @@ func TestLoneGoroutineFixture(t *testing.T) { runFixture(t, LoneGoroutine) }
 func TestCloseCheckFixture(t *testing.T)    { runFixture(t, CloseCheck) }
 func TestArenaPairFixture(t *testing.T)     { runFixture(t, ArenaPair) }
 func TestSpanPairFixture(t *testing.T)      { runFixture(t, SpanPair) }
+func TestPkgDocFixture(t *testing.T)        { runFixture(t, PkgDoc) }
 
 // TestAnalyzerMetadata keeps the suite's self-description coherent.
 func TestAnalyzerMetadata(t *testing.T) {
@@ -162,7 +163,7 @@ func TestScoping(t *testing.T) {
 			t.Errorf("%s.AppliesTo(%s) = %v, want %v", c.analyzer.Name, c.pkgPath, got, c.applies)
 		}
 	}
-	for _, a := range []*Analyzer{CloseCheck, ArenaPair, SpanPair} {
+	for _, a := range []*Analyzer{CloseCheck, ArenaPair, SpanPair, PkgDoc} {
 		if a.AppliesTo != nil {
 			t.Errorf("%s should be module-wide (nil AppliesTo)", a.Name)
 		}

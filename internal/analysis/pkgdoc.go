@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PkgDoc enforces the godoc contract this PR's docs pass established:
+// every package carries exactly one package comment, in one file, and
+// for library packages it starts "Package <name>" so godoc renders it.
+// The bug class is real — a file-top comment left touching the package
+// clause (as in tensor/arena.go, tensor/blocked.go, and nn/infer.go
+// before this PR) silently becomes part of the package documentation,
+// burying the canonical overview under kernel-tuning notes.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "each package needs one package comment in one file; library package comments must start \"Package <name>\"; file comments must be detached from the package clause by a blank line",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) {
+	var documented []*ast.File
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			documented = append(documented, f)
+		}
+	}
+	name := pass.Pkg.Name()
+	if len(documented) == 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package comment", name)
+		return
+	}
+
+	// The canonical doc is the first one with the proper godoc prefix
+	// ("Package <name>" for libraries, anything for main); every other
+	// package-clause comment is a stray file comment that godoc would
+	// merge into the package documentation.
+	properPrefix := func(f *ast.File) bool {
+		if name == "main" {
+			return true
+		}
+		text := f.Doc.Text()
+		return strings.HasPrefix(text, "Package "+name+" ") ||
+			strings.HasPrefix(text, "Package "+name+"\n")
+	}
+	canonical := -1
+	for i, f := range documented {
+		if properPrefix(f) {
+			canonical = i
+			break
+		}
+	}
+	if canonical < 0 {
+		pass.Reportf(documented[0].Name.Pos(),
+			"package comment for %s does not start %q", name, "Package "+name)
+		canonical = 0
+	}
+	for i, f := range documented {
+		if i == canonical {
+			continue
+		}
+		pass.Reportf(f.Name.Pos(),
+			"stray package comment: package %s is already documented in another file; detach this file's comment from the package clause with a blank line", name)
+	}
+}

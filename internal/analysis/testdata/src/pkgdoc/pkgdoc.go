@@ -1,0 +1,6 @@
+// A fixture whose package comment does not follow the godoc
+// "Package pkgdoc ..." convention, so tooling never renders it.
+package pkgdoc // want "does not start .Package pkgdoc."
+
+// Exported is here so the package has content.
+const Exported = 1

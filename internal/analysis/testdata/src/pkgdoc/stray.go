@@ -1,0 +1,7 @@
+// This file-top comment touches the package clause, so godoc merges it
+// into the package documentation — it should be detached by a blank
+// line instead.
+package pkgdoc // want "stray package comment"
+
+// Other is more content.
+const Other = 2

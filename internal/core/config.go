@@ -65,6 +65,10 @@ type Config struct {
 	// instead of being supplied programmatically.
 	ModelPath    string
 	CodebookPath string
+
+	// MetricsAddr, when non-empty, is the host:port cmd/eoml serves
+	// /metrics and /healthz on for the lifetime of the run.
+	MetricsAddr string
 }
 
 // DefaultConfig returns a runnable baseline (archive URL and directories
@@ -187,6 +191,7 @@ func (c *Config) GranuleIDs() []modis.GranuleID {
 //	model:
 //	  weights: model.hdf
 //	  codebook: codebook.hdf
+//	metrics_addr: localhost:9090
 func LoadConfig(data []byte) (*Config, error) {
 	doc, err := yamlite.ParseMap(data)
 	if err != nil {
@@ -285,10 +290,45 @@ func LoadConfig(data []byte) (*Config, error) {
 			cfg.CodebookPath = v
 		}
 	}
+	if v, ok := doc["metrics_addr"].(string); ok {
+		cfg.MetricsAddr = v
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &cfg, nil
+}
+
+// ConfigKeys lists every YAML key LoadConfig understands, nested keys
+// in dotted form. DESIGN.md's config table and cmd/eoml's sample config
+// are tested against this list, so a key added to LoadConfig without an
+// entry here (or an entry without parsing code) fails the build — see
+// TestConfigKeysMatchParser.
+func ConfigKeys() []string {
+	return []string{
+		"satellite",
+		"year",
+		"doy",
+		"granules",
+		"archive.url",
+		"archive.token",
+		"paths.data",
+		"paths.tiles",
+		"paths.outbox",
+		"paths.dest",
+		"workers.download",
+		"workers.preprocess",
+		"workers.inference",
+		"tile.pixels",
+		"tile.min_cloud_fraction",
+		"poll_interval_ms",
+		"stall_timeout_ms",
+		"batch.tiles",
+		"batch.delay_ms",
+		"model.weights",
+		"model.codebook",
+		"metrics_addr",
+	}
 }
 
 // LoadConfigFile reads and parses a YAML config from disk.

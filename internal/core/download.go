@@ -27,6 +27,7 @@ const downloadFunctionName = "eoml.download_granule"
 // directory.
 func (p *Pipeline) registerDownloadFunction(reg *compute.Registry) error {
 	client := laads.NewClient(p.cfg.ArchiveURL, p.cfg.ArchiveToken)
+	client.Instrument(p.metrics)
 	return reg.Register(downloadFunctionName, func(ctx context.Context, args map[string]any) (any, error) {
 		product, _ := args["product"].(string)
 		name, _ := args["name"].(string)

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/eoml/eoml/internal/laads"
+	"github.com/eoml/eoml/internal/metrics"
+)
+
+// scrape GETs a URL and returns (status, body).
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestStreamingMetricsScrape is the acceptance check for the live
+// endpoints: scraping /metrics DURING a streaming run returns valid
+// Prometheus text exposition covering all five paper stages, and
+// /healthz reports 200 while every stage is live.
+func TestStreamingMetricsScrape(t *testing.T) {
+	granules := findProductiveGranules(t, 2, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, nil) // stream mode ignores cfg.Granules
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msrv := httptest.NewServer(p.Metrics())
+	defer msrv.Close()
+	hsrv := httptest.NewServer(p.Health())
+	defer hsrv.Close()
+
+	arrivals := make(chan int)
+	type result struct {
+		rep *Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := p.RunStream(context.Background(), arrivals)
+		done <- result{rep, err}
+	}()
+	// Unbuffered sends return only after ingest accepted each granule,
+	// so by the last send the run is mid-flight with every stage's
+	// series registered.
+	for _, idx := range granules {
+		arrivals <- idx
+	}
+	code, body := scrape(t, msrv.URL)
+	if code != http.StatusOK {
+		t.Fatalf("mid-run /metrics status %d", code)
+	}
+	if err := metrics.ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("mid-run /metrics is not valid exposition text: %v\n%s", err, body)
+	}
+	for _, stageName := range []string{"download", "preprocess", "monitor", "inference", "shipment"} {
+		if want := fmt.Sprintf("stage=%q", stageName); !strings.Contains(body, want) {
+			t.Errorf("mid-run /metrics missing series for %s stage", stageName)
+		}
+	}
+	if code, hbody := scrape(t, hsrv.URL); code != http.StatusOK {
+		t.Errorf("mid-run /healthz = %d, want 200\n%s", code, hbody)
+	}
+
+	close(arrivals)
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	// The report embeds the final snapshot, at parity with a last scrape.
+	fams := map[string]bool{}
+	for _, f := range res.rep.Metrics {
+		fams[f.Name] = true
+	}
+	for _, want := range []string{
+		"eoml_stage_events_total", "eoml_stage_seconds",
+		"eoml_laads_client_requests_total", "eoml_labeler_batch_tiles",
+		"eoml_inference_tiles_labeled_total", "eoml_executor_busy_workers",
+	} {
+		if !fams[want] {
+			t.Errorf("report snapshot missing family %s", want)
+		}
+	}
+	if code, hbody := scrape(t, hsrv.URL); code != http.StatusOK {
+		t.Errorf("post-run /healthz = %d, want 200\n%s", code, hbody)
+	}
+}
+
+// operationsDoc reads docs/OPERATIONS.md from the repo root.
+func operationsDoc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v", err)
+	}
+	return string(data)
+}
+
+// TestOperationsDocCoversAllMetrics diffs the full registered metric
+// catalogue — a real batch run's registry plus the archive server's —
+// against docs/OPERATIONS.md, in both directions: every exported family
+// must be documented, and every eoml_* name the doc mentions must exist.
+func TestOperationsDocCoversAllMetrics(t *testing.T) {
+	granules := findProductiveGranules(t, 2, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, granules)
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := map[string]bool{}
+	for _, f := range rep.Metrics {
+		names[f.Name] = true
+	}
+	// The archive-side families live in the laads server's registry, not
+	// the pipeline's; union them in for full catalogue coverage.
+	srvReg := metrics.NewRegistry()
+	if _, err := laads.NewServer(laads.ServerConfig{ScaleDown: testScale, Metrics: srvReg}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range srvReg.Snapshot() {
+		names[f.Name] = true
+	}
+	if len(names) < 20 {
+		t.Fatalf("only %d families registered — instrumentation regressed?", len(names))
+	}
+
+	doc := operationsDoc(t)
+	for name := range names {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document exported family %s", name)
+		}
+	}
+	// Reverse direction: the doc must not name series that don't exist.
+	// Histogram sample suffixes (_bucket/_sum/_count) in curl examples
+	// resolve to their base family.
+	for _, tok := range regexp.MustCompile(`eoml_[a-z0-9_]+`).FindAllString(doc, -1) {
+		if strings.HasSuffix(tok, "_") {
+			// Prefix reference (eoml_laads_server_*, a grep alternation):
+			// some family must carry it.
+			ok := false
+			for name := range names {
+				ok = ok || strings.HasPrefix(name, tok)
+			}
+			if !ok {
+				t.Errorf("docs/OPERATIONS.md prefix %s* matches no registered family", tok)
+			}
+			continue
+		}
+		base := tok
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if !names[tok] && !names[base] {
+			t.Errorf("docs/OPERATIONS.md mentions %s, which no component registers", tok)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/parsl"
 	"github.com/eoml/eoml/internal/provenance"
@@ -33,6 +34,10 @@ type Report struct {
 	// Stage telemetry (Fig. 6 / Fig. 7 counterparts for real runs).
 	Timeline *trace.Timeline
 	Spans    *trace.Spans
+
+	// Metrics is the final registry snapshot, so batch runs keep parity
+	// with a live /metrics scrape of a streaming run.
+	Metrics []metrics.Family
 }
 
 // Pipeline executes the five-stage workflow. Both execution modes —
@@ -42,6 +47,8 @@ type Pipeline struct {
 	cfg     Config
 	labeler *aicca.Labeler
 	prov    *provenance.Store
+	metrics *metrics.Registry
+	health  *metrics.Health
 }
 
 // New builds a pipeline. The labeler may be nil only if the config names
@@ -67,8 +74,23 @@ func New(cfg Config, labeler *aicca.Labeler) (*Pipeline, error) {
 			return nil, err
 		}
 	}
-	return &Pipeline{cfg: cfg, labeler: labeler}, nil
+	return &Pipeline{
+		cfg:     cfg,
+		labeler: labeler,
+		metrics: metrics.NewRegistry(),
+		health:  metrics.NewHealth(),
+	}, nil
 }
+
+// Metrics returns the pipeline's live metric registry. It implements
+// http.Handler (Prometheus text exposition; JSON on request), so
+// drivers can mount it directly on /metrics.
+func (p *Pipeline) Metrics() *metrics.Registry { return p.metrics }
+
+// Health returns the pipeline's per-stage liveness tracker. It
+// implements http.Handler (200/503 with per-stage JSON), so drivers can
+// mount it directly on /healthz.
+func (p *Pipeline) Health() *metrics.Health { return p.health }
 
 // newRun builds the report and the shared run context every driver
 // hands to the stage orchestrator.
@@ -82,6 +104,8 @@ func (p *Pipeline) newRun(granules int) (*Report, *stage.RunContext) {
 		Epoch:    time.Now(),
 		Timeline: rep.Timeline,
 		Spans:    rep.Spans,
+		Metrics:  p.metrics,
+		Health:   p.health,
 		Dirs:     []string{p.cfg.DataDir, p.cfg.TileDir, p.cfg.OutboxDir, p.cfg.DestDir},
 	}
 	return rep, rc
@@ -121,6 +145,7 @@ func (p *Pipeline) finish(rep *Report, rc *stage.RunContext, svc *stage.Inferenc
 	rep.FlowsFailed = svc.FlowsFailed()
 	rep.FilesShipped = ship.FilesShipped()
 	rep.Elapsed = time.Since(rc.Epoch)
+	rep.Metrics = p.metrics.Snapshot()
 }
 
 // Run executes download → preprocess → monitor/trigger → inference →
@@ -133,21 +158,26 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 	ship := p.shipment(svc)
 
 	download := stage.Func("download", func(ctx context.Context, rc *stage.RunContext) error {
+		rc.EventCounter("download", stage.EventIn).Add(int64(3 * len(p.cfg.GranuleIDs())))
 		files, bytes, err := p.downloadViaCompute(ctx, p.cfg.GranuleIDs(), func(active int) {
 			rc.Timeline.Record("download", rc.Since(), active)
+			rc.Health.Beat("download")
 		})
 		if err != nil {
 			return err
 		}
 		rep.FilesDownloaded, rep.BytesDownloaded = files, bytes
+		rc.EventCounter("download", stage.EventOut).Add(int64(files))
 		return nil
 	})
 	preprocess := stage.Func("preprocess", func(ctx context.Context, rc *stage.RunContext) error {
+		rc.EventCounter("preprocess", stage.EventIn).Add(int64(len(p.cfg.GranuleIDs())))
 		files, tiles, err := p.preprocessBatch(ctx, rc)
 		if err != nil {
 			return err
 		}
 		rep.TileFiles, rep.TilesProduced = files, tiles
+		rc.EventCounter("preprocess", stage.EventOut).Add(int64(files))
 		svc.ExpectFiles(files)
 		return nil
 	})
@@ -172,11 +202,13 @@ func (p *Pipeline) preprocessBatch(ctx context.Context, rc *stage.RunContext) (i
 		MaxBlocks:      1,
 		OnWorkerChange: func(busy int) {
 			rc.Timeline.Record("preprocess", rc.Since(), busy)
+			rc.Health.Beat("preprocess")
 		},
 	})
 	if err != nil {
 		return 0, 0, err
 	}
+	exec.Instrument(p.metrics)
 	if err := exec.Start(); err != nil {
 		return 0, 0, err
 	}

@@ -52,11 +52,13 @@ func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arriv
 		MaxBlocks:      1,
 		OnWorkerChange: func(busy int) {
 			rc.Timeline.Record("preprocess", rc.Since(), busy)
+			rc.Health.Beat("preprocess")
 		},
 	})
 	if err != nil {
 		return err
 	}
+	exec.Instrument(p.metrics)
 	if err := exec.Start(); err != nil {
 		return err
 	}
@@ -66,7 +68,17 @@ func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arriv
 		return err
 	}
 
+	// The paper's download and preprocess stages live inside this one
+	// ingest stage in streaming mode; register their series eagerly so a
+	// streaming /metrics scrape covers all five stages.
+	for _, name := range []string{"download", "preprocess"} {
+		rc.EventCounter(name, stage.EventIn)
+		rc.EventCounter(name, stage.EventOut)
+		rc.Health.Watch(name, 0)
+	}
+
 	client := laads.NewClient(p.cfg.ArchiveURL, p.cfg.ArchiveToken)
+	client.Instrument(p.metrics)
 	var futs []*parsl.AppFuture
 	for open := true; open; {
 		var idx int
@@ -88,14 +100,18 @@ func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arriv
 		for _, prod := range p.cfg.Products() {
 			tasks = append(tasks, laads.Task{Product: prod, Year: g.Year, DOY: g.DOY, Name: modis.FileName(prod, g)})
 		}
+		rc.EventCounter("download", stage.EventIn).Add(int64(len(tasks)))
 		dlRep, err := client.DownloadAll(ctx, tasks, p.cfg.DataDir, p.cfg.DownloadWorkers)
 		if err != nil {
 			return fmt.Errorf("download granule %d: %w", idx, err)
 		}
 		rep.FilesDownloaded += len(dlRep.Files)
 		rep.BytesDownloaded += dlRep.TotalBytes
+		rc.EventCounter("download", stage.EventOut).Add(int64(len(dlRep.Files)))
+		rc.Health.Beat("download")
 		rc.Timeline.Record("download", rc.Since(), 0)
 
+		rc.Event("preprocess", stage.EventIn)
 		futs = append(futs, dfk.Submit(fmt.Sprintf("stream-tiles[%d]", idx), func(ctx context.Context) (any, error) {
 			return p.preprocessGranule(g)
 		}))
@@ -113,8 +129,11 @@ func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arriv
 		if r.hasFile {
 			expect++
 		}
+		rc.Event("preprocess", stage.EventOut)
 	}
 	rep.TileFiles = expect
 	svc.ExpectFiles(expect)
+	rc.Health.Done("download")
+	rc.Health.Done("preprocess")
 	return exec.Shutdown()
 }

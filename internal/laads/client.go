@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/modis"
 )
 
@@ -25,6 +26,57 @@ type Client struct {
 	Retries int
 	// Backoff is the base delay between retries (doubled each attempt).
 	Backoff time.Duration
+
+	m *clientMetrics // nil until Instrument
+}
+
+// clientMetrics holds the client's counters; a nil *clientMetrics (the
+// uninstrumented default) makes every increment a no-op.
+type clientMetrics struct {
+	requests *metrics.Counter
+	retries  *metrics.Counter
+	failures *metrics.Counter
+	bytes    *metrics.Counter
+}
+
+func (m *clientMetrics) request() {
+	if m != nil {
+		m.requests.Inc()
+	}
+}
+
+func (m *clientMetrics) retry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *clientMetrics) failure() {
+	if m != nil {
+		m.failures.Inc()
+	}
+}
+
+func (m *clientMetrics) downloaded(n int64) {
+	if m != nil {
+		m.bytes.Add(n)
+	}
+}
+
+// Instrument registers the client's request, retry, failure, and byte
+// counters with reg (eagerly, so the series exist before the first
+// request). Safe with a nil registry.
+func (c *Client) Instrument(reg *metrics.Registry) {
+	c.m = &clientMetrics{
+		requests: reg.Counter("eoml_laads_client_requests_total",
+			"HTTP requests issued to the archive (every attempt counts)."),
+		retries: reg.Counter("eoml_laads_client_retries_total",
+			"Download re-attempts after a failed fetch."),
+		failures: reg.Counter("eoml_laads_client_failures_total",
+			"Downloads abandoned after exhausting retries."),
+		bytes: reg.Counter("eoml_laads_client_bytes_total",
+			"Granule payload bytes downloaded."),
+	}
 }
 
 // NewClient builds a client with sane defaults.
@@ -53,6 +105,7 @@ func (c *Client) List(ctx context.Context, p modis.Product, year, doy int) ([]Fi
 		return nil, err
 	}
 	c.auth(req)
+	c.m.request()
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -95,6 +148,7 @@ func (c *Client) Download(ctx context.Context, p modis.Product, year, doy int, n
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		res.Attempts = attempt + 1
 		if attempt > 0 {
+			c.m.retry()
 			delay := c.Backoff << (attempt - 1)
 			select {
 			case <-ctx.Done():
@@ -107,6 +161,7 @@ func (c *Client) Download(ctx context.Context, p modis.Product, year, doy int, n
 			res.Bytes = n
 			res.Path = path
 			res.Duration = time.Since(start)
+			c.m.downloaded(n)
 			return res, nil
 		}
 		lastErr = err
@@ -114,6 +169,7 @@ func (c *Client) Download(ctx context.Context, p modis.Product, year, doy int, n
 			return res, ctx.Err()
 		}
 	}
+	c.m.failure()
 	return res, fmt.Errorf("laads: download %s failed after %d attempts: %w", name, c.Retries+1, lastErr)
 }
 
@@ -123,6 +179,7 @@ func (c *Client) fetchOnce(ctx context.Context, url, name, destDir string) (int6
 		return 0, "", err
 	}
 	c.auth(req)
+	c.m.request()
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return 0, "", err

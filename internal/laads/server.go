@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/modis"
 )
 
@@ -58,6 +59,9 @@ type ServerConfig struct {
 	Seed int64
 	// CacheGranules bounds the number of encoded granules kept in memory.
 	CacheGranules int
+	// Metrics, when set, receives request, byte, and token-bucket-wait
+	// series. Nil is valid (throwaway metrics).
+	Metrics *metrics.Registry
 }
 
 // Server is the archive. It implements http.Handler.
@@ -73,6 +77,11 @@ type Server struct {
 
 	requests  int64
 	bytesSent int64
+
+	mRequests  *metrics.Counter
+	mFaults    *metrics.Counter
+	mBytes     *metrics.Counter
+	mTokenWait *metrics.Histogram
 }
 
 // NewServer builds an archive server.
@@ -96,6 +105,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.AggregateBytesPerSec > 0 {
 		s.limiter = newTokenBucket(cfg.AggregateBytesPerSec)
 	}
+	s.mRequests = cfg.Metrics.Counter("eoml_laads_server_requests_total",
+		"Archive requests received (listings and granules).")
+	s.mFaults = cfg.Metrics.Counter("eoml_laads_server_faults_total",
+		"Injected 503 responses (fault injection).")
+	s.mBytes = cfg.Metrics.Counter("eoml_laads_server_bytes_total",
+		"Granule payload bytes sent, counted after shaping.")
+	s.mTokenWait = cfg.Metrics.Histogram("eoml_laads_server_token_wait_seconds",
+		"Seconds each chunk waited on the aggregate-bandwidth token bucket.",
+		metrics.DurationBuckets())
 	return s, nil
 }
 
@@ -112,6 +130,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests++
 	fail := s.cfg.FailureRate > 0 && s.rng.Float64() < s.cfg.FailureRate
 	s.mu.Unlock()
+	s.mRequests.Inc()
 
 	if s.cfg.Token != "" {
 		if r.Header.Get("Authorization") != "Bearer "+s.cfg.Token {
@@ -120,6 +139,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if fail {
+		s.mFaults.Inc()
 		http.Error(w, "simulated archive fault", http.StatusServiceUnavailable)
 		return
 	}
@@ -255,9 +275,11 @@ func (s *Server) sendShaped(ctx context.Context, w http.ResponseWriter, data []b
 			n = len(data) - sent
 		}
 		if s.limiter != nil {
+			waitStart := time.Now()
 			if err := s.limiter.take(ctx, int64(n)); err != nil {
 				return
 			}
+			s.mTokenWait.Observe(time.Since(waitStart).Seconds())
 		}
 		if _, err := w.Write(data[sent : sent+n]); err != nil {
 			return
@@ -269,6 +291,7 @@ func (s *Server) sendShaped(ctx context.Context, w http.ResponseWriter, data []b
 		s.mu.Lock()
 		s.bytesSent += int64(n)
 		s.mu.Unlock()
+		s.mBytes.Add(int64(n))
 	}
 }
 

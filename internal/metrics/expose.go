@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the text exposition format version served on
+// /metrics.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP renders the registry: Prometheus text exposition by
+// default, the JSON variant when the request asks for it with
+// ?format=json or an Accept: application/json header.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" ||
+		strings.Contains(req.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			// Client went away mid-encode; nothing sensible to do.
+			return
+		}
+		return
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	_ = r.WritePrometheus(w)
+}
+
+// WriteJSON renders the snapshot as a JSON array of families.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []Family{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (one HELP and TYPE line per family, then its series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Snapshot() {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		for _, s := range fam.Series {
+			if fam.Kind == KindHistogram && s.Histogram != nil {
+				writeHistogram(bw, fam.Name, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", fam.Name, renderLabels(s.Labels), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// (including the mandatory le="+Inf"), then _sum and _count.
+func writeHistogram(w io.Writer, name string, s Series) {
+	h := s.Histogram
+	for i, bound := range h.Bounds {
+		labels := append(append([]Label(nil), s.Labels...), Label{Key: "le", Value: formatValue(bound)})
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels), h.Cumulative[i])
+	}
+	inf := append(append([]Label(nil), s.Labels...), Label{Key: "le", Value: "+Inf"})
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(inf), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.Labels), formatValue(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.Labels), h.Count)
+}
+
+// renderLabels renders {k="v",...} or "" for an unlabeled series.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects
+// (shortest float form; integers without an exponent).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sampleRE matches one exposition sample line: name, optional label
+// block, and a float value (Prometheus accepts +Inf/-Inf/NaN too).
+var sampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+
+// typeRE matches a TYPE comment and captures the declared kind.
+var typeRE = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+
+// ValidatePrometheus checks that r holds well-formed text exposition
+// format: every non-comment line parses as a sample, every sample's
+// family has a preceding TYPE line (histogram samples may use the
+// _bucket/_sum/_count suffixes), and no family is declared twice. It is
+// a structural lint for tests, not a full Prometheus parser.
+func ValidatePrometheus(r io.Reader) error {
+	typed := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			m := typeRE.FindStringSubmatch(text)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", line, text)
+			}
+			if _, dup := typed[m[1]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", line, m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // HELP or free comment
+		}
+		if !sampleRE.MatchString(text) {
+			return fmt.Errorf("line %d: malformed sample %q", line, text)
+		}
+		name := text
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE line", line, name)
+		}
+	}
+	return sc.Err()
+}

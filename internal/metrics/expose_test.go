@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("eoml_stage_events_total", "Events processed.", L("stage", "download"), L("dir", "in")).Add(7)
+	r.Gauge("eoml_workers", "Busy workers.", L("executor", `htex "a"\b`)).Set(3)
+	r.Histogram("eoml_stage_seconds", "Stage latency.", DurationBuckets(), L("stage", "inference")).Observe(0.42)
+	r.GaugeFunc("eoml_queue_depth", "Queued tasks.", func() float64 { return 11 })
+	return r
+}
+
+func TestServeHTTPPrometheus(t *testing.T) {
+	r := populated(t)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# HELP eoml_stage_events_total Events processed.",
+		"# TYPE eoml_stage_events_total counter",
+		`eoml_stage_events_total{stage="download",dir="in"} 7`,
+		"# TYPE eoml_workers gauge",
+		`eoml_workers{executor="htex \"a\"\\b"} 3`,
+		"# TYPE eoml_stage_seconds histogram",
+		`eoml_stage_seconds_bucket{stage="inference",le="0.5"} 1`,
+		`eoml_stage_seconds_bucket{stage="inference",le="+Inf"} 1`,
+		`eoml_stage_seconds_sum{stage="inference"} 0.42`,
+		`eoml_stage_seconds_count{stage="inference"} 1`,
+		"eoml_queue_depth 11",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+}
+
+func TestServeHTTPJSON(t *testing.T) {
+	r := populated(t)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var fams []Family
+	if err := json.Unmarshal(rec.Body.Bytes(), &fams); err != nil {
+		t.Fatalf("json: %v\n%s", err, rec.Body.String())
+	}
+	if len(fams) != 4 {
+		t.Fatalf("families = %d, want 4", len(fams))
+	}
+	if fams[0].Name != "eoml_stage_events_total" || fams[0].Series[0].Value != 7 {
+		t.Fatalf("unexpected first family %+v", fams[0])
+	}
+
+	// Accept header negotiation reaches the same encoder.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("Accept negotiation did not yield JSON:\n%s", rec.Body.String())
+	}
+}
+
+func TestServeHTTPEmptyRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if body := rec.Body.String(); body != "" {
+		t.Fatalf("empty registry rendered %q", body)
+	}
+	rec = httptest.NewRecorder()
+	NewRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if body := strings.TrimSpace(rec.Body.String()); body != "[]" {
+		t.Fatalf("empty JSON = %q, want []", body)
+	}
+}
+
+func TestValidatePrometheusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "eoml_orphan_total 3\n",
+		"malformed sample":     "# TYPE eoml_x counter\neoml_x{broken 3\n",
+		"duplicate TYPE":       "# TYPE eoml_x counter\n# TYPE eoml_x counter\neoml_x 1\n",
+		"bad TYPE kind":        "# TYPE eoml_x flavor\neoml_x 1\n",
+		"suffix without histo": "# TYPE eoml_x counter\neoml_y_bucket{le=\"1\"} 1\n",
+	}
+	for name, in := range cases {
+		if err := ValidatePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+	good := "# HELP eoml_ok some help\n# TYPE eoml_ok histogram\n" +
+		"eoml_ok_bucket{le=\"1\"} 0\neoml_ok_bucket{le=\"+Inf\"} 2\neoml_ok_sum 3.5\neoml_ok_count 2\n"
+	if err := ValidatePrometheus(strings.NewReader(good)); err != nil {
+		t.Fatalf("validator rejected valid input: %v", err)
+	}
+}

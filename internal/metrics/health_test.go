@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock drives Health deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeHealth() (*Health, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	h := NewHealth()
+	h.SetClock(clk.now)
+	return h, clk
+}
+
+func TestHealthStallFlip(t *testing.T) {
+	h, clk := newFakeHealth()
+	h.Watch("inference", 5*time.Second)
+	h.Beat("inference")
+
+	if !h.Healthy() {
+		t.Fatal("fresh stage reported unhealthy")
+	}
+	clk.advance(4 * time.Second)
+	if !h.Healthy() {
+		t.Fatal("stage within stall budget reported unhealthy")
+	}
+	clk.advance(2 * time.Second) // 6s since beat > 5s budget
+	ok, stages := h.Check()
+	if ok {
+		t.Fatal("stalled stage reported healthy")
+	}
+	if len(stages) != 1 || !stages[0].Stalled || stages[0].State != StateRunning {
+		t.Fatalf("unexpected detail %+v", stages)
+	}
+	// A beat recovers it.
+	h.Beat("inference")
+	if !h.Healthy() {
+		t.Fatal("stage did not recover after beat")
+	}
+	// Done stages are exempt from stall checks forever.
+	h.Done("inference")
+	clk.advance(time.Hour)
+	if !h.Healthy() {
+		t.Fatal("done stage reported unhealthy")
+	}
+}
+
+func TestHealthFailAndZeroBudget(t *testing.T) {
+	h, clk := newFakeHealth()
+	h.Watch("download", 0) // state-only tracking: never stalls
+	clk.advance(time.Hour)
+	if !h.Healthy() {
+		t.Fatal("zero-budget stage reported stalled")
+	}
+	h.Fail("download")
+	if h.Healthy() {
+		t.Fatal("failed stage reported healthy")
+	}
+}
+
+func TestHealthNilSafe(t *testing.T) {
+	var h *Health
+	h.Watch("x", time.Second)
+	h.Beat("x")
+	h.Done("x")
+	h.Fail("x")
+	h.SetClock(time.Now)
+	if ok, stages := h.Check(); !ok || stages != nil {
+		t.Fatalf("nil health = %v %+v", ok, stages)
+	}
+}
+
+func TestHealthServeHTTP(t *testing.T) {
+	h, clk := newFakeHealth()
+	h.Watch("inference", 5*time.Second)
+	h.Beat("inference")
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy code = %d", rec.Code)
+	}
+	var resp struct {
+		Status string        `json:"status"`
+		Stages []StageHealth `json:"stages"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("json: %v\n%s", err, rec.Body.String())
+	}
+	if resp.Status != "ok" || len(resp.Stages) != 1 || resp.Stages[0].Stage != "inference" {
+		t.Fatalf("unexpected body %+v", resp)
+	}
+
+	clk.advance(10 * time.Second)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("stalled code = %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "unhealthy" || !resp.Stages[0].Stalled {
+		t.Fatalf("unexpected stalled body %+v", resp)
+	}
+}
+
+func TestHealthServeHTTPEmpty(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewHealth().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("empty health code = %d", rec.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["stages"] == nil {
+		t.Fatal("stages missing from empty body")
+	}
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("eoml_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent: same name+labels yields the same metric.
+	if again := r.Counter("eoml_test_total", "help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("eoml_test_gauge", "help", L("worker", "w1"))
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	// Different labels yield a distinct series.
+	other := r.Gauge("eoml_test_gauge", "help", L("worker", "w2"))
+	if other == g {
+		t.Fatal("distinct labels returned the same gauge")
+	}
+	// Label order must not matter for identity.
+	a := r.Counter("eoml_lbl_total", "", L("a", "1"), L("b", "2"))
+	b := r.Counter("eoml_lbl_total", "", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestCounterPanicsOnNegativeAdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestRegisterPanicsOnKindConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("eoml_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("eoml_conflict", "")
+}
+
+func TestRegisterPanicsOnBadName(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad metric name did not panic")
+		}
+	}()
+	r.Counter("0bad-name", "")
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-111.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 111.5", got)
+	}
+
+	r := NewRegistry()
+	r.Histogram("eoml_hist", "", []float64{1, 5, 10}).Observe(3)
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Series[0].Histogram == nil {
+		t.Fatalf("unexpected snapshot %+v", snap)
+	}
+	hs := snap[0].Series[0].Histogram
+	want := []int64{0, 1, 1} // cumulative: <=1, <=5, <=10
+	for i, w := range want {
+		if hs.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%+v)", i, hs.Cumulative[i], w, hs)
+		}
+	}
+	if hs.Count != 1 || hs.Sum != 3 {
+		t.Fatalf("count/sum = %d/%v, want 1/3", hs.Count, hs.Sum)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // on the edge: belongs to the le="1" bucket
+	h.Observe(2.5)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("edge sample landed in bucket %v", h.counts)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Fatalf("overflow sample missing from +Inf bucket: %v", h.counts)
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.GaugeFunc("eoml_fn_gauge", "", func() float64 { return v })
+	snap := r.Snapshot()
+	if snap[0].Series[0].Value != 3 {
+		t.Fatalf("gauge func value = %v", snap[0].Series[0].Value)
+	}
+	// Re-registering replaces fn (successor component takes over).
+	r.GaugeFunc("eoml_fn_gauge", "", func() float64 { return 9 })
+	if got := r.Snapshot()[0].Series[0].Value; got != 9 {
+		t.Fatalf("replaced gauge func value = %v, want 9", got)
+	}
+	r.CounterFunc("eoml_fn_total", "", func() float64 { return 42 })
+	snap = r.Snapshot()
+	if got := snap[1].Series[0].Value; got != 42 {
+		t.Fatalf("counter func value = %v, want 42", got)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("eoml_nil_total", "").Inc()
+	r.Gauge("eoml_nil_gauge", "").Set(1)
+	r.Histogram("eoml_nil_hist", "", DurationBuckets()).Observe(1)
+	r.GaugeFunc("eoml_nil_fn", "", func() float64 { return 1 })
+	r.CounterFunc("eoml_nil_cfn", "", func() float64 { return 1 })
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot = %+v, want nil", snap)
+	}
+}
+
+// TestRegistryConcurrency hammers the registry from N writer goroutines
+// (registering and incrementing overlapping series) while a reader
+// snapshots continuously. Run under -race this is the data-race gate
+// for the lock-free hot path.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, fam := range r.Snapshot() {
+				for _, s := range fam.Series {
+					_ = s.Value
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Shared series: every writer contends on the same atomics.
+				r.Counter("eoml_race_total", "").Inc()
+				r.Histogram("eoml_race_seconds", "", DurationBuckets()).Observe(float64(i) / 1000)
+				// Per-writer series: registration races on the registry map.
+				r.Gauge("eoml_race_gauge", "", L("writer", fmt.Sprint(w))).Set(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := r.Counter("eoml_race_total", "").Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("eoml_race_seconds", "", DurationBuckets()).Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}

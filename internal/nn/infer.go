@@ -15,6 +15,7 @@
 // except when the next output aliases it. The tensor returned to the
 // caller is arena-owned: the caller must copy out what it keeps and
 // should Put the tensor back. Never Put the same backing twice.
+
 package nn
 
 import (

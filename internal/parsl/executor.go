@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/eoml/eoml/internal/metrics"
 )
 
 // Provider allocates and releases blocks of workers, abstracting the
@@ -288,6 +290,24 @@ func (e *HighThroughputExecutor) QueuedTasks() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.queued
+}
+
+// Instrument exports the executor's queue and worker gauges to reg,
+// labeled with the executor's Label. Function-backed: the gauges read
+// live executor state at scrape time; re-instrumenting the same label
+// hands the series to the newest executor (batch drivers build a fresh
+// HTEX per run).
+func (e *HighThroughputExecutor) Instrument(reg *metrics.Registry) {
+	l := metrics.L("executor", e.cfg.Label)
+	reg.GaugeFunc("eoml_executor_busy_workers",
+		"Workers currently executing a task.",
+		func() float64 { return float64(e.BusyWorkers()) }, l)
+	reg.GaugeFunc("eoml_executor_queued_tasks",
+		"Tasks waiting for a free worker.",
+		func() float64 { return float64(e.QueuedTasks()) }, l)
+	reg.GaugeFunc("eoml_executor_blocks",
+		"Elastic worker blocks currently allocated.",
+		func() float64 { return float64(e.Blocks()) }, l)
 }
 
 func (e *HighThroughputExecutor) addBlock() error {

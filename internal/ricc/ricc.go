@@ -126,6 +126,15 @@ func (m *Model) Params() []*nn.Param {
 	return append(m.encoder.Params(), m.decoder.Params()...)
 }
 
+// Arena returns the model's buffer arena (nil on a nil model), so
+// callers can instrument its reuse counters.
+func (m *Model) Arena() *tensor.Arena {
+	if m == nil {
+		return nil
+	}
+	return m.arena
+}
+
 // Normalizer rescales tile radiances to [0, 1] per band using the range
 // observed in the training set.
 type Normalizer struct {

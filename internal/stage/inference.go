@@ -12,6 +12,7 @@ import (
 
 	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/flows"
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/watch"
 )
 
@@ -104,6 +105,14 @@ type InferenceService struct {
 	armed       bool
 	stopOnce    sync.Once
 
+	health       *metrics.Health
+	monitorIn    *metrics.Counter
+	monitorOut   *metrics.Counter
+	flowIn       *metrics.Counter
+	flowOut      *metrics.Counter
+	flowFailures *metrics.Counter
+	tilesCtr     *metrics.Counter
+
 	mu           sync.Mutex
 	expected     int
 	expectSet    bool
@@ -123,11 +132,38 @@ func (s *InferenceService) Name() string { return "inference" }
 
 // Setup builds the machinery and arms the crawler and worker pool.
 func (s *InferenceService) Setup(ctx context.Context, rc *RunContext) error {
+	// Register the monitor & trigger and inference series eagerly, and
+	// arm the inference stall clock with the same budget Run's abort
+	// timer uses, so /healthz flips stalled around the time Run gives
+	// up. The monitor stage is the crawler inside this service — it has
+	// no orchestrator slot, so its series are owned here.
+	s.health = rc.Health
+	s.monitorIn = rc.EventCounter("monitor", EventIn)
+	s.monitorOut = rc.EventCounter("monitor", EventOut)
+	s.flowIn = rc.EventCounter(s.Name(), EventIn)
+	s.flowOut = rc.EventCounter(s.Name(), EventOut)
+	s.flowFailures = rc.Metrics.Counter("eoml_inference_flow_failures_total",
+		"Label-and-move flows that returned an error.")
+	s.tilesCtr = rc.Metrics.Counter("eoml_inference_tiles_labeled_total",
+		"Tiles labeled across all watched files.")
+	rc.Metrics.GaugeFunc("eoml_inference_files_expected",
+		"Tile files upstream says to expect (0 until the expectation is set).",
+		func() float64 { return float64(s.Expected()) })
+	rc.Metrics.CounterFunc("eoml_inference_flows_completed_total",
+		"Label-and-move flows finished, successfully or not.",
+		func() float64 { return float64(s.Completed()) })
+	rc.Health.Watch("monitor", 0)
+	rc.Health.Watch(s.Name(), s.cfg.StallTimeout)
+	if s.cfg.Labeler != nil {
+		s.cfg.Labeler.Model.Arena().Instrument(rc.Metrics, "ricc")
+	}
+
 	s.batcher = aicca.NewBatchLabeler(s.cfg.Labeler, aicca.BatchConfig{
 		MaxTiles: s.cfg.BatchTiles,
 		MaxDelay: s.cfg.BatchDelay,
 		Timeline: rc.Timeline,
 		Epoch:    rc.Epoch,
+		Metrics:  rc.Metrics,
 	})
 	s.engine = flows.NewEngine(flows.EngineConfig{})
 	if err := s.engine.RegisterProvider("inference", s.inferenceProvider()); err != nil {
@@ -164,11 +200,14 @@ func (s *InferenceService) Setup(ctx context.Context, rc *RunContext) error {
 		defer close(s.crawlerDone)
 		_ = s.crawler.Run(crawlCtx, func(evs []watch.Event) error {
 			for _, ev := range evs {
+				s.monitorIn.Inc()
+				s.health.Beat("monitor")
 				// Enqueue must never block past cancellation: after the
 				// pool exits (cancelled run), nothing drains events, so a
 				// bare send could wedge the crawler goroutine forever.
 				select {
 				case s.events <- ev:
+					s.monitorOut.Inc()
 				case <-crawlCtx.Done():
 					return crawlCtx.Err()
 				}
@@ -185,6 +224,7 @@ func (s *InferenceService) worker(ctx context.Context, rc *RunContext) {
 	defer s.poolWG.Done()
 	//eomlvet:ignore ctxsend bounded drain: shutdown() closes events only after the crawler (sole sender) has exited, so the range always terminates
 	for ev := range s.events {
+		s.flowIn.Inc()
 		run, err := s.engine.Start(ctx, s.def, map[string]any{
 			"file":   ev.Path,
 			"outbox": s.cfg.OutboxDir,
@@ -197,14 +237,20 @@ func (s *InferenceService) worker(ctx context.Context, rc *RunContext) {
 		s.completed++
 		if err != nil {
 			s.flowErrs = append(s.flowErrs, fmt.Errorf("flow %s: %w", filepath.Base(ev.Path), err))
+			s.flowFailures.Inc()
 		} else {
 			s.filesLabeled++
 			if n, ok := out["labeled"].(int); ok {
 				s.tilesLabeled += n
+				s.tilesCtr.Add(int64(n))
 			}
 			rc.Timeline.Record("inference", rc.Since(), s.filesLabeled)
+			s.flowOut.Inc()
 		}
 		s.mu.Unlock()
+		// Every completed flow — failed or not — is liveness: the stall
+		// clock tracks progress, not success.
+		s.health.Beat(s.Name())
 		s.bump()
 	}
 }
@@ -306,6 +352,13 @@ func (s *InferenceService) FlowsFailed() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.flowErrs)
+}
+
+// Completed reports how many flows finished, successfully or not.
+func (s *InferenceService) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
 }
 
 // Expected reports the expected file count (zero until ExpectFiles).

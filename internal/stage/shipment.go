@@ -81,6 +81,9 @@ func (s *Shipment) Run(ctx context.Context, rc *RunContext) error {
 		return fmt.Errorf("shipment failed: %v", st.Errors)
 	}
 	s.filesShipped = st.FilesDone
+	rc.EventCounter(s.Name(), EventIn).Add(int64(st.FilesDone))
+	rc.EventCounter(s.Name(), EventOut).Add(int64(st.FilesDone))
+	rc.Health.Beat(s.Name())
 	if s.cfg.OnShipped != nil {
 		if names, err := listFiles(s.cfg.SrcDir); err == nil {
 			s.cfg.OnShipped(names, started, time.Now())

@@ -41,6 +41,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/trace"
 )
 
@@ -57,12 +58,67 @@ type RunContext struct {
 	// the orchestrator around each stage's Run (extended through Drain
 	// for stages that drain).
 	Spans *trace.Spans
+	// Metrics receives live per-stage series (events, failures,
+	// latency). Nil is valid: stages instrument unconditionally and the
+	// increments go to throwaway metrics.
+	Metrics *metrics.Registry
+	// Health tracks per-stage liveness for /healthz. Nil is valid.
+	Health *metrics.Health
 	// Dirs are created (MkdirAll) before the setup phase.
 	Dirs []string
 }
 
 // Since returns seconds elapsed since the run epoch.
 func (rc *RunContext) Since() float64 { return time.Since(rc.Epoch).Seconds() }
+
+// Metric names and label values exported by the stage layer. EventIn
+// counts units of work a stage accepted, EventOut units it completed;
+// what a "unit" is (a granule, a tile file, a shipped product) is the
+// stage's choice and documented in docs/OPERATIONS.md.
+const (
+	MetricStageEvents   = "eoml_stage_events_total"
+	MetricStageFailures = "eoml_stage_failures_total"
+	MetricStageSeconds  = "eoml_stage_seconds"
+	EventIn             = "in"
+	EventOut            = "out"
+)
+
+// EventCounter returns the events counter for a stage and direction
+// (EventIn or EventOut), registering it on first use.
+func (rc *RunContext) EventCounter(stageName, dir string) *metrics.Counter {
+	return rc.Metrics.Counter(MetricStageEvents,
+		"Units of work accepted (dir=in) and completed (dir=out) per pipeline stage.",
+		metrics.L("stage", stageName), metrics.L("dir", dir))
+}
+
+// Event counts one completed unit of work for a stage in both sinks:
+// the events counter and the stage's health stall clock.
+func (rc *RunContext) Event(stageName, dir string) {
+	rc.EventCounter(stageName, dir).Inc()
+	rc.Health.Beat(stageName)
+}
+
+// instrument eagerly registers a stage's metric series and health entry
+// so the catalogue is complete before any work happens.
+func (rc *RunContext) instrument(stageName string) {
+	rc.EventCounter(stageName, EventIn)
+	rc.EventCounter(stageName, EventOut)
+	rc.failures(stageName)
+	rc.seconds(stageName)
+	rc.Health.Watch(stageName, 0)
+}
+
+func (rc *RunContext) failures(stageName string) *metrics.Counter {
+	return rc.Metrics.Counter(MetricStageFailures,
+		"Stage lifecycle-phase errors observed by the orchestrator.",
+		metrics.L("stage", stageName))
+}
+
+func (rc *RunContext) seconds(stageName string) *metrics.Histogram {
+	return rc.Metrics.Histogram(MetricStageSeconds,
+		"Wall-clock seconds per stage (Run, extended through Drain for stages that drain).",
+		metrics.DurationBuckets(), metrics.L("stage", stageName))
+}
 
 // Stage is one unit of the workflow. Run is the stage's synchronous
 // turn in driver order; stages with background machinery additionally
@@ -139,12 +195,20 @@ func (o *Orchestrator) Execute(ctx context.Context, stages ...Stage) error {
 	var errs []error
 	fail := func(st Stage, phase string, err error) {
 		errs = append(errs, fmt.Errorf("stage %s: %s: %w", st.Name(), phase, err))
+		o.rc.failures(st.Name()).Inc()
+		o.rc.Health.Fail(st.Name())
 	}
 
 	for _, dir := range o.rc.Dirs {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
+	}
+
+	// Register every stage's series and health entry up front so the
+	// full catalogue is visible on /metrics before any work happens.
+	for _, st := range stages {
+		o.rc.instrument(st.Name())
 	}
 
 	// Setup phase: arm in listed order. The close phase below unwinds
@@ -171,16 +235,25 @@ func (o *Orchestrator) Execute(ctx context.Context, stages ...Stage) error {
 				ok = false
 				break
 			}
+			o.rc.Health.SetState(st.Name(), metrics.StateRunning)
 			span := o.rc.Spans.Begin(st.Name(), o.rc.Since())
 			err := st.Run(ctx, o.rc)
 			span.End(o.rc.Since())
-			if _, drains := st.(Drainer); drains {
+			_, drains := st.(Drainer)
+			if drains {
 				drainable = append(drainable, st)
 			}
 			if err != nil {
 				fail(st, "run", err)
 				ok = false
 				break
+			}
+			// The latency histogram mirrors the stage's final span: a
+			// draining stage's span is extended below, so its sample
+			// waits until drain completes.
+			if !drains {
+				o.rc.seconds(st.Name()).Observe(o.rc.Since() - span.Start())
+				o.rc.Health.Done(st.Name())
 			}
 		}
 	}
@@ -196,6 +269,8 @@ func (o *Orchestrator) Execute(ctx context.Context, stages ...Stage) error {
 				fail(st, "drain", err)
 				break
 			}
+			o.rc.seconds(st.Name()).Observe(o.rc.Since() - sp.Start)
+			o.rc.Health.Done(st.Name())
 		}
 	}
 

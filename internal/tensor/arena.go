@@ -1,7 +1,23 @@
-// Size-bucketed tensor arena. Inference allocates the same handful of
-// activation shapes for every batch; the arena recycles those buffers
-// through per-size-class sync.Pools so the encode hot path stops
-// regrowing the heap on every call.
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"github.com/eoml/eoml/internal/metrics"
+)
+
+// arenaBuckets caps the pooled size classes at 2^27 floats (512 MiB);
+// larger tensors bypass the pool.
+const arenaBuckets = 28
+
+// Arena recycles tensor backing buffers in power-of-two size classes.
+// It is safe for concurrent use; each Get hands out a distinct buffer.
+// Inference allocates the same handful of activation shapes for every
+// batch; the arena recycles those buffers through per-size-class
+// sync.Pools so the encode hot path stops regrowing the heap on every
+// call.
 //
 // Lifecycle rules (see DESIGN.md §"Tensor arena"):
 //   - Get returns a tensor with UNDEFINED contents; callers must
@@ -11,20 +27,6 @@
 //     owner of a returned tensor is whoever the API gave it to.
 //   - A nil *Arena is valid and degrades to plain New/no-op Put, so the
 //     same code path serves pooled and unpooled callers.
-package tensor
-
-import (
-	"math/bits"
-	"sync"
-	"sync/atomic"
-)
-
-// arenaBuckets caps the pooled size classes at 2^27 floats (512 MiB);
-// larger tensors bypass the pool.
-const arenaBuckets = 28
-
-// Arena recycles tensor backing buffers in power-of-two size classes.
-// It is safe for concurrent use; each Get hands out a distinct buffer.
 type Arena struct {
 	pools [arenaBuckets]sync.Pool
 
@@ -104,4 +106,24 @@ func (a *Arena) Stats() (gets, news, puts int64) {
 		return 0, 0, 0
 	}
 	return a.gets.Load(), a.news.Load(), a.puts.Load()
+}
+
+// Instrument exports the arena's hit/miss/outstanding counters to reg
+// under the given arena label. Safe on a nil arena or nil registry
+// (no-op and throwaway registration respectively); re-instrumenting the
+// same label hands the series to the newest arena.
+func (a *Arena) Instrument(reg *metrics.Registry, name string) {
+	if a == nil {
+		return
+	}
+	l := metrics.L("arena", name)
+	reg.CounterFunc("eoml_arena_hits_total",
+		"Arena Gets served from the pool without allocating.",
+		func() float64 { gets, news, _ := a.Stats(); return float64(gets - news) }, l)
+	reg.CounterFunc("eoml_arena_misses_total",
+		"Arena Gets that missed the pool and allocated.",
+		func() float64 { _, news, _ := a.Stats(); return float64(news) }, l)
+	reg.GaugeFunc("eoml_arena_outstanding",
+		"Tensors handed out by Get and not yet returned by Put.",
+		func() float64 { gets, _, puts := a.Stats(); return float64(gets - puts) }, l)
 }

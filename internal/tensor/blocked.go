@@ -19,6 +19,7 @@
 // accumulators change the association order, so blocked results agree
 // with the MatMul*Naive oracles to float32 rounding (the property tests
 // in blocked_test.go pin this at 1e-5 relative).
+
 package tensor
 
 import "fmt"

@@ -5,6 +5,7 @@
 // straight from the input planes, splitting each output row into border
 // and interior segments so the interior runs without bounds tests.
 // ConvDirect (conv.go) is the reference oracle.
+
 package tensor
 
 import "fmt"
