@@ -1,0 +1,69 @@
+// Command benchdiff compares two committed benchmark records and fails
+// on throughput regressions, so "optimizations" that trade allocations
+// for wall-clock (the BENCH_4 arena regression) can't land silently:
+//
+//	benchdiff [-threshold 0.10] BENCH_4.json BENCH_5.json
+//
+// Every time/rate metric (ns/op, tiles/s, GFLOPS) present in both
+// records is compared; the exit status is non-zero if any metric moved
+// against its direction by more than the threshold. Memory metrics are
+// printed but never gate. `make bench-diff` runs this against the two
+// most recent committed records and is part of `make check`/CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/eoml/eoml/internal/benchfmt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10, "regression tolerance as a fraction (0.10 = 10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+	}
+	oldDoc, err := benchfmt.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newDoc, err := benchfmt.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	deltas := benchfmt.Compare(oldDoc, newDoc, *threshold)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no shared throughput metrics between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	regressions := 0
+	fmt.Fprintf(stdout, "%-44s %-12s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-44s %-12s %14.4g %14.4g %8.3f%s\n", d.Bench, d.Metric, d.Old, d.New, d.Ratio, mark)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d throughput metric(s) regressed beyond %.0f%% (PR %d → PR %d)",
+			regressions, *threshold*100, oldDoc.PR, newDoc.PR)
+	}
+	fmt.Fprintf(stdout, "ok: no throughput regression beyond %.0f%% (PR %d → PR %d)\n",
+		*threshold*100, oldDoc.PR, newDoc.PR)
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldDoc = `{
+  "pr": 4,
+  "benchmarks": {
+    "BenchmarkEncodeArena/arena": {"ns_per_op": 1000000, "allocs_per_op": 15},
+    "BenchmarkLabelFileBatched/batched": {"tiles_per_s": 20000},
+    "BenchmarkMatMulBlocked/blocked_256": {"gflops": 30}
+  }
+}`
+
+func TestBenchdiffFailsOnSyntheticRegression(t *testing.T) {
+	// >10% slower ns/op and >10% lower tiles/s: both must gate.
+	newDoc := `{
+	  "pr": 5,
+	  "benchmarks": {
+	    "BenchmarkEncodeArena/arena": {"ns_per_op": 1150000, "allocs_per_op": 2},
+	    "BenchmarkLabelFileBatched/batched": {"tiles_per_s": 17000},
+	    "BenchmarkMatMulBlocked/blocked_256": {"gflops": 30}
+	  }
+	}`
+	var out strings.Builder
+	err := run([]string{writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc)}, &out)
+	if err == nil {
+		t.Fatalf("synthetic regression passed the gate; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "2 throughput metric(s) regressed") {
+		t.Fatalf("error = %v, want 2 regressed metrics", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output lacks REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffPassesWithinThreshold(t *testing.T) {
+	// 5% slower is inside the default 10% gate; the alloc-count column is
+	// never a gate even when it explodes.
+	newDoc := `{
+	  "pr": 5,
+	  "benchmarks": {
+	    "BenchmarkEncodeArena/arena": {"ns_per_op": 1050000, "allocs_per_op": 500},
+	    "BenchmarkLabelFileBatched/batched": {"tiles_per_s": 21000},
+	    "BenchmarkMatMulBlocked/blocked_256": {"gflops": 33}
+	  }
+	}`
+	var out strings.Builder
+	if err := run([]string{writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc)}, &out); err != nil {
+		t.Fatalf("within-threshold diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: no throughput regression") {
+		t.Fatalf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestBenchdiffThresholdFlag(t *testing.T) {
+	// The same 5% slip fails when the operator tightens the gate to 2%.
+	newDoc := `{
+	  "pr": 5,
+	  "benchmarks": {
+	    "BenchmarkEncodeArena/arena": {"ns_per_op": 1050000}
+	  }
+	}`
+	var out strings.Builder
+	err := run([]string{"-threshold", "0.02",
+		writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc)}, &out)
+	if err == nil {
+		t.Fatal("5% slip passed a 2% gate")
+	}
+}
+
+func TestBenchdiffRejectsDisjointRecords(t *testing.T) {
+	newDoc := `{"pr": 5, "benchmarks": {"BenchmarkSomethingElse": {"ns_per_op": 1}}}`
+	var out strings.Builder
+	err := run([]string{writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc)}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no shared throughput metrics") {
+		t.Fatalf("err = %v, want no-shared-metrics failure", err)
+	}
+}

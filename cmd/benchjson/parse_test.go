@@ -81,9 +81,18 @@ ok  	github.com/eoml/eoml	4.2s
 	}
 }
 
-func TestParseRejectsDuplicates(t *testing.T) {
-	input := "BenchmarkX-2 10 5 ns/op\nBenchmarkX-2 10 6 ns/op\n"
-	if _, err := Parse(strings.NewReader(input)); err == nil {
-		t.Fatal("duplicate benchmark lines not rejected")
+func TestParseBestOfN(t *testing.T) {
+	// -count N repetitions collapse to the fastest one, and that
+	// repetition's other metrics ride along (no cross-rep mixing).
+	input := "BenchmarkX-2 10 6 ns/op 100 tiles/s\n" +
+		"BenchmarkX-2 10 5 ns/op 120 tiles/s\n" +
+		"BenchmarkX-2 10 7 ns/op 130 tiles/s\n"
+	doc, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.Benchmarks["BenchmarkX"]
+	if m["ns_per_op"] != 5 || m["tiles_per_s"] != 120 {
+		t.Fatalf("best-of-N picked %v, want ns_per_op=5 tiles_per_s=120", m)
 	}
 }

@@ -18,6 +18,11 @@
 // /healthz (200 while every stage is live, 503 once a stage stalls or
 // fails). See docs/OPERATIONS.md for the metric catalogue.
 //
+// With -pprof-addr, the tool additionally serves the Go runtime
+// profiles under /debug/pprof/ (CPU, heap, goroutine, block, mutex,
+// trace); give it the same address as -metrics-addr to share one
+// listener. See the Profiling section of docs/OPERATIONS.md.
+//
 // Other flags: -timeline prints the worker-activity timeline,
 // -stream-gap-ms sets the streaming inter-arrival gap, -provenance
 // exports the run's provenance graph, -train-classes and -train-epochs
@@ -31,12 +36,43 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
 	"github.com/eoml/eoml"
 )
+
+// attachPprof mounts the runtime profile handlers (CPU, heap, goroutine,
+// block, mutex, trace) under /debug/pprof/ on mux.
+func attachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// serveHTTP serves mux on addr for the lifetime of the run and returns
+// a stop func that closes the server and joins its goroutine, plus the
+// bound address for logging.
+func serveHTTP(addr string, mux *http.ServeMux) (stop func(), bound net.Addr, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ln) // returns once stop calls Close
+	}()
+	return func() {
+		_ = srv.Close()
+		<-served
+	}, ln.Addr(), nil
+}
 
 // sampleConfig is the declaration written by -init, mirroring the YAML
 // interface the paper describes for its users.
@@ -89,6 +125,7 @@ func main() {
 	streamGapMS := flag.Int("stream-gap-ms", 100, "inter-arrival gap in streaming mode")
 	provPath := flag.String("provenance", "", "write the run's provenance graph (JSON) to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /healthz on this address for the run (overrides metrics_addr in the config)")
+	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this address for the run; when it matches the metrics address the two share one listener")
 	initConfig := flag.Bool("init", false, "write a sample workflow declaration to -config and exit")
 	flag.Parse()
 
@@ -140,28 +177,35 @@ func main() {
 		pipe.SetProvenance(prov)
 	}
 
-	if addr := *metricsAddr; addr != "" || cfg.MetricsAddr != "" {
-		if addr == "" {
-			addr = cfg.MetricsAddr
-		}
+	obsAddr := *metricsAddr
+	if obsAddr == "" {
+		obsAddr = cfg.MetricsAddr
+	}
+	if obsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", pipe.Metrics())
 		mux.Handle("/healthz", pipe.Health())
-		ln, err := net.Listen("tcp", addr)
+		what := "/metrics and /healthz"
+		if *pprofAddr == obsAddr {
+			attachPprof(mux) // profile the run through the same listener
+			what = "/metrics, /healthz and /debug/pprof"
+		}
+		stop, bound, err := serveHTTP(obsAddr, mux)
 		if err != nil {
 			log.Fatalf("eoml: metrics listener: %v", err)
 		}
-		srv := &http.Server{Handler: mux}
-		served := make(chan struct{})
-		go func() {
-			defer close(served)
-			_ = srv.Serve(ln) // returns once Close is called below
-		}()
-		defer func() {
-			_ = srv.Close()
-			<-served
-		}()
-		fmt.Printf("eoml: serving /metrics and /healthz on http://%s\n", ln.Addr())
+		defer stop()
+		fmt.Printf("eoml: serving %s on http://%s\n", what, bound)
+	}
+	if *pprofAddr != "" && *pprofAddr != obsAddr {
+		mux := http.NewServeMux()
+		attachPprof(mux)
+		stop, bound, err := serveHTTP(*pprofAddr, mux)
+		if err != nil {
+			log.Fatalf("eoml: pprof listener: %v", err)
+		}
+		defer stop()
+		fmt.Printf("eoml: serving /debug/pprof on http://%s\n", bound)
 	}
 
 	var rep *eoml.Report

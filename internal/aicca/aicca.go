@@ -72,11 +72,14 @@ func Train(tiles []*tile.Tile, cfg ricc.Config, k int) (*Labeler, *cluster42.Res
 }
 
 // LabelTiles assigns classes to tiles in place and returns the labels.
+// Encoding goes through the batch-GEMM path, so a BatchLabeler flush
+// that packed tiles from several files runs one blocked matmul per
+// layer for the whole pack.
 func (l *Labeler) LabelTiles(tiles []*tile.Tile) ([]int16, error) {
 	if len(tiles) == 0 {
 		return nil, nil
 	}
-	latents, err := l.Model.Encode(tiles)
+	latents, err := l.Model.EncodeBatch(tiles)
 	if err != nil {
 		return nil, err
 	}

@@ -2,25 +2,37 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
-// ArenaPair keeps the tensor.Arena honest: the arena only amortizes
+// ArenaPair keeps the tensor arenas honest: an arena only amortizes
 // allocations (PR 1's 305→15 allocs/op win) if every Get is returned
 // with a Put. A function that Gets and never Puts silently regresses the
-// hot path back to the allocator. The check is per function declaration:
-// a function calling (tensor.Arena).Get must either call Put (directly,
-// deferred, or in a nested literal) or visibly transfer ownership by
-// returning the gotten tensor — the Layer.Infer contract, where the
-// caller recycles. Any other transfer (storing the tensor in a field,
-// handing it to a goroutine) carries an ignore directive naming the new
-// owner.
+// hot path back to the allocator. The check is per function declaration
+// and covers both ownership classes the tensor package hands out:
+//
+//   - Tensors: Get/Put on *tensor.Arena, *tensor.LocalArena, or the
+//     tensor.Allocator interface they implement. A function calling Get
+//     must either call Put (directly, deferred, or in a nested literal)
+//     or visibly transfer ownership by returning the gotten tensor — the
+//     Layer.Infer contract, where the caller recycles.
+//   - Shards: Acquire/Release on *tensor.ShardedArena. A function that
+//     checks a LocalArena out of the pool must check it back in, or
+//     return it to the caller.
+//
+// Any other transfer (storing the tensor in a field, handing it to a
+// goroutine) carries an ignore directive naming the new owner.
 var ArenaPair = &Analyzer{
 	Name: "arenapair",
-	Doc:  "a function that calls tensor.Arena.Get must Put the tensor back, return it to the caller, or document the ownership transfer with an ignore directive",
+	Doc:  "a function that calls Get on a tensor arena (Arena, LocalArena, or the Allocator interface) must Put the tensor back, and one that calls ShardedArena.Acquire must Release the shard — or return it to the caller, or document the ownership transfer with an ignore directive",
 	Run:  runArenaPair,
 }
 
 const tensorPkg = "github.com/eoml/eoml/internal/tensor"
+
+// allocTypes are the receiver types whose Get/Put form one ownership
+// class: a tensor taken from any of them must go back through a Put.
+var allocTypes = []string{"Arena", "LocalArena", "Allocator"}
 
 func runArenaPair(pass *Pass) {
 	for _, f := range pass.Files {
@@ -33,8 +45,8 @@ func runArenaPair(pass *Pass) {
 }
 
 func checkArenaPairs(pass *Pass, fd *ast.FuncDecl) {
-	var gets []*ast.CallExpr
-	puts := 0
+	var gets, acquires []*ast.CallExpr
+	puts, releases := 0, 0
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -42,29 +54,55 @@ func checkArenaPairs(pass *Pass, fd *ast.FuncDecl) {
 		}
 		fn := calleeFunc(pass.Info, call)
 		switch {
-		case isMethodOn(fn, tensorPkg, "Arena", "Get"):
+		case isAllocMethod(fn, "Get"):
 			gets = append(gets, call)
-		case isMethodOn(fn, tensorPkg, "Arena", "Put"):
+		case isAllocMethod(fn, "Put"):
 			puts++
+		case isMethodOn(fn, tensorPkg, "ShardedArena", "Acquire"):
+			acquires = append(acquires, call)
+		case isMethodOn(fn, tensorPkg, "ShardedArena", "Release"):
+			releases++
 		}
 		return true
 	})
-	// Any Put in the function is taken as evidence of pairing discipline;
-	// per-tensor matching is the reviewer's job, count matching is ours.
-	if len(gets) == 0 || puts > 0 {
-		return
-	}
-	parents := parentMap(fd.Body)
-	for _, get := range gets {
-		if returnsOwnership(pass, parents, fd, get) {
-			continue
+	// Any Put (or Release) in the function is taken as evidence of pairing
+	// discipline; per-value matching is the reviewer's job, count matching
+	// is ours.
+	var parents map[ast.Node]ast.Node
+	flag := func(calls []*ast.CallExpr, msg string) {
+		if parents == nil {
+			parents = parentMap(fd.Body)
 		}
-		pass.Reportf(get.Pos(), "tensor.Arena Get without any Put in %s; the tensor never returns to the arena", fd.Name.Name)
+		for _, call := range calls {
+			if returnsOwnership(pass, parents, fd, call) {
+				continue
+			}
+			pass.Reportf(call.Pos(), msg, fd.Name.Name)
+		}
+	}
+	if len(gets) > 0 && puts == 0 {
+		flag(gets, "tensor arena Get without any Put in %s; the tensor never returns to the arena")
+	}
+	if len(acquires) > 0 && releases == 0 {
+		flag(acquires, "ShardedArena Acquire without any Release in %s; the shard never returns to the checkout pool")
 	}
 }
 
-// returnsOwnership reports whether the Get call's result is returned by
-// the function, directly or through the variable it is assigned to.
+// isAllocMethod reports whether fn is the named method on any of the
+// tensor allocator types, including calls through the Allocator
+// interface (whose method set the concrete arenas satisfy).
+func isAllocMethod(fn *types.Func, name string) bool {
+	for _, typ := range allocTypes {
+		if isMethodOn(fn, tensorPkg, typ, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsOwnership reports whether the Get/Acquire call's result is
+// returned by the function, directly or through the variable it is
+// assigned to.
 func returnsOwnership(pass *Pass, parents map[ast.Node]ast.Node, fd *ast.FuncDecl, get *ast.CallExpr) bool {
 	switch p := parents[get].(type) {
 	case *ast.ReturnStmt:

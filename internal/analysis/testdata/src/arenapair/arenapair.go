@@ -57,3 +57,60 @@ func goodUnrelatedGet(p *sync.Pool) any {
 	// sync.Pool.Get is not tensor.Arena.Get.
 	return p.Get()
 }
+
+func badLocalLeak(a *tensor.LocalArena) float32 {
+	x := a.Get(4, 4) // want "without any Put"
+	return x.Data[0]
+}
+
+func badAllocatorLeak(a tensor.Allocator) float32 {
+	// Calls through the interface are the same ownership class as the
+	// concrete arenas behind it.
+	x := a.Get(4, 4) // want "without any Put"
+	return x.Data[0]
+}
+
+func goodLocalPaired(a *tensor.LocalArena) {
+	x := a.Get(8)
+	defer a.Put(x)
+}
+
+func goodAllocatorPaired(a tensor.Allocator) {
+	x := a.Get(8)
+	a.Put(x)
+}
+
+func goodCrossAllocatorPut(a *tensor.LocalArena) *tensor.T {
+	// A Put on any arena type counts as pairing evidence for the
+	// function's Gets; which tensor went where is the reviewer's job.
+	scratch := a.Get(8)
+	out := a.Get(8)
+	a.Put(scratch)
+	return out
+}
+
+func badAcquireLeak(s *tensor.ShardedArena) float32 {
+	shard := s.Acquire()        // want "without any Release"
+	return shard.Get(1).Data[0] // want "without any Put"
+}
+
+func goodAcquirePaired(s *tensor.ShardedArena) {
+	shard := s.Acquire()
+	defer s.Release(shard)
+	x := shard.Get(8)
+	shard.Put(x)
+}
+
+func goodAcquireReturned(s *tensor.ShardedArena) *tensor.LocalArena {
+	// Checkout on behalf of the caller, who must Release.
+	return s.Acquire()
+}
+
+type worker struct {
+	shard *tensor.LocalArena
+}
+
+func goodAcquireStoreDocumented(w *worker, s *tensor.ShardedArena) {
+	//eomlvet:ignore arenapair shard parked on the worker; its stop path Releases it
+	w.shard = s.Acquire()
+}

@@ -1,0 +1,101 @@
+// Package benchfmt defines the machine-readable benchmark record the
+// repo commits per PR (BENCH_N.json): the document shape cmd/benchjson
+// emits, and the throughput comparison cmd/benchdiff gates CI on.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Host describes the machine the benchmarks ran on.
+type Host struct {
+	CPU    string `json:"cpu"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+}
+
+// Document is one committed benchmark record.
+type Document struct {
+	PR         int                           `json:"pr"`
+	Title      string                        `json:"title"`
+	Date       string                        `json:"date"`
+	Host       Host                          `json:"host"`
+	Command    string                        `json:"command"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	Notes      string                        `json:"notes,omitempty"`
+}
+
+// ReadFile loads one BENCH_N.json document.
+func ReadFile(path string) (*Document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: %s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// Throughput metrics and their direction. Memory metrics (bytes_per_op,
+// allocs_per_op) are reported but never gate: trading allocations for
+// wall-clock is exactly the regression class this tool exists to catch,
+// so only time and rate metrics can fail the diff.
+var lowerIsBetter = map[string]bool{"ns_per_op": true}
+var higherIsBetter = map[string]bool{"tiles_per_s": true, "gflops": true}
+
+// Delta is one throughput metric's change between two records.
+type Delta struct {
+	Bench, Metric string
+	Old, New      float64
+	// Ratio is new/old; direction-aware interpretation is Regression's
+	// job, the ratio is for display.
+	Ratio      float64
+	Regression bool
+}
+
+// Compare checks every throughput metric present in both documents and
+// flags regressions beyond threshold (0.10 = 10% slower or 10% less
+// throughput). Results are sorted by benchmark then metric; benchmarks
+// present in only one document are skipped (bench sets change across
+// PRs).
+func Compare(oldDoc, newDoc *Document, threshold float64) []Delta {
+	var out []Delta
+	for bench, oldM := range oldDoc.Benchmarks {
+		newM, ok := newDoc.Benchmarks[bench]
+		if !ok {
+			continue
+		}
+		for metric, oldV := range oldM {
+			if !lowerIsBetter[metric] && !higherIsBetter[metric] {
+				continue
+			}
+			newV, ok := newM[metric]
+			if !ok || oldV == 0 {
+				continue
+			}
+			d := Delta{Bench: bench, Metric: metric, Old: oldV, New: newV, Ratio: newV / oldV}
+			if lowerIsBetter[metric] {
+				d.Regression = d.Ratio > 1+threshold
+			} else {
+				d.Regression = d.Ratio < 1-threshold
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench < out[j].Bench
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

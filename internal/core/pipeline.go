@@ -15,6 +15,7 @@ import (
 	"github.com/eoml/eoml/internal/provenance"
 	"github.com/eoml/eoml/internal/ricc"
 	"github.com/eoml/eoml/internal/stage"
+	"github.com/eoml/eoml/internal/tensor"
 	"github.com/eoml/eoml/internal/tile"
 	"github.com/eoml/eoml/internal/trace"
 )
@@ -47,6 +48,9 @@ type Pipeline struct {
 	cfg     Config
 	labeler *aicca.Labeler
 	prov    *provenance.Store
+	// extract recycles per-granule decode scratch across the concurrent
+	// preprocessing workers (one shard per worker in flight).
+	extract *tensor.ShardedArena
 	metrics *metrics.Registry
 	health  *metrics.Health
 }
@@ -74,12 +78,15 @@ func New(cfg Config, labeler *aicca.Labeler) (*Pipeline, error) {
 			return nil, err
 		}
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:     cfg,
 		labeler: labeler,
+		extract: tensor.NewShardedArena(),
 		metrics: metrics.NewRegistry(),
 		health:  metrics.NewHealth(),
-	}, nil
+	}
+	p.extract.Instrument(p.metrics, "tile")
+	return p, nil
 }
 
 // Metrics returns the pipeline's live metric registry. It implements
@@ -269,6 +276,7 @@ func (p *Pipeline) preprocessGranule(g modis.GranuleID) (any, error) {
 	res, err := tile.Extract(mod02, mod03, mod06, tile.Options{
 		TileSize:     p.cfg.TilePixels,
 		MinCloudFrac: p.cfg.MinCloudFrac,
+		Arena:        p.extract,
 	})
 	if err != nil {
 		return nil, err

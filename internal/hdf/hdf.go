@@ -190,6 +190,54 @@ func (d *Dataset) Float32s() ([]float32, error) {
 	return out, nil
 }
 
+// Float32sInto decodes the dataset into dst, which must have length
+// Len(). It is Float32s without the allocation, for callers recycling
+// granule scratch through an arena.
+func (d *Dataset) Float32sInto(dst []float32) error {
+	if d.DType != Float32 {
+		return fmt.Errorf("hdf: dataset %q is %v, want float32", d.Name, d.DType)
+	}
+	if len(dst) != d.Len() {
+		return fmt.Errorf("hdf: dataset %q: dst length %d, want %d", d.Name, len(dst), d.Len())
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.raw[4*i:]))
+	}
+	return nil
+}
+
+// ScaledPlaneInto decodes plane p of a rank-3 uint16 dataset (MODIS L1B
+// scaled integers, [band, y, x]) into dst as v*scale + offset, mapping
+// the fill value to NaN. Decoding one selected plane at a time lets the
+// caller skip the other bands entirely instead of materializing the
+// full uint16 cube.
+func (d *Dataset) ScaledPlaneInto(p int, scale, offset float64, fill uint16, dst []float32) error {
+	if d.DType != Uint16 {
+		return fmt.Errorf("hdf: dataset %q is %v, want uint16", d.Name, d.DType)
+	}
+	if len(d.Dims) != 3 {
+		return fmt.Errorf("hdf: dataset %q rank %d, want 3", d.Name, len(d.Dims))
+	}
+	n := d.Dims[1] * d.Dims[2]
+	if p < 0 || p >= d.Dims[0] {
+		return fmt.Errorf("hdf: dataset %q plane %d out of range [0,%d)", d.Name, p, d.Dims[0])
+	}
+	if len(dst) != n {
+		return fmt.Errorf("hdf: dataset %q: dst length %d, want %d", d.Name, len(dst), n)
+	}
+	raw := d.raw[2*p*n:]
+	nan := float32(math.NaN())
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint16(raw[2*i:])
+		if v == fill {
+			dst[i] = nan
+			continue
+		}
+		dst[i] = float32(float64(v)*scale + offset)
+	}
+	return nil
+}
+
 // Uint8s decodes the dataset as uint8 values.
 func (d *Dataset) Uint8s() ([]uint8, error) {
 	if d.DType != Uint8 {

@@ -1,20 +1,36 @@
 // Inference-only forward passes.
 //
-// Infer differs from Forward in two ways that matter for the serving
-// path:
+// Infer and InferBatch differ from Forward in two ways that matter for
+// the serving path:
 //
 //   - No state is saved for Backward, so one model can serve concurrent
-//     Infer calls as long as each caller brings its own arena.
-//   - Scratch and output buffers come from a tensor.Arena, so
+//     calls as long as each caller brings its own allocator (an arena
+//     shard from tensor.ShardedArena.Acquire, or a private Arena).
+//   - Scratch and output buffers come from a tensor.Allocator, so
 //     steady-state inference recycles memory instead of regrowing the
 //     heap every batch.
 //
-// Buffer ownership: a layer's Infer may return an arena-owned tensor or
-// a view of its input (reshapes). Sequential.Infer recycles each
-// intermediate back into the arena once the next layer has consumed it,
-// except when the next output aliases it. The tensor returned to the
-// caller is arena-owned: the caller must copy out what it keeps and
-// should Put the tensor back. Never Put the same backing twice.
+// The two entry points trade latency against throughput:
+//
+//   - Infer is the small-batch/latency path: convolutions run through
+//     the fused direct kernel (no im2col matrix at all), which wins
+//     when the batch is a handful of tiles and the im2col buffer would
+//     be pure overhead.
+//   - InferBatch is the throughput path: each convolution materializes
+//     the im2col matrix in arena scratch and runs ONE blocked SIMD GEMM
+//     for the whole batch — the same kernel schedule as Forward, minus
+//     its allocations. For encode-sized batches (256 tiles) the GEMM
+//     runs at SIMD rate while the fused kernel is bound by scalar FMAs,
+//     which is exactly the BENCH_4 arena-slower-than-noarena regression
+//     this path erases.
+//
+// Buffer ownership: a layer's Infer/InferBatch may return an
+// arena-owned tensor or a view of its input (reshapes). The Sequential
+// drivers recycle each intermediate back into the allocator once the
+// next layer has consumed it, except when the next output aliases it.
+// The tensor returned to the caller is arena-owned: the caller must
+// copy out what it keeps and should Put the tensor back. Never Put the
+// same backing twice.
 
 package nn
 
@@ -36,9 +52,9 @@ func sameBase(a, b *tensor.T) bool {
 }
 
 // Infer computes the convolution through the fused direct kernel,
-// skipping the im2col matrix entirely — for RICC-sized batches that
-// matrix is 9× the input and dominated Forward's allocations.
-func (l *Conv2D) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+// skipping the im2col matrix entirely — for single-file batches that
+// matrix is 9× the input and dominates the memory traffic.
+func (l *Conv2D) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	g := l.geom
 	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
 		panic(fmt.Sprintf("nn: %s: input %v, want [N %d %d %d]", l.label, x.Shape, g.InC, g.InH, g.InW))
@@ -59,8 +75,41 @@ func (l *Conv2D) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
 	return out
 }
 
+// InferBatch computes the convolution as im2col + one blocked GEMM over
+// the whole batch, with both the column matrix and the product living
+// in arena scratch. Weights stay in their training layout [InC*K*K,
+// OutC], so no per-call transpose is needed.
+func (l *Conv2D) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T {
+	g := l.geom
+	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("nn: %s: input %v, want [N %d %d %d]", l.label, x.Shape, g.InC, g.InH, g.InW))
+	}
+	n := x.Shape[0]
+	plane := g.OutH * g.OutW
+	rows, width := n*plane, g.InC*g.Kernel*g.Kernel
+	cols := a.Get(rows, width)
+	tensor.Im2ColInto(x, g, cols) // overwrites every element
+	prod := a.Get(rows, g.OutC)
+	tensor.MatMulInto(cols, l.w.W, prod)
+	a.Put(cols)
+	// Rearrange the [N*OH*OW, OutC] product into NCHW and add the bias,
+	// the same epilogue Forward runs — results are bit-identical.
+	out := a.Get(n, g.OutC, g.OutH, g.OutW)
+	bias := l.b.W.Data
+	for b := 0; b < n; b++ {
+		for p := 0; p < plane; p++ {
+			row := prod.Data[(b*plane+p)*g.OutC:]
+			for oc := 0; oc < g.OutC; oc++ {
+				out.Data[(b*g.OutC+oc)*plane+p] = row[oc] + bias[oc]
+			}
+		}
+	}
+	a.Put(prod)
+	return out
+}
+
 // Infer computes x·W + b into an arena buffer.
-func (l *Dense) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+func (l *Dense) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	if len(x.Shape) != 2 || x.Shape[1] != l.in {
 		panic(fmt.Sprintf("nn: %s: input %v, want [N %d]", l.label, x.Shape, l.in))
 	}
@@ -76,8 +125,11 @@ func (l *Dense) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
 	return out
 }
 
+// InferBatch is Infer: a dense layer is already one batch-wide GEMM.
+func (l *Dense) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer applies the activation into an arena buffer.
-func (l *LeakyReLU) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+func (l *LeakyReLU) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	out := a.Get(x.Shape...)
 	for i, v := range x.Data {
 		if v < 0 {
@@ -88,8 +140,11 @@ func (l *LeakyReLU) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
 	return out
 }
 
+// InferBatch is Infer: the activation is elementwise either way.
+func (l *LeakyReLU) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer applies the logistic function into an arena buffer.
-func (l *Sigmoid) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+func (l *Sigmoid) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	out := a.Get(x.Shape...)
 	for i, v := range x.Data {
 		out.Data[i] = sigmoid32(v)
@@ -97,37 +152,64 @@ func (l *Sigmoid) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
 	return out
 }
 
+// InferBatch is Infer: the activation is elementwise either way.
+func (l *Sigmoid) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer returns a flattened view; no buffer changes hands.
-func (l *Flatten) Infer(x *tensor.T, _ *tensor.Arena) *tensor.T {
+func (l *Flatten) Infer(x *tensor.T, _ tensor.Allocator) *tensor.T {
 	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
 }
 
+// InferBatch is Infer: reshapes are free at any batch size.
+func (l *Flatten) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer returns an NCHW view; no buffer changes hands.
-func (l *Reshape4D) Infer(x *tensor.T, _ *tensor.Arena) *tensor.T {
+func (l *Reshape4D) Infer(x *tensor.T, _ tensor.Allocator) *tensor.T {
 	return x.Reshape(x.Shape[0], l.c, l.h, l.w)
 }
 
+// InferBatch is Infer: reshapes are free at any batch size.
+func (l *Reshape4D) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer upsamples into an arena buffer.
-func (l *Upsample2x) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+func (l *Upsample2x) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	out := a.Get(x.Shape[0], x.Shape[1], 2*x.Shape[2], 2*x.Shape[3])
 	tensor.Upsample2xInto(x, out)
 	return out
 }
 
-// Infer runs all layers, recycling every intermediate buffer back into
-// the arena as soon as the next layer has consumed it. The returned
-// tensor is arena-owned; the caller copies out what it keeps and Puts
-// it back.
-func (s *Sequential) Infer(x *tensor.T, a *tensor.Arena) *tensor.T {
+// InferBatch is Infer: the copy pattern is batch-size agnostic.
+func (l *Upsample2x) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
+// run drives the layer chain through step, recycling every intermediate
+// buffer back into the allocator as soon as the next layer has consumed
+// it (unless the new output aliases it — a reshape view — or the
+// caller's own input).
+func (s *Sequential) run(x *tensor.T, a tensor.Allocator, step func(Layer, *tensor.T, tensor.Allocator) *tensor.T) *tensor.T {
+	if a == nil {
+		a = (*tensor.Arena)(nil) // degrade to plain allocation
+	}
 	cur := x
 	for _, l := range s.Layers {
-		next := l.Infer(cur, a)
-		// Recycle the intermediate unless it aliases the new output (a
-		// reshape view) or the caller's own input.
+		next := step(l, cur, a)
 		if cur != x && !sameBase(cur, next) && !sameBase(cur, x) {
 			a.Put(cur)
 		}
 		cur = next
 	}
 	return cur
+}
+
+// Infer runs all layers through the fused small-batch kernels. The
+// returned tensor is arena-owned; the caller copies out what it keeps
+// and Puts it back.
+func (s *Sequential) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
+	return s.run(x, a, func(l Layer, x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) })
+}
+
+// InferBatch runs all layers through the batch-GEMM kernels: one
+// blocked matmul per layer for the whole batch. Same ownership contract
+// as Infer.
+func (s *Sequential) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T {
+	return s.run(x, a, func(l Layer, x *tensor.T, a tensor.Allocator) *tensor.T { return l.InferBatch(x, a) })
 }

@@ -112,3 +112,50 @@ func TestInferConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestInferBatchMatchesForward pins the batch-GEMM path to the training
+// forward pass bit-for-bit: both run im2col + the blocked matmul with
+// the identical bias/NCHW epilogue, so any drift means the batched
+// kernels diverged. Covers N=1 and batch sizes that are not multiples
+// of the GEMM register block.
+func TestInferBatchMatchesForward(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	model := riccLikeStack(t, r)
+	for _, n := range []int{1, 3, 5, 7} {
+		x := tensor.New(n, 3, 16, 16)
+		for i := range x.Data {
+			x.Data[i] = float32(r.Float64())
+		}
+		want := model.Forward(x)
+		shards := tensor.NewShardedArena()
+		arena := shards.Acquire()
+		for pass := 0; pass < 3; pass++ { // repeated passes hit recycled buffers
+			got := model.InferBatch(x, arena)
+			if !got.SameShape(want) {
+				t.Fatalf("n=%d pass %d: shape %v, want %v", n, pass, got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("n=%d pass %d: InferBatch[%d]=%g, Forward=%g (want bit-identical)",
+						n, pass, i, got.Data[i], want.Data[i])
+				}
+			}
+			arena.Put(got)
+		}
+		shards.Release(arena)
+	}
+}
+
+func TestInferBatchNilAllocator(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	model := riccLikeStack(t, r)
+	x := tensor.New(2, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	want := model.Forward(x)
+	got := model.InferBatch(x, nil)
+	if d := inferDiff(got, want); d != 0 {
+		t.Fatalf("worst relative diff %g, want bit-identical", d)
+	}
+}

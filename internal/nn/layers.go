@@ -33,15 +33,18 @@ func newParam(name string, shape ...int) *Param {
 // forward, then one backward). Backward accumulates parameter gradients
 // and returns the gradient with respect to the layer input.
 //
-// Infer is the inference-only pass: it saves no state, so concurrent
-// Infer calls on the same layer are safe as long as each caller brings
-// its own arena. Scratch and output buffers come from the arena (a nil
-// arena degrades to plain allocation); see infer.go for the buffer
-// ownership rules.
+// Infer and InferBatch are the inference-only passes: they save no
+// state, so concurrent calls on the same layer are safe as long as each
+// caller brings its own allocator. Infer uses the fused small-batch
+// kernels; InferBatch routes convolutions through im2col + one blocked
+// GEMM for the whole batch. Scratch and output buffers come from the
+// allocator (a nil allocator degrades to plain allocation); see
+// infer.go for the buffer ownership rules.
 type Layer interface {
 	Forward(x *tensor.T) *tensor.T
 	Backward(grad *tensor.T) *tensor.T
-	Infer(x *tensor.T, a *tensor.Arena) *tensor.T
+	Infer(x *tensor.T, a tensor.Allocator) *tensor.T
+	InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T
 	Params() []*Param
 	Name() string
 }

@@ -12,14 +12,25 @@ func TestArenaReusesBuffers(t *testing.T) {
 		t.Fatalf("shape/len mismatch: %v len %d", first.Shape, len(first.Data))
 	}
 	a.Put(first)
-	// Same size class (105 -> 128): must come back from the pool.
-	second := a.Get(128)
-	if &second.Data[:1][0] != &first.Data[:1][0] {
-		t.Fatal("same-class Get did not reuse the pooled buffer")
-	}
 	gets, news, puts := a.Stats()
-	if gets != 2 || news != 1 || puts != 1 {
-		t.Fatalf("stats gets=%d news=%d puts=%d, want 2/1/1", gets, news, puts)
+	if gets != 1 || news != 1 || puts != 1 {
+		t.Fatalf("stats gets=%d news=%d puts=%d, want 1/1/1", gets, news, puts)
+	}
+	// A Put buffer of the same size class (105 -> 128) should come back
+	// from the pool. sync.Pool deliberately drops a fraction of Puts when
+	// the race detector is on, so demand a reuse within a few round trips
+	// rather than on the first one. (LocalArena, with deterministic free
+	// lists, asserts exact reuse in its own tests.)
+	reused := false
+	for i := 0; i < 20 && !reused; i++ {
+		x := a.Get(128)
+		p := &x.Data[:1][0]
+		a.Put(x)
+		y := a.Get(128)
+		reused = &y.Data[:1][0] == p
+	}
+	if !reused {
+		t.Fatal("same-class Get never reused a pooled buffer")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"github.com/eoml/eoml/internal/hdf"
 	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/tensor"
 )
 
 // Options configures tile extraction.
@@ -30,6 +31,11 @@ type Options struct {
 	Bands []int
 	// MinCloudFrac is the minimum cloudy-pixel fraction (default 0.3).
 	MinCloudFrac float64
+	// Arena, when set, recycles the per-granule decode scratch (~1MB of
+	// float32 planes at container scale) across Extract calls; the
+	// concurrent preprocessing workers share one ShardedArena and each
+	// call checks out its own shard. Nil allocates per call.
+	Arena *tensor.ShardedArena
 }
 
 // withDefaults fills unset fields.
@@ -105,10 +111,6 @@ func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("tile: EV_1KM_RefSB rank %d, want 3", len(rad.Dims))
 	}
 	nbands, ny, nx := rad.Dims[0], rad.Dims[1], rad.Dims[2]
-	radVals, err := rad.Uint16s()
-	if err != nil {
-		return nil, err
-	}
 	scale, ok := mod02.AttrFloat("radiance_scale")
 	if !ok {
 		return nil, fmt.Errorf("tile: MOD02 missing radiance_scale attribute")
@@ -126,6 +128,23 @@ func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
 		}
 	}
 
+	// All float32 granule scratch below lives in one arena shard checked
+	// out for the duration of this call.
+	shard := o.Arena.Acquire()
+	defer o.Arena.Release(shard)
+	sc := &granuleScratch{a: shard}
+	defer sc.release()
+
+	// Decode only the selected band planes, scale/offset applied and fill
+	// mapped to NaN — the full uint16 cube (36 bands) never materializes.
+	plane := ny * nx
+	bandVals := sc.get(len(o.Bands) * plane)
+	for bi, b := range o.Bands {
+		if err := rad.ScaledPlaneInto(b, scale, offset, fill, bandVals[bi*plane:(bi+1)*plane]); err != nil {
+			return nil, err
+		}
+	}
+
 	land, err := maskFrom(mod03, "LandSeaMask", ny, nx)
 	if err != nil {
 		return nil, fmt.Errorf("tile: MOD03: %w", err)
@@ -138,20 +157,20 @@ func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tile: MOD03: %w", err)
 	}
-	lats, err := latD.Float32s()
-	if err != nil {
+	lats := sc.get(plane)
+	if err := latD.Float32sInto(lats); err != nil {
 		return nil, err
 	}
 	lonD, err := mod03.Dataset("Longitude")
 	if err != nil {
 		return nil, fmt.Errorf("tile: MOD03: %w", err)
 	}
-	lons, err := lonD.Float32s()
-	if err != nil {
+	lons := sc.get(plane)
+	if err := lonD.Float32sInto(lons); err != nil {
 		return nil, err
 	}
 
-	props, err := cloudProps(mod06, ny, nx)
+	props, err := cloudProps(mod06, ny, nx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -195,21 +214,19 @@ func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
 				res.Stats.RejectedCloud++
 				continue
 			}
-			// Pass 2: radiances; reject on fill (night reflective bands).
-			data := make([]float32, len(o.Bands)*npix)
+			// Pass 2: radiances; reject on fill (night reflective bands),
+			// which ScaledPlaneInto decoded to NaN. The check runs before
+			// any allocation, so rejected candidates cost nothing.
 			hasFill := false
-			for bi, b := range o.Bands {
-				bandBase := b * ny * nx
+			for bi := range o.Bands {
+				bp := bandVals[bi*plane:]
 				for y := 0; y < ts && !hasFill; y++ {
-					srcBase := bandBase + (y0+y)*nx + x0
-					dstBase := bi*npix + y*ts
+					srcBase := (y0+y)*nx + x0
 					for x := 0; x < ts; x++ {
-						v := radVals[srcBase+x]
-						if v == fill {
+						if v := bp[srcBase+x]; v != v { // NaN: fill
 							hasFill = true
 							break
 						}
-						data[dstBase+x] = float32(float64(v)*scale + offset)
 					}
 				}
 				if hasFill {
@@ -219,6 +236,15 @@ func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
 			if hasFill {
 				res.Stats.RejectedFill++
 				continue
+			}
+			// The tile escapes into the result, so its Data is an exact-size
+			// heap buffer gathered row-wise from the decoded planes.
+			data := make([]float32, len(o.Bands)*npix)
+			for bi := range o.Bands {
+				bp := bandVals[bi*plane:]
+				for y := 0; y < ts; y++ {
+					copy(data[bi*npix+y*ts:bi*npix+(y+1)*ts], bp[(y0+y)*nx+x0:])
+				}
 			}
 			center := (y0+ts/2)*nx + x0 + ts/2
 			t := &Tile{
@@ -238,6 +264,28 @@ func Extract(mod02, mod03, mod06 *hdf.File, opts Options) (*Result, error) {
 	}
 	res.Stats.Kept = len(res.Tiles)
 	return res, nil
+}
+
+// granuleScratch hands out float32 decode buffers backed by arena
+// tensors for the span of one Extract call; release parks them all back
+// on the shard. The slices it returns must not outlive the call.
+type granuleScratch struct {
+	a    *tensor.LocalArena
+	bufs []*tensor.T
+}
+
+func (s *granuleScratch) get(n int) []float32 {
+	//eomlvet:ignore arenapair ownership parked in s.bufs; release() Puts every tensor back
+	t := s.a.Get(n)
+	s.bufs = append(s.bufs, t)
+	return t.Data
+}
+
+func (s *granuleScratch) release() {
+	for _, t := range s.bufs {
+		s.a.Put(t)
+	}
+	s.bufs = s.bufs[:0]
 }
 
 // sameGranule verifies the three products describe the same observation.
@@ -273,7 +321,7 @@ type physProps struct {
 	phase              []uint8
 }
 
-func cloudProps(mod06 *hdf.File, ny, nx int) (*physProps, error) {
+func cloudProps(mod06 *hdf.File, ny, nx int, sc *granuleScratch) (*physProps, error) {
 	get := func(name string) ([]float32, error) {
 		d, err := mod06.Dataset(name)
 		if err != nil {
@@ -282,7 +330,11 @@ func cloudProps(mod06 *hdf.File, ny, nx int) (*physProps, error) {
 		if len(d.Dims) != 2 || d.Dims[0] != ny || d.Dims[1] != nx {
 			return nil, fmt.Errorf("tile: MOD06 %s dims %v, want [%d %d]", name, d.Dims, ny, nx)
 		}
-		return d.Float32s()
+		buf := sc.get(ny * nx)
+		if err := d.Float32sInto(buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
 	}
 	p := &physProps{}
 	var err error

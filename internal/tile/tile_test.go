@@ -9,6 +9,7 @@ import (
 
 	"github.com/eoml/eoml/internal/hdf"
 	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/tensor"
 )
 
 // genTriple generates the three products for one granule at scale 8.
@@ -297,5 +298,42 @@ func TestExtractPixelConservationProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExtractArenaMatchesPlain pins the arena-backed scratch path to the
+// allocating one: same granule, bit-identical tiles and stats, across
+// repeated calls that hit recycled (dirty) buffers, plus a night
+// granule whose fill rejection runs through the NaN sentinel path.
+func TestExtractArenaMatchesPlain(t *testing.T) {
+	arena := tensor.NewShardedArena()
+	for _, wantDay := range []bool{true, false} {
+		g := findGranule(t, wantDay)
+		mod02, mod03, mod06, gen := genTriple(t, g)
+		plain, err := Extract(mod02, mod03, mod06, Options{TileSize: gen.TilePixels()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 3; pass++ { // later passes reuse shard buffers
+			pooled, err := Extract(mod02, mod03, mod06, Options{TileSize: gen.TilePixels(), Arena: arena})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pooled.Stats != plain.Stats {
+				t.Fatalf("day=%v pass %d: stats %+v, want %+v", wantDay, pass, pooled.Stats, plain.Stats)
+			}
+			for i := range plain.Tiles {
+				if !reflect.DeepEqual(pooled.Tiles[i], plain.Tiles[i]) {
+					t.Fatalf("day=%v pass %d: tile %d diverged", wantDay, pass, i)
+				}
+			}
+		}
+	}
+	if got := arena.Shards(); got != 1 {
+		t.Fatalf("sequential extraction used %d shards, want 1", got)
+	}
+	gets, _, puts := arena.Stats()
+	if gets == 0 || gets != puts {
+		t.Fatalf("scratch leak: gets=%d puts=%d", gets, puts)
 	}
 }
