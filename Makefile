@@ -1,7 +1,8 @@
 # Standard entry points for the eoml repo.
 #
 #   make check      — what CI runs: gofmt gate + vet + eomlvet + race tests
-#                     + a reduced-size bench smoke (bench-ci) + bench-diff
+#                     + reduced-size bench smokes (bench-ci, bench-e2e)
+#                     + bench-diff
 #   make lint       — the repo's own analyzer suite (cmd/eomlvet)
 #   make bench      — the hot-path benchmarks, emitted as $(BENCH_OUT)
 #   make bench-diff — gate the committed bench records: fails on >10%
@@ -10,12 +11,12 @@
 GO ?= go
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_5.json
-BENCH_OLD ?= BENCH_4.json
-BENCH_NEW ?= BENCH_5.json
-BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkEncodeArena|BenchmarkLabelFileBatched|BenchmarkTileExtract
+BENCH_OUT ?= BENCH_6.json
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_6.json
+BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkMatMulSmall|BenchmarkEncodeArena|BenchmarkEncodeQ8|BenchmarkLabelFileBatched|BenchmarkTileExtract|BenchmarkPipelineE2E
 
-.PHONY: build test vet lint race fmt bench bench-ci bench-diff bench-all check
+.PHONY: build test vet lint race fmt bench bench-ci bench-diff bench-all bench-e2e check
 
 build:
 	$(GO) build ./...
@@ -52,8 +53,8 @@ race:
 # the first exit code).
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . > bench.out.tmp
-	$(GO) run ./cmd/benchjson -pr 5 \
-		-title "Encode hot path PR: sharded arenas, batch-GEMM inference, tile scratch reuse" \
+	$(GO) run ./cmd/benchjson -pr 6 \
+		-title "Reduced-precision inference: int8-quantized GEMM with float-oracle gating, plus an e2e pipeline bench" \
 		-command "make bench BENCHTIME=$(BENCHTIME) BENCHCOUNT=$(BENCHCOUNT)" < bench.out.tmp > $(BENCH_OUT)
 	@rm -f bench.out.tmp
 	@echo "wrote $(BENCH_OUT)"
@@ -61,6 +62,13 @@ bench:
 # CI smoke at reduced size: one iteration per bench, result discarded.
 bench-ci:
 	@$(MAKE) --no-print-directory bench BENCHTIME=1x BENCHCOUNT=1 BENCH_OUT=/tmp/eoml-bench-ci.json
+
+# End-to-end pipeline smoke: one short ingest → tile-extract → encode →
+# label → ship run against the synthetic archive, reporting granules/s
+# and tiles/s. Result discarded; this catches wiring breakage, the
+# committed BENCH_N.json records carry the real numbers.
+bench-e2e:
+	$(GO) test -run xxx -bench 'BenchmarkPipelineE2E' -benchtime 1x .
 
 # Regression gate over the committed records: deterministic in CI (no
 # benchmarks rerun), fails on >10% throughput regression between the two
@@ -72,4 +80,4 @@ bench-diff:
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: fmt vet lint race bench-ci bench-diff
+check: fmt vet lint race bench-ci bench-e2e bench-diff

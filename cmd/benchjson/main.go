@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/eoml/eoml/internal/benchfmt"
+	"github.com/eoml/eoml/internal/tensor"
 )
 
 func main() {
@@ -61,7 +62,13 @@ func main() {
 // (internal/benchfmt) that cmd/benchdiff consumes.
 func Parse(r io.Reader) (*benchfmt.Document, error) {
 	doc := &benchfmt.Document{
-		Host:       benchfmt.Host{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()},
+		Host: benchfmt.Host{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			AVX2:       tensor.SIMDEnabled(),
+		},
 		Benchmarks: map[string]map[string]float64{},
 	}
 	sc := bufio.NewScanner(r)

@@ -108,6 +108,8 @@ batch:
   tiles: 256              # flush a coalesced encode batch at this many tiles
   delay_ms: 20            # ... or this long after its first tile
 
+precision: float32        # encode arithmetic: float32 (oracle) or int8 (quantized, faster)
+
 model:
   weights: /tmp/eoml/ricc.hdf
   codebook: /tmp/eoml/aicca-codebook.hdf

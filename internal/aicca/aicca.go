@@ -23,6 +23,10 @@ const NumClasses = cluster42.NumClasses
 type Labeler struct {
 	Model    *ricc.Model
 	Codebook *ricc.Codebook
+	// Precision selects the encode arithmetic; zero value (or
+	// PrecisionFloat32) is the full-precision path, PrecisionInt8 the
+	// quantized one.
+	Precision Precision
 }
 
 // NewLabeler validates and wraps a trained model and codebook.
@@ -71,15 +75,23 @@ func Train(tiles []*tile.Tile, cfg ricc.Config, k int) (*Labeler, *cluster42.Res
 	return l, res, nil
 }
 
+// encode runs the batch encode in the labeler's configured precision.
+func (l *Labeler) encode(tiles []*tile.Tile) ([][]float32, error) {
+	if l.Precision == PrecisionInt8 {
+		return l.Model.EncodeBatchQ8(tiles)
+	}
+	return l.Model.EncodeBatch(tiles)
+}
+
 // LabelTiles assigns classes to tiles in place and returns the labels.
-// Encoding goes through the batch-GEMM path, so a BatchLabeler flush
-// that packed tiles from several files runs one blocked matmul per
-// layer for the whole pack.
+// Encoding goes through the batch-GEMM path (float32 or int8 per the
+// Precision field), so a BatchLabeler flush that packed tiles from
+// several files runs one blocked matmul per layer for the whole pack.
 func (l *Labeler) LabelTiles(tiles []*tile.Tile) ([]int16, error) {
 	if len(tiles) == 0 {
 		return nil, nil
 	}
-	latents, err := l.Model.EncodeBatch(tiles)
+	latents, err := l.encode(tiles)
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,9 @@ type BatchConfig struct {
 	// Metrics, when set, receives batch-size and flush-latency
 	// histograms per flush. Nil is valid.
 	Metrics *metrics.Registry
+	// Precision, when non-empty, overrides the labeler's encode
+	// precision for batches flushed through this batcher.
+	Precision Precision
 }
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -75,16 +78,29 @@ type BatchLabeler struct {
 // NewBatchLabeler starts the flusher goroutine. Callers must Close the
 // batcher when done (Close is idempotent).
 func NewBatchLabeler(l *Labeler, cfg BatchConfig) *BatchLabeler {
+	if cfg.Precision != "" && l != nil && l.Precision != cfg.Precision {
+		// Shallow copy so the override stays local to this batcher: the
+		// model and codebook are shared, the precision knob is not.
+		cp := *l
+		cp.Precision = cfg.Precision
+		l = &cp
+	}
 	b := &BatchLabeler{
 		l:    l,
 		cfg:  cfg.withDefaults(),
 		jobs: make(chan batchJob, 64),
 		done: make(chan struct{}),
 	}
+	prec := PrecisionFloat32
+	if l != nil && l.Precision != "" {
+		prec = l.Precision
+	}
 	b.batchTiles = b.cfg.Metrics.Histogram("eoml_labeler_batch_tiles",
-		"Tiles per coalesced encode batch at flush time.", metrics.SizeBuckets())
+		"Tiles per coalesced encode batch at flush time.", metrics.SizeBuckets(),
+		metrics.L("precision", string(prec)))
 	b.flushSeconds = b.cfg.Metrics.Histogram("eoml_labeler_flush_seconds",
-		"Wall-clock seconds per coalesced encode flush.", metrics.DurationBuckets())
+		"Wall-clock seconds per coalesced encode flush.", metrics.DurationBuckets(),
+		metrics.L("precision", string(prec)))
 	go b.run()
 	return b
 }

@@ -1,0 +1,30 @@
+package aicca
+
+import "fmt"
+
+// Precision selects the arithmetic the labeler's encode path runs in.
+type Precision string
+
+const (
+	// PrecisionFloat32 is the full-precision batch-GEMM path — the
+	// accuracy oracle.
+	PrecisionFloat32 Precision = "float32"
+	// PrecisionInt8 is the symmetric int8-quantized GEMM path: weights
+	// are quantized per output channel once per training step,
+	// activations per tensor per batch. Latents drift from the float
+	// oracle by bounded quantization noise; the property tests pin the
+	// label-flip rate under 0.5%.
+	PrecisionInt8 Precision = "int8"
+)
+
+// ParsePrecision maps a config string to a Precision. The empty string
+// is the float32 default.
+func ParsePrecision(s string) (Precision, error) {
+	switch Precision(s) {
+	case "", PrecisionFloat32:
+		return PrecisionFloat32, nil
+	case PrecisionInt8:
+		return PrecisionInt8, nil
+	}
+	return "", fmt.Errorf("aicca: unknown precision %q (want %q or %q)", s, PrecisionFloat32, PrecisionInt8)
+}

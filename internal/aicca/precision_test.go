@@ -1,0 +1,166 @@
+package aicca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/eoml/eoml/internal/metrics"
+	"github.com/eoml/eoml/internal/tile"
+)
+
+// makeCorpus42 fabricates tiles from NumClasses visually distinct
+// populations — blob position, width, amplitude, and background slope
+// all keyed to the class index — so k-means with k = NumClasses finds
+// well-separated centroids. makeTiles' two populations would leave most
+// of 42 centroids near-duplicates, where any perturbation flips ties;
+// that would measure codebook degeneracy, not quantization error.
+func makeCorpus42(n int, seed int64) []*tile.Tile {
+	r := rand.New(rand.NewSource(seed))
+	const ts, nb = 8, 3
+	bands := []int{0, 1, 2}
+	tiles := make([]*tile.Tile, n)
+	for i := range tiles {
+		kind := i % NumClasses
+		cx := float64(1 + (kind*5)%6)
+		cy := float64(1 + (kind*3)%6)
+		sigma2 := 2 + float64(kind%4)
+		amp := 0.6 + 0.3*float64(kind%3)
+		slope := 0.1 * float64(kind%5) / 4
+		data := make([]float32, nb*ts*ts)
+		for b := 0; b < nb; b++ {
+			for y := 0; y < ts; y++ {
+				for x := 0; x < ts; x++ {
+					dx, dy := float64(x)-cx, float64(y)-cy
+					v := amp*math.Exp(-(dx*dx+dy*dy)/sigma2) + slope*float64(x+y)/float64(2*ts)
+					data[b*ts*ts+y*ts+x] = float32(v + 0.01*r.NormFloat64())
+				}
+			}
+		}
+		tiles[i] = &tile.Tile{
+			Granule:  "TEST42",
+			Row:      i,
+			Data:     data,
+			Bands:    bands,
+			TileSize: ts,
+			Label:    -1,
+		}
+	}
+	return tiles
+}
+
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Precision
+		err  bool
+	}{
+		{"", PrecisionFloat32, false},
+		{"float32", PrecisionFloat32, false},
+		{"int8", PrecisionInt8, false},
+		{"fp16", "", true},
+		{"INT8", "", true},
+	}
+	for _, c := range cases {
+		got, err := ParsePrecision(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParsePrecision(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if got != c.want {
+			t.Fatalf("ParsePrecision(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestQ8LabelFlipRate is the hard accuracy gate for the int8 path: an
+// AICCA-42-style corpus labeled through both precisions must agree on
+// all but 0.5% of tiles, and the quantized latents must stay within a
+// cosine floor of the float latents. If a kernel change pushes
+// quantization noise past either bound, this test is the tripwire.
+func TestQ8LabelFlipRate(t *testing.T) {
+	train := makeCorpus42(10*NumClasses, 21)
+	labeler, _, err := Train(train, trainCfg(), NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corpus := makeCorpus42(2000, 22)
+	floatLabels, err := labeler.LabelTiles(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8 := &Labeler{Model: labeler.Model, Codebook: labeler.Codebook, Precision: PrecisionInt8}
+	q8Labels, err := q8.LabelTiles(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flips := 0
+	for i := range floatLabels {
+		if floatLabels[i] != q8Labels[i] {
+			flips++
+		}
+	}
+	rate := float64(flips) / float64(len(corpus))
+	t.Logf("label flips: %d/%d (%.3f%%)", flips, len(corpus), 100*rate)
+	if rate > 0.005 {
+		t.Fatalf("int8 label-flip rate %.3f%% > 0.5%% (%d/%d tiles)", 100*rate, flips, len(corpus))
+	}
+
+	floatLat, err := labeler.Model.EncodeBatch(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8Lat, err := labeler.Model.EncodeBatchQ8(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := range floatLat {
+		var dot, na, nb float64
+		for j := range floatLat[i] {
+			dot += float64(floatLat[i][j]) * float64(q8Lat[i][j])
+			na += float64(floatLat[i][j]) * float64(floatLat[i][j])
+			nb += float64(q8Lat[i][j]) * float64(q8Lat[i][j])
+		}
+		if na == 0 || nb == 0 {
+			continue
+		}
+		sum += dot / math.Sqrt(na*nb)
+	}
+	if mean := sum / float64(len(floatLat)); mean < 0.995 {
+		t.Fatalf("mean quantized latent cosine %g < 0.995", mean)
+	}
+}
+
+// TestBatchLabelerPrecisionOverride checks the batcher-local precision
+// override: batches flush through the int8 path, matching a direct int8
+// labeler bit for bit, while the caller's labeler keeps its own setting.
+func TestBatchLabelerPrecisionOverride(t *testing.T) {
+	train := makeTiles(64, 23)
+	labeler, _, err := Train(train, trainCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := makeTiles(60, 24)
+	q8 := &Labeler{Model: labeler.Model, Codebook: labeler.Codebook, Precision: PrecisionInt8}
+	want, err := q8.LabelTiles(makeTiles(60, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	b := NewBatchLabeler(labeler, BatchConfig{Precision: PrecisionInt8, Metrics: reg})
+	defer b.Close()
+	if err := b.LabelTiles(corpus); err != nil {
+		t.Fatal(err)
+	}
+	for i := range corpus {
+		if corpus[i].Label != want[i] {
+			t.Fatalf("tile %d: batcher label %d, direct int8 label %d", i, corpus[i].Label, want[i])
+		}
+	}
+	if labeler.Precision != "" {
+		t.Fatalf("batcher override mutated the caller's labeler precision to %q", labeler.Precision)
+	}
+}

@@ -19,6 +19,10 @@ import (
 //   - Shards: Acquire/Release on *tensor.ShardedArena. A function that
 //     checks a LocalArena out of the pool must check it back in, or
 //     return it to the caller.
+//   - Int8 scratch: GetI8/PutI8 on the same allocator types — the
+//     quantized inference path's activation and im2col buffers. They
+//     form their own ownership class: a PutI8 does not excuse a leaked
+//     float tensor, nor vice versa.
 //
 // Any other transfer (storing the tensor in a field, handing it to a
 // goroutine) carries an ignore directive naming the new owner.
@@ -45,8 +49,8 @@ func runArenaPair(pass *Pass) {
 }
 
 func checkArenaPairs(pass *Pass, fd *ast.FuncDecl) {
-	var gets, acquires []*ast.CallExpr
-	puts, releases := 0, 0
+	var gets, getI8s, acquires []*ast.CallExpr
+	puts, putI8s, releases := 0, 0, 0
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -58,6 +62,10 @@ func checkArenaPairs(pass *Pass, fd *ast.FuncDecl) {
 			gets = append(gets, call)
 		case isAllocMethod(fn, "Put"):
 			puts++
+		case isAllocMethod(fn, "GetI8"):
+			getI8s = append(getI8s, call)
+		case isAllocMethod(fn, "PutI8"):
+			putI8s++
 		case isMethodOn(fn, tensorPkg, "ShardedArena", "Acquire"):
 			acquires = append(acquires, call)
 		case isMethodOn(fn, tensorPkg, "ShardedArena", "Release"):
@@ -82,6 +90,9 @@ func checkArenaPairs(pass *Pass, fd *ast.FuncDecl) {
 	}
 	if len(gets) > 0 && puts == 0 {
 		flag(gets, "tensor arena Get without any Put in %s; the tensor never returns to the arena")
+	}
+	if len(getI8s) > 0 && putI8s == 0 {
+		flag(getI8s, "tensor arena GetI8 without any PutI8 in %s; the int8 scratch never returns to the arena")
 	}
 	if len(acquires) > 0 && releases == 0 {
 		flag(acquires, "ShardedArena Acquire without any Release in %s; the shard never returns to the checkout pool")

@@ -89,6 +89,30 @@ func goodCrossAllocatorPut(a *tensor.LocalArena) *tensor.T {
 	return out
 }
 
+func badI8Leak(a *tensor.Arena) int8 {
+	q := a.GetI8(64) // want "GetI8 without any PutI8"
+	return q[0]
+}
+
+func badI8LeakDespiteFloatPut(a tensor.Allocator) int8 {
+	// Int8 scratch is its own ownership class: a float Put does not
+	// pair a quantized GetI8.
+	x := a.Get(8)
+	q := a.GetI8(64) // want "GetI8 without any PutI8"
+	a.Put(x)
+	return q[0]
+}
+
+func goodI8Paired(a *tensor.LocalArena) {
+	q := a.GetI8(64)
+	defer a.PutI8(q)
+}
+
+func goodI8Returned(a tensor.Allocator) []int8 {
+	// Ownership transfer to the caller, as with float tensors.
+	return a.GetI8(64)
+}
+
 func badAcquireLeak(s *tensor.ShardedArena) float32 {
 	shard := s.Acquire()        // want "without any Release"
 	return shard.Get(1).Data[0] // want "without any Put"

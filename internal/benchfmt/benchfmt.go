@@ -16,6 +16,13 @@ type Host struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	CPUs   int    `json:"cpus"`
+	// GOMAXPROCS is the scheduler parallelism the run actually had —
+	// on a cgroup-limited host it can be far below CPUs, which changes
+	// what the numbers mean.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// AVX2 records whether the SIMD kernels were live; a record from a
+	// generic-fallback run is not comparable to an accelerated one.
+	AVX2 bool `json:"avx2,omitempty"`
 }
 
 // Document is one committed benchmark record.
@@ -50,7 +57,7 @@ func ReadFile(path string) (*Document, error) {
 // wall-clock is exactly the regression class this tool exists to catch,
 // so only time and rate metrics can fail the diff.
 var lowerIsBetter = map[string]bool{"ns_per_op": true}
-var higherIsBetter = map[string]bool{"tiles_per_s": true, "gflops": true}
+var higherIsBetter = map[string]bool{"tiles_per_s": true, "gflops": true, "granules_per_s": true}
 
 // Delta is one throughput metric's change between two records.
 type Delta struct {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/yamlite"
 )
@@ -61,6 +62,11 @@ type Config struct {
 	BatchTiles int
 	BatchDelay time.Duration
 
+	// Precision selects the encode arithmetic for inference: "float32"
+	// (the default, full-precision GEMM) or "int8" (symmetric quantized
+	// GEMM — faster, with a test-pinned label-flip bound).
+	Precision string
+
 	// Model artifacts; when both are set the labeler is loaded from disk
 	// instead of being supplied programmatically.
 	ModelPath    string
@@ -87,6 +93,7 @@ func DefaultConfig() Config {
 		StallTimeout:      5 * time.Minute,
 		BatchTiles:        256,
 		BatchDelay:        20 * time.Millisecond,
+		Precision:         string(aicca.PrecisionFloat32),
 	}
 }
 
@@ -133,6 +140,9 @@ func (c *Config) Validate() error {
 	}
 	if c.BatchDelay <= 0 {
 		return fmt.Errorf("core: batch delay must be positive")
+	}
+	if _, err := aicca.ParsePrecision(c.Precision); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -188,6 +198,7 @@ func (c *Config) GranuleIDs() []modis.GranuleID {
 //	batch:
 //	  tiles: 256
 //	  delay_ms: 20
+//	precision: float32
 //	model:
 //	  weights: model.hdf
 //	  codebook: codebook.hdf
@@ -282,6 +293,9 @@ func LoadConfig(data []byte) (*Config, error) {
 			cfg.BatchDelay = time.Duration(v) * time.Millisecond
 		}
 	}
+	if v, ok := doc["precision"].(string); ok {
+		cfg.Precision = v
+	}
 	if m, ok := doc["model"].(map[string]any); ok {
 		if v, ok := m["weights"].(string); ok {
 			cfg.ModelPath = v
@@ -325,6 +339,7 @@ func ConfigKeys() []string {
 		"stall_timeout_ms",
 		"batch.tiles",
 		"batch.delay_ms",
+		"precision",
 		"model.weights",
 		"model.codebook",
 		"metrics_addr",

@@ -126,6 +126,7 @@ func (p *Pipeline) inferenceService() *stage.InferenceService {
 		Labeler:      p.labeler,
 		BatchTiles:   p.cfg.BatchTiles,
 		BatchDelay:   p.cfg.BatchDelay,
+		Precision:    aicca.Precision(p.cfg.Precision),
 		WatchDir:     p.cfg.TileDir,
 		PollInterval: p.cfg.PollInterval,
 		Workers:      p.cfg.InferenceWorkers,

@@ -108,6 +108,63 @@ func (l *Conv2D) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T {
 	return out
 }
 
+// invalidateQuant drops the cached int8 weights; Forward calls it so
+// the next Q8 inference requantizes post-training-step weights.
+func (l *Conv2D) invalidateQuant() {
+	l.qmu.Lock()
+	l.qw = nil
+	l.qmu.Unlock()
+}
+
+// quantWeights returns the per-output-channel int8 weights, quantizing
+// on first use and caching until the next Forward invalidates.
+func (l *Conv2D) quantWeights() *tensor.QWeights {
+	l.qmu.Lock()
+	defer l.qmu.Unlock()
+	if l.qw == nil {
+		l.qw = tensor.QuantizeWeights(l.w.W)
+	}
+	return l.qw
+}
+
+// InferBatchQ8 is InferBatch with the GEMM in symmetric int8: the input
+// tensor is quantized once per call (cheaper than quantizing the
+// K²-times-larger column matrix, and bit-identical to it — symmetric
+// quantization maps the zero padding to int8 zero), the bytes are
+// gathered into an int8 column matrix, and one int8×int8→int32 GEMM
+// rescales directly into the float product. Bias addition and the NCHW
+// epilogue stay in float32, identical to InferBatch.
+func (l *Conv2D) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T {
+	g := l.geom
+	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("nn: %s: input %v, want [N %d %d %d]", l.label, x.Shape, g.InC, g.InH, g.InW))
+	}
+	qw := l.quantWeights()
+	n := x.Shape[0]
+	plane := g.OutH * g.OutW
+	rows, width := n*plane, g.InC*g.Kernel*g.Kernel
+	xq := a.GetI8(len(x.Data))
+	sx := tensor.Quantize(xq, x.Data)
+	cols := a.GetI8(rows * width)
+	tensor.Im2ColQ8Into(xq, n, g, cols)
+	a.PutI8(xq)
+	prod := a.Get(rows, g.OutC)
+	tensor.MatMulQ8Into(cols, sx, qw, rows, prod.Data)
+	a.PutI8(cols)
+	out := a.Get(n, g.OutC, g.OutH, g.OutW)
+	bias := l.b.W.Data
+	for b := 0; b < n; b++ {
+		for p := 0; p < plane; p++ {
+			row := prod.Data[(b*plane+p)*g.OutC:]
+			for oc := 0; oc < g.OutC; oc++ {
+				out.Data[(b*g.OutC+oc)*plane+p] = row[oc] + bias[oc]
+			}
+		}
+	}
+	a.Put(prod)
+	return out
+}
+
 // Infer computes x·W + b into an arena buffer.
 func (l *Dense) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	if len(x.Shape) != 2 || x.Shape[1] != l.in {
@@ -128,6 +185,47 @@ func (l *Dense) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 // InferBatch is Infer: a dense layer is already one batch-wide GEMM.
 func (l *Dense) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
 
+// invalidateQuant drops the cached int8 weights (see Conv2D).
+func (l *Dense) invalidateQuant() {
+	l.qmu.Lock()
+	l.qw = nil
+	l.qmu.Unlock()
+}
+
+// quantWeights returns the cached per-output-channel int8 weights.
+func (l *Dense) quantWeights() *tensor.QWeights {
+	l.qmu.Lock()
+	defer l.qmu.Unlock()
+	if l.qw == nil {
+		l.qw = tensor.QuantizeWeights(l.w.W)
+	}
+	return l.qw
+}
+
+// InferBatchQ8 computes x·W + b with the GEMM in symmetric int8: x is
+// quantized per tensor, W per output channel, and the int32 accumulator
+// rescales straight into the float output before the float bias add.
+func (l *Dense) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T {
+	if len(x.Shape) != 2 || x.Shape[1] != l.in {
+		panic(fmt.Sprintf("nn: %s: input %v, want [N %d]", l.label, x.Shape, l.in))
+	}
+	qw := l.quantWeights()
+	m := x.Shape[0]
+	xq := a.GetI8(len(x.Data))
+	sx := tensor.Quantize(xq, x.Data)
+	out := a.Get(m, l.out)
+	tensor.MatMulQ8Into(xq, sx, qw, m, out.Data)
+	a.PutI8(xq)
+	bias := l.b.W.Data
+	for r := 0; r < m; r++ {
+		row := out.Data[r*l.out : (r+1)*l.out]
+		for j, bv := range bias {
+			row[j] += bv
+		}
+	}
+	return out
+}
+
 // Infer applies the activation into an arena buffer.
 func (l *LeakyReLU) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	out := a.Get(x.Shape...)
@@ -143,6 +241,10 @@ func (l *LeakyReLU) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 // InferBatch is Infer: the activation is elementwise either way.
 func (l *LeakyReLU) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
 
+// InferBatchQ8 is Infer: activations stay in float32; only GEMM layers
+// quantize.
+func (l *LeakyReLU) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer applies the logistic function into an arena buffer.
 func (l *Sigmoid) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 	out := a.Get(x.Shape...)
@@ -155,6 +257,9 @@ func (l *Sigmoid) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 // InferBatch is Infer: the activation is elementwise either way.
 func (l *Sigmoid) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
 
+// InferBatchQ8 is Infer: activations stay in float32.
+func (l *Sigmoid) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer returns a flattened view; no buffer changes hands.
 func (l *Flatten) Infer(x *tensor.T, _ tensor.Allocator) *tensor.T {
 	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
@@ -163,6 +268,9 @@ func (l *Flatten) Infer(x *tensor.T, _ tensor.Allocator) *tensor.T {
 // InferBatch is Infer: reshapes are free at any batch size.
 func (l *Flatten) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
 
+// InferBatchQ8 is Infer: reshapes carry no arithmetic to quantize.
+func (l *Flatten) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
 // Infer returns an NCHW view; no buffer changes hands.
 func (l *Reshape4D) Infer(x *tensor.T, _ tensor.Allocator) *tensor.T {
 	return x.Reshape(x.Shape[0], l.c, l.h, l.w)
@@ -170,6 +278,9 @@ func (l *Reshape4D) Infer(x *tensor.T, _ tensor.Allocator) *tensor.T {
 
 // InferBatch is Infer: reshapes are free at any batch size.
 func (l *Reshape4D) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
+// InferBatchQ8 is Infer: reshapes carry no arithmetic to quantize.
+func (l *Reshape4D) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
 
 // Infer upsamples into an arena buffer.
 func (l *Upsample2x) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
@@ -180,6 +291,9 @@ func (l *Upsample2x) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 
 // InferBatch is Infer: the copy pattern is batch-size agnostic.
 func (l *Upsample2x) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
+
+// InferBatchQ8 is Infer: nearest-neighbor copies carry no arithmetic.
+func (l *Upsample2x) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T { return l.Infer(x, a) }
 
 // run drives the layer chain through step, recycling every intermediate
 // buffer back into the allocator as soon as the next layer has consumed
@@ -212,4 +326,12 @@ func (s *Sequential) Infer(x *tensor.T, a tensor.Allocator) *tensor.T {
 // as Infer.
 func (s *Sequential) InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T {
 	return s.run(x, a, func(l Layer, x *tensor.T, a tensor.Allocator) *tensor.T { return l.InferBatch(x, a) })
+}
+
+// InferBatchQ8 runs all layers through the symmetric int8 GEMM kernels;
+// InferBatch is its accuracy oracle (ricc pins the divergence with a
+// cosine-similarity floor and a label-flip gate). Same ownership
+// contract as Infer.
+func (s *Sequential) InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T {
+	return s.run(x, a, func(l Layer, x *tensor.T, a tensor.Allocator) *tensor.T { return l.InferBatchQ8(x, a) })
 }

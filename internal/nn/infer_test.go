@@ -146,6 +146,99 @@ func TestInferBatchMatchesForward(t *testing.T) {
 	}
 }
 
+// cosine32 returns the cosine similarity of two equal-length float32
+// slices.
+func cosine32(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// TestInferBatchQ8CloseToFloat runs the full layer stack through the
+// int8 path and pins its output to the float oracle with a cosine
+// floor: quantization noise is bounded (one half-step per GEMM), so the
+// two paths must stay nearly parallel.
+func TestInferBatchQ8CloseToFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	model := riccLikeStack(t, r)
+	x := tensor.New(4, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	want := model.InferBatch(x, nil)
+	shards := tensor.NewShardedArena()
+	arena := shards.Acquire()
+	defer shards.Release(arena)
+	for pass := 0; pass < 3; pass++ { // repeated passes hit recycled buffers
+		got := model.InferBatchQ8(x, arena)
+		if !got.SameShape(want) {
+			t.Fatalf("pass %d: shape %v, want %v", pass, got.Shape, want.Shape)
+		}
+		if cos := cosine32(got.Data, want.Data); cos < 0.995 {
+			t.Fatalf("pass %d: cosine vs float path %g < 0.995", pass, cos)
+		}
+		arena.Put(got)
+	}
+}
+
+// TestInferBatchQ8Deterministic demands bit-identical output across
+// calls and allocators: int32 accumulation makes the int8 path exactly
+// reproducible, unlike the float path whose parallel split is benign
+// only because the float kernels are also order-fixed.
+func TestInferBatchQ8Deterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	model := riccLikeStack(t, r)
+	x := tensor.New(3, 3, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	first := model.InferBatchQ8(x, nil)
+	arena := tensor.NewArena()
+	for pass := 0; pass < 3; pass++ {
+		got := model.InferBatchQ8(x, arena)
+		for i := range first.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(first.Data[i]) {
+				t.Fatalf("pass %d: [%d] = %g, first run %g (want bit-identical)",
+					pass, i, got.Data[i], first.Data[i])
+			}
+		}
+		arena.Put(got)
+	}
+}
+
+// TestInferBatchQ8RequantizesAfterForward proves the cached int8
+// weights are invalidated by the training path: after Forward and a
+// weight update, Q8 inference must see the new weights (scaling W by 2
+// exactly doubles the symmetric-quantized output when bias is zero).
+func TestInferBatchQ8RequantizesAfterForward(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	d := NewDense("d", 8, 4, r)
+	x := tensor.New(2, 8)
+	for i := range x.Data {
+		x.Data[i] = float32(r.Float64())
+	}
+	a := (*tensor.Arena)(nil) // direct layer call: degrade to plain allocation
+	before := d.InferBatchQ8(x, a)
+	d.Forward(x) // the training path: invalidates the quantized cache
+	for i := range d.w.W.Data {
+		d.w.W.Data[i] *= 2
+	}
+	after := d.InferBatchQ8(x, a)
+	for i := range before.Data {
+		if after.Data[i] != 2*before.Data[i] {
+			t.Fatalf("[%d] = %g after doubling W, want %g — stale quantized weights?",
+				i, after.Data[i], 2*before.Data[i])
+		}
+	}
+}
+
 func TestInferBatchNilAllocator(t *testing.T) {
 	r := rand.New(rand.NewSource(45))
 	model := riccLikeStack(t, r)

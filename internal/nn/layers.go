@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/eoml/eoml/internal/tensor"
 )
@@ -33,18 +34,22 @@ func newParam(name string, shape ...int) *Param {
 // forward, then one backward). Backward accumulates parameter gradients
 // and returns the gradient with respect to the layer input.
 //
-// Infer and InferBatch are the inference-only passes: they save no
-// state, so concurrent calls on the same layer are safe as long as each
-// caller brings its own allocator. Infer uses the fused small-batch
-// kernels; InferBatch routes convolutions through im2col + one blocked
-// GEMM for the whole batch. Scratch and output buffers come from the
-// allocator (a nil allocator degrades to plain allocation); see
-// infer.go for the buffer ownership rules.
+// Infer, InferBatch, and InferBatchQ8 are the inference-only passes:
+// they save no state, so concurrent calls on the same layer are safe as
+// long as each caller brings its own allocator. Infer uses the fused
+// small-batch kernels; InferBatch routes convolutions through im2col +
+// one blocked GEMM for the whole batch; InferBatchQ8 is InferBatch with
+// the GEMM layers running the symmetric int8 kernel (weights quantized
+// once per output channel and cached, activations quantized per tensor
+// per call) — InferBatch is its accuracy oracle. Scratch and output
+// buffers come from the allocator (a nil allocator degrades to plain
+// allocation); see infer.go for the buffer ownership rules.
 type Layer interface {
 	Forward(x *tensor.T) *tensor.T
 	Backward(grad *tensor.T) *tensor.T
 	Infer(x *tensor.T, a tensor.Allocator) *tensor.T
 	InferBatch(x *tensor.T, a tensor.Allocator) *tensor.T
+	InferBatchQ8(x *tensor.T, a tensor.Allocator) *tensor.T
 	Params() []*Param
 	Name() string
 }
@@ -58,6 +63,12 @@ type Conv2D struct {
 	b     *Param // [OutC]
 	inN   int
 	cols  *tensor.T // saved im2col matrix for backward
+
+	// qmu guards the lazily quantized int8 weights. Forward (the
+	// training path) invalidates the cache, so Q8 inference after a
+	// training round requantizes the stepped weights.
+	qmu sync.Mutex
+	qw  *tensor.QWeights
 }
 
 // NewConv2D builds a convolution layer for a fixed input geometry, with
@@ -92,6 +103,7 @@ func (l *Conv2D) Forward(x *tensor.T) *tensor.T {
 	if len(x.Shape) != 4 || x.Shape[1] != l.geom.InC || x.Shape[2] != l.geom.InH || x.Shape[3] != l.geom.InW {
 		panic(fmt.Sprintf("nn: %s: input %v, want [N %d %d %d]", l.label, x.Shape, l.geom.InC, l.geom.InH, l.geom.InW))
 	}
+	l.invalidateQuant()
 	l.inN = x.Shape[0]
 	// Im2ColInto reuses the previous batch's matrix when the shape is
 	// unchanged, so steady-state training does not regrow the heap.
@@ -146,6 +158,10 @@ type Dense struct {
 	w     *Param // [In, Out]
 	b     *Param // [Out]
 	x     *tensor.T
+
+	// See Conv2D: lazily quantized weights, invalidated by Forward.
+	qmu sync.Mutex
+	qw  *tensor.QWeights
 }
 
 // NewDense builds a dense layer with Xavier initialization.
@@ -166,6 +182,7 @@ func (l *Dense) Forward(x *tensor.T) *tensor.T {
 	if len(x.Shape) != 2 || x.Shape[1] != l.in {
 		panic(fmt.Sprintf("nn: %s: input %v, want [N %d]", l.label, x.Shape, l.in))
 	}
+	l.invalidateQuant()
 	l.x = x
 	out := tensor.MatMul(x, l.w.W)
 	for r := 0; r < out.Shape[0]; r++ {

@@ -1,0 +1,117 @@
+package ricc
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// cosine returns the cosine similarity of two latent vectors.
+func cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// TestEncodeBatchQ8CosineFloor pins every quantized latent to its float
+// oracle with a cosine-similarity floor on a trained model: the int8
+// path may perturb coordinates by quantization noise but must not
+// rotate latents away from the float embedding.
+func TestEncodeBatchQ8CosineFloor(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := syntheticTiles(300, cfg.TileSize, cfg.Channels, 10) // >maxBatch: two batches
+	if _, err := m.Train(tiles[:64]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.EncodeBatch(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.EncodeBatchQ8(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	// Per-tile worst case is looser than the mean: a lightly-trained
+	// model emits near-zero latents where half-step noise looms large.
+	const tileFloor, meanFloor = 0.98, 0.995
+	var sum float64
+	for i := range want {
+		cos := cosine(got[i], want[i])
+		sum += cos
+		if cos < tileFloor {
+			t.Fatalf("tile %d: quantized latent cosine %g < %g\nq8:    %v\nfloat: %v",
+				i, cos, tileFloor, got[i], want[i])
+		}
+	}
+	if mean := sum / float64(len(want)); mean < meanFloor {
+		t.Fatalf("mean quantized latent cosine %g < %g", mean, meanFloor)
+	}
+}
+
+// TestEncodeBatchQ8Deterministic demands bit-identical latents across
+// repeated and concurrent Q8 encodes: int32 accumulation is
+// order-independent, so the int8 path is exactly reproducible — the
+// reproducibility guarantee the config's precision knob advertises.
+func TestEncodeBatchQ8Deterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Epochs = 2
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := syntheticTiles(80, cfg.TileSize, cfg.Channels, 11)
+	if _, err := m.Train(tiles[:64]); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.EncodeBatchQ8(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				got, err := m.EncodeBatchQ8(tiles)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Error("concurrent Q8 encode diverged — int8 path must be bit-exact")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEncodeBatchQ8RequiresTraining(t *testing.T) {
+	m, err := NewModel(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := syntheticTiles(4, 8, 3, 12)
+	if _, err := m.EncodeBatchQ8(tiles); err == nil {
+		t.Fatal("Q8 encode on untrained model must fail")
+	}
+}

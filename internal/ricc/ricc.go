@@ -303,10 +303,12 @@ func (m *Model) Train(tiles []*tile.Tile) ([]EpochStats, error) {
 }
 
 // encodeWith is the shared encode core: pack tiles into allocator
-// buffers in bounded batches, run the encoder through the batch-GEMM
-// inference path, and copy the latent rows out into one caller-owned
-// backing slab (one allocation for the whole call).
-func (m *Model) encodeWith(tiles []*tile.Tile, a tensor.Allocator) ([][]float32, error) {
+// buffers in bounded batches, run the encoder through the given
+// inference step (the float batch-GEMM path or the int8 path), and copy
+// the latent rows out into one caller-owned backing slab (one
+// allocation for the whole call).
+func (m *Model) encodeWith(tiles []*tile.Tile, a tensor.Allocator,
+	infer func(*tensor.T, tensor.Allocator) *tensor.T) ([][]float32, error) {
 	if m.Norm == nil {
 		return nil, fmt.Errorf("ricc: model has no normalizer; train or load first")
 	}
@@ -327,7 +329,7 @@ func (m *Model) encodeWith(tiles []*tile.Tile, a tensor.Allocator) ([][]float32,
 			a.Put(x)
 			return nil, err
 		}
-		z := m.encoder.InferBatch(x, a)
+		z := infer(x, a)
 		copy(backing[start*d:end*d], z.Data[:n*d])
 		a.Put(z)
 		a.Put(x)
@@ -348,7 +350,19 @@ func (m *Model) encodeWith(tiles []*tile.Tile, a tensor.Allocator) ([][]float32,
 func (m *Model) EncodeBatch(tiles []*tile.Tile) ([][]float32, error) {
 	shard := m.shards.Acquire()
 	defer m.shards.Release(shard)
-	return m.encodeWith(tiles, shard)
+	return m.encodeWith(tiles, shard, m.encoder.InferBatch)
+}
+
+// EncodeBatchQ8 is EncodeBatch through the symmetric int8 inference
+// path: per-output-channel quantized weights (cached on the layers),
+// per-tensor quantized activations, int8×int8→int32 GEMMs. The float
+// EncodeBatch is the accuracy oracle; the aicca property tests pin the
+// label-flip rate and a latent cosine-similarity floor between the two.
+// Output is bit-exactly reproducible run to run.
+func (m *Model) EncodeBatchQ8(tiles []*tile.Tile) ([][]float32, error) {
+	shard := m.shards.Acquire()
+	defer m.shards.Release(shard)
+	return m.encodeWith(tiles, shard, m.encoder.InferBatchQ8)
 }
 
 // Encode is EncodeBatch: the batch-GEMM sharded-arena path is the fast
@@ -364,7 +378,7 @@ func (m *Model) Encode(tiles []*tile.Tile) ([][]float32, error) {
 // measures the sharded path against it to keep the locking cost
 // visible.
 func (m *Model) EncodeLocked(tiles []*tile.Tile) ([][]float32, error) {
-	return m.encodeWith(tiles, m.locked)
+	return m.encodeWith(tiles, m.locked, m.encoder.InferBatch)
 }
 
 // EncodeNoArena is the reference implementation of Encode with no

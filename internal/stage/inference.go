@@ -47,6 +47,9 @@ type InferenceConfig struct {
 	// BatchTiles / BatchDelay tune the cross-file encode batcher.
 	BatchTiles int
 	BatchDelay time.Duration
+	// Precision, when non-empty, overrides the labeler's encode
+	// arithmetic for batches flushed through this service.
+	Precision aicca.Precision
 	// WatchDir is the directory the monitor crawls for tile files.
 	WatchDir string
 	// Pattern filters watched file names; default "*.nc".
@@ -159,11 +162,12 @@ func (s *InferenceService) Setup(ctx context.Context, rc *RunContext) error {
 	}
 
 	s.batcher = aicca.NewBatchLabeler(s.cfg.Labeler, aicca.BatchConfig{
-		MaxTiles: s.cfg.BatchTiles,
-		MaxDelay: s.cfg.BatchDelay,
-		Timeline: rc.Timeline,
-		Epoch:    rc.Epoch,
-		Metrics:  rc.Metrics,
+		MaxTiles:  s.cfg.BatchTiles,
+		MaxDelay:  s.cfg.BatchDelay,
+		Timeline:  rc.Timeline,
+		Epoch:     rc.Epoch,
+		Metrics:   rc.Metrics,
+		Precision: s.cfg.Precision,
 	})
 	s.engine = flows.NewEngine(flows.EngineConfig{})
 	if err := s.engine.RegisterProvider("inference", s.inferenceProvider()); err != nil {

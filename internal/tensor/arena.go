@@ -30,7 +30,12 @@ const arenaBuckets = 28
 type Arena struct {
 	pools [arenaBuckets]sync.Pool
 
-	gets atomic.Int64 // Get calls
+	// poolsI8 recycles the int8 scratch of the quantized inference path
+	// (quantized activations, int8 im2col). Same size classes, same
+	// lifecycle rules; GetI8/PutI8 pair exactly like Get/Put.
+	poolsI8 [arenaBuckets]sync.Pool
+
+	gets atomic.Int64 // Get + GetI8 calls
 	news atomic.Int64 // Gets that missed the pool and allocated
 	puts atomic.Int64 // tensors returned
 }
@@ -97,6 +102,51 @@ func (a *Arena) Put(t *T) {
 	a.puts.Add(1)
 	t.Data = t.Data[:0]
 	a.pools[b].Put(t)
+}
+
+// GetI8 returns an int8 scratch slice of length n with undefined
+// contents, pooled in the same power-of-two size classes as Get. A nil
+// receiver degrades to plain allocation.
+func (a *Arena) GetI8(n int) []int8 {
+	if n <= 0 {
+		panic("tensor: non-positive length in arena GetI8")
+	}
+	if a == nil {
+		return make([]int8, n)
+	}
+	a.gets.Add(1)
+	b := bucketFor(n)
+	if b < arenaBuckets {
+		if v := a.poolsI8[b].Get(); v != nil {
+			return (*v.(*[]int8))[:n]
+		}
+	}
+	a.news.Add(1)
+	capacity := n
+	if b < arenaBuckets {
+		capacity = 1 << b
+	}
+	return make([]int8, n, capacity)
+}
+
+// PutI8 returns an int8 scratch slice obtained from GetI8. Slices whose
+// capacity is not a pooled size class are dropped for the garbage
+// collector.
+func (a *Arena) PutI8(s []int8) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	c := cap(s)
+	if c&(c-1) != 0 {
+		return
+	}
+	b := bits.Len(uint(c)) - 1
+	if b >= arenaBuckets {
+		return
+	}
+	a.puts.Add(1)
+	s = s[:0]
+	a.poolsI8[b].Put(&s)
 }
 
 // Stats reports Get calls, pool misses (fresh allocations), and Puts —

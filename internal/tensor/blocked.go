@@ -31,7 +31,7 @@ const mrTile = 4
 // matMulBlockedInto computes C = A·B into cD, overwriting it.
 func matMulBlockedInto(aD, bD, cD []float32, m, k, n int) {
 	blocks := (m + mrTile - 1) / mrTile
-	parallelRows(blocks, func(lo, hi int) {
+	parallelWork(blocks, mrTile*k*n, func(lo, hi int) {
 		var c, a [mrTile][]float32
 		for blk := lo; blk < hi; blk++ {
 			i := blk * mrTile
@@ -91,7 +91,7 @@ func MatMulTA(a, b *T) *T {
 	c := New(m, n)
 	aD, bD, cD := a.Data, b.Data, c.Data
 	blocks := (m + mrTile - 1) / mrTile
-	parallelRows(blocks, func(lo, hi int) {
+	parallelWork(blocks, mrTile*k*n, func(lo, hi int) {
 		var c [mrTile][]float32
 		for blk := lo; blk < hi; blk++ {
 			i := blk * mrTile
@@ -128,7 +128,7 @@ func MatMulTB(a, b *T) *T {
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	c := New(m, n)
 	aD, bD, cD := a.Data, b.Data, c.Data
-	parallelRows(m, func(lo, hi int) {
+	parallelWork(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := aD[i*k : (i+1)*k]
 			crow := cD[i*n : (i+1)*n]

@@ -47,7 +47,7 @@ func Im2ColInto(x *T, g ConvGeom, dst *T) *T {
 		cols = New(rows, width)
 	}
 	inPlane := g.InH * g.InW
-	parallelRows(n*g.OutH, func(lo, hi int) {
+	parallelWork(n*g.OutH, g.OutW*g.InC*k*k, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
 			b := row / g.OutH
 			oy := row % g.OutH
@@ -83,7 +83,7 @@ func Col2Im(cols *T, n int, g ConvGeom) *T {
 	out := New(n, g.InC, g.InH, g.InW)
 	inPlane := g.InH * g.InW
 	// Parallel over batch items: each item's output plane is private.
-	parallelRows(n, func(lo, hi int) {
+	parallelWork(n, g.OutH*g.OutW*g.InC*k*k, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			for oy := 0; oy < g.OutH; oy++ {
 				for ox := 0; ox < g.OutW; ox++ {
@@ -119,7 +119,7 @@ func ConvDirect(x, w, bias *T, g ConvGeom) *T {
 	k, stride, pad := g.Kernel, g.Stride, g.Pad
 	inPlane := g.InH * g.InW
 	outPlane := g.OutH * g.OutW
-	parallelRows(n*g.OutC, func(lo, hi int) {
+	parallelWork(n*g.OutC, g.OutH*g.OutW*g.InC*k*k, func(lo, hi int) {
 		for row := lo; row < hi; row++ {
 			b := row / g.OutC
 			oc := row % g.OutC

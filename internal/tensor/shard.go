@@ -9,12 +9,16 @@ import (
 
 // Allocator is the buffer source of the inference hot path: Get returns
 // a tensor of the given shape with undefined contents, Put recycles one
-// obtained from Get. *Arena (concurrent, sync.Pool-backed) and
-// *LocalArena (single-goroutine free lists) both implement it, so the
-// nn.Layer inference code is agnostic to the pooling strategy.
+// obtained from Get. GetI8/PutI8 are the same contract for the int8
+// scratch of the quantized inference path. *Arena (concurrent,
+// sync.Pool-backed) and *LocalArena (single-goroutine free lists) both
+// implement it, so the nn.Layer inference code is agnostic to the
+// pooling strategy.
 type Allocator interface {
 	Get(shape ...int) *T
 	Put(t *T)
+	GetI8(n int) []int8
+	PutI8(s []int8)
 }
 
 // LocalArena recycles tensor buffers in power-of-two size classes for a
@@ -22,7 +26,8 @@ type Allocator interface {
 // Get/Put fast path. Obtain one from ShardedArena.Acquire (or NewLocal
 // for a purely private arena) and keep it on one goroutine.
 type LocalArena struct {
-	free [arenaBuckets][]*T
+	free   [arenaBuckets][]*T
+	freeI8 [arenaBuckets][][]int8
 
 	// Stats are atomics only so an Instrument snapshot can read them
 	// while the owning goroutine is mid-encode; the owner is the sole
@@ -85,6 +90,52 @@ func (a *LocalArena) Put(t *T) {
 	a.puts.Add(1)
 	t.Data = t.Data[:0]
 	a.free[b] = append(a.free[b], t)
+}
+
+// GetI8 returns an int8 scratch slice of length n with undefined
+// contents, free-listed in the same size classes as Get. A nil receiver
+// degrades to plain allocation.
+func (a *LocalArena) GetI8(n int) []int8 {
+	if n <= 0 {
+		panic("tensor: non-positive length in arena GetI8")
+	}
+	if a == nil {
+		return make([]int8, n)
+	}
+	a.gets.Add(1)
+	b := bucketFor(n)
+	if b < arenaBuckets {
+		if l := len(a.freeI8[b]); l > 0 {
+			s := a.freeI8[b][l-1]
+			a.freeI8[b][l-1] = nil
+			a.freeI8[b] = a.freeI8[b][:l-1]
+			return s[:n]
+		}
+	}
+	a.news.Add(1)
+	capacity := n
+	if b < arenaBuckets {
+		capacity = 1 << b
+	}
+	return make([]int8, n, capacity)
+}
+
+// PutI8 returns an int8 scratch slice obtained from GetI8 to the free
+// list. Non-size-class capacities are dropped for the garbage collector.
+func (a *LocalArena) PutI8(s []int8) {
+	if a == nil || cap(s) == 0 {
+		return
+	}
+	c := cap(s)
+	if c&(c-1) != 0 {
+		return
+	}
+	b := bucketFor(c)
+	if b >= arenaBuckets {
+		return
+	}
+	a.puts.Add(1)
+	a.freeI8[b] = append(a.freeI8[b], s[:0])
 }
 
 // Stats reports Get calls, free-list misses (fresh allocations), and

@@ -133,3 +133,241 @@ dot_done:
 	VMOVSS X0, ret+48(FP)
 	VZEROUPPER
 	RET
+
+// func dotQ8x4AVX(x, w []int8, out *[4]int32)
+//
+// Four int8 dot products of x against the four consecutive
+// length-len(x) rows packed in w (row stride = len(x)):
+// out[r] = Σ x[i]·w[r·len(x)+i], accumulated exactly in int32.
+// Caller guarantees len(w) >= 4*len(x).
+//
+// The 16-wide body widens 16 int8 to int16 (VPMOVSXBW), multiplies and
+// pair-sums into 8 int32 lanes (VPMADDWD, exact: |a·b| ≤ 127² so the
+// pair sum fits int16-product range into int32), and accumulates with
+// VPADDD. The activation row is widened once per group and reused by
+// all four weight rows. Every add is an int32 add, so any summation
+// order gives the same bits as the scalar fallback.
+TEXT ·dotQ8x4AVX(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ w_base+24(FP), DI
+	MOVQ out+48(FP), R9
+	MOVQ CX, BX           // row stride = len(x)
+	LEAQ (BX)(BX*2), R11  // 3*stride
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   dq8_reduce
+
+dq8_loop16:
+	VPMOVSXBW (SI), Y4
+	VPMOVSXBW (DI), Y5
+	VPMADDWD  Y5, Y4, Y5
+	VPADDD    Y5, Y0, Y0
+	VPMOVSXBW (DI)(BX*1), Y5
+	VPMADDWD  Y5, Y4, Y5
+	VPADDD    Y5, Y1, Y1
+	VPMOVSXBW (DI)(BX*2), Y5
+	VPMADDWD  Y5, Y4, Y5
+	VPADDD    Y5, Y2, Y2
+	VPMOVSXBW (DI)(R11*1), Y5
+	VPMADDWD  Y5, Y4, Y5
+	VPADDD    Y5, Y3, Y3
+	ADDQ $16, SI
+	ADDQ $16, DI
+	DECQ DX
+	JNZ  dq8_loop16
+
+dq8_reduce:
+	// Horizontal-reduce each 8-lane accumulator into a scalar register
+	// so the tail loop can add into plain int32s.
+	VEXTRACTI128 $1, Y0, X4
+	VPADDD  X4, X0, X0
+	VPSHUFD $0x4E, X0, X4
+	VPADDD  X4, X0, X0
+	VPSHUFD $0xB1, X0, X4
+	VPADDD  X4, X0, X0
+	VMOVD   X0, R8
+	VEXTRACTI128 $1, Y1, X4
+	VPADDD  X4, X1, X1
+	VPSHUFD $0x4E, X1, X4
+	VPADDD  X4, X1, X1
+	VPSHUFD $0xB1, X1, X4
+	VPADDD  X4, X1, X1
+	VMOVD   X1, R10
+	VEXTRACTI128 $1, Y2, X4
+	VPADDD  X4, X2, X2
+	VPSHUFD $0x4E, X2, X4
+	VPADDD  X4, X2, X2
+	VPSHUFD $0xB1, X2, X4
+	VPADDD  X4, X2, X2
+	VMOVD   X2, R12
+	VEXTRACTI128 $1, Y3, X4
+	VPADDD  X4, X3, X3
+	VPSHUFD $0x4E, X3, X4
+	VPADDD  X4, X3, X3
+	VPSHUFD $0xB1, X3, X4
+	VPADDD  X4, X3, X3
+	VMOVD   X3, R13
+	ANDQ $15, CX
+	JZ   dq8_store
+
+dq8_tail1:
+	MOVBLSX (SI), AX
+	MOVBLSX (DI), DX
+	IMULL   AX, DX
+	ADDL    DX, R8
+	MOVBLSX (DI)(BX*1), DX
+	IMULL   AX, DX
+	ADDL    DX, R10
+	MOVBLSX (DI)(BX*2), DX
+	IMULL   AX, DX
+	ADDL    DX, R12
+	MOVBLSX (DI)(R11*1), DX
+	IMULL   AX, DX
+	ADDL    DX, R13
+	INCQ SI
+	INCQ DI
+	DECQ CX
+	JNZ  dq8_tail1
+
+dq8_store:
+	MOVL R8, (R9)
+	MOVL R10, 4(R9)
+	MOVL R12, 8(R9)
+	MOVL R13, 12(R9)
+	VZEROUPPER
+	RET
+
+// func maxAbsAVX(x []float32) float32
+//
+// Max |x[i]| over len(x) elements; len(x) must be a positive multiple
+// of 8. The accumulator is the SECOND source of every VMAXPS, so a NaN
+// data lane yields the accumulator (MAXPS returns the second source
+// when either operand is NaN) — NaNs are ignored, matching
+// maxAbsGeneric, where a NaN loses every comparison.
+TEXT ·maxAbsAVX(SB), NOSPLIT, $0-28
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+
+	// Y3 = 0x7FFFFFFF lanes (abs mask), built without a constants section.
+	VPCMPEQD Y3, Y3, Y3
+	VPSRLD   $1, Y3, Y3
+	VXORPS   Y0, Y0, Y0 // accumulator; |x| >= 0 so 0 is the identity
+
+ma_loop8:
+	VMOVUPS (SI), Y1
+	VANDPS  Y3, Y1, Y1
+	VMAXPS  Y0, Y1, Y0 // max(data, acc): acc survives NaN data lanes
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNZ     ma_loop8
+
+	// Horizontal max of Y0's 8 lanes.
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS       X0, X1, X0
+	VPSHUFD      $0x4E, X0, X1
+	VMAXPS       X0, X1, X0
+	VPSHUFD      $0xB1, X0, X1
+	VMAXPS       X0, X1, X0
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET
+
+// func quantize32AVX(dst []int8, src []float32, inv float32)
+//
+// Quantizes src into dst, 32 floats per iteration; len(src) must be a
+// positive multiple of 32, len(dst) >= len(src). Per lane, bit-exactly
+// quantizeVal: r = x*inv, add copysign(0.5, r), clamp to [-127, 127] in
+// float (so overflow and the ±126.5 thresholds behave like the scalar
+// branches), truncate toward zero, and zero NaN lanes via a self-equal
+// mask. The four int32 vectors pack to int8 through VPACKSSDW/WB with
+// VPERMQ $0xD8 fixing the per-128-bit-lane interleave after each pack.
+TEXT ·quantize32AVX(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+
+	VBROADCASTSS inv+48(FP), Y14
+
+	// Constants: sign mask, 0.5, 127.0, -127.0.
+	VPCMPEQD Y15, Y15, Y15
+	VPSLLD   $31, Y15, Y10
+	MOVL     $0x3F000000, AX
+	VMOVD    AX, X11
+	VPBROADCASTD X11, Y11
+	MOVL     $0x42FE0000, AX
+	VMOVD    AX, X12
+	VPBROADCASTD X12, Y12
+	MOVL     $0xC2FE0000, AX
+	VMOVD    AX, X13
+	VPBROADCASTD X13, Y13
+
+q32_loop:
+	// Group 0: elements 0-7 -> int32 in Y1.
+	VMOVUPS    (SI), Y0
+	VMULPS     Y14, Y0, Y0
+	VANDPS     Y10, Y0, Y2
+	VORPS      Y11, Y2, Y2
+	VADDPS     Y2, Y0, Y2
+	VMINPS     Y12, Y2, Y2
+	VMAXPS     Y13, Y2, Y2
+	VCVTTPS2DQ Y2, Y2
+	VCMPPS     $0, Y0, Y0, Y0 // ordered self-equal: NaN lanes -> 0
+	VPAND      Y0, Y2, Y1
+
+	// Group 1: elements 8-15 -> Y3.
+	VMOVUPS    32(SI), Y0
+	VMULPS     Y14, Y0, Y0
+	VANDPS     Y10, Y0, Y2
+	VORPS      Y11, Y2, Y2
+	VADDPS     Y2, Y0, Y2
+	VMINPS     Y12, Y2, Y2
+	VMAXPS     Y13, Y2, Y2
+	VCVTTPS2DQ Y2, Y2
+	VCMPPS     $0, Y0, Y0, Y0
+	VPAND      Y0, Y2, Y3
+
+	// Group 2: elements 16-23 -> Y5.
+	VMOVUPS    64(SI), Y0
+	VMULPS     Y14, Y0, Y0
+	VANDPS     Y10, Y0, Y2
+	VORPS      Y11, Y2, Y2
+	VADDPS     Y2, Y0, Y2
+	VMINPS     Y12, Y2, Y2
+	VMAXPS     Y13, Y2, Y2
+	VCVTTPS2DQ Y2, Y2
+	VCMPPS     $0, Y0, Y0, Y0
+	VPAND      Y0, Y2, Y5
+
+	// Group 3: elements 24-31 -> Y7.
+	VMOVUPS    96(SI), Y0
+	VMULPS     Y14, Y0, Y0
+	VANDPS     Y10, Y0, Y2
+	VORPS      Y11, Y2, Y2
+	VADDPS     Y2, Y0, Y2
+	VMINPS     Y12, Y2, Y2
+	VMAXPS     Y13, Y2, Y2
+	VCVTTPS2DQ Y2, Y2
+	VCMPPS     $0, Y0, Y0, Y0
+	VPAND      Y0, Y2, Y7
+
+	// int32x8 x4 -> int16x16 x2 -> int8x32, fixing lane interleave.
+	VPACKSSDW Y3, Y1, Y1
+	VPERMQ    $0xD8, Y1, Y1
+	VPACKSSDW Y7, Y5, Y5
+	VPERMQ    $0xD8, Y5, Y5
+	VPACKSSWB Y5, Y1, Y1
+	VPERMQ    $0xD8, Y1, Y1
+	VMOVDQU   Y1, (DI)
+
+	ADDQ $128, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ  q32_loop
+
+	VZEROUPPER
+	RET

@@ -9,3 +9,9 @@ func SIMDEnabled() bool { return false }
 func axpy(alpha float32, x, y []float32) { axpyGeneric(alpha, x, y) }
 
 func dot(x, y []float32) float32 { return dotGeneric(x, y) }
+
+func dotQ8x4(x, w []int8, out *[4]int32) { dotQ8x4Generic(x, w, out) }
+
+func maxAbs(x []float32) float32 { return maxAbsGeneric(x) }
+
+func quantizeSpan(dst []int8, src []float32, inv float32) { quantizeGeneric(dst, src, inv) }

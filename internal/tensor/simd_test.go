@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -44,6 +45,104 @@ func TestDotMatchesGeneric(t *testing.T) {
 		got := dot(x, y)
 		if !close32(got, want, 1e-5) {
 			t.Fatalf("dot n=%d: %g, want %g", n, got, want)
+		}
+	}
+}
+
+// smallInts fills a slice with integer-valued float32s in [-8, 8]. For
+// such inputs every product and partial sum is exactly representable,
+// so the fused (FMA) and unfused (mul + add) evaluation orders agree to
+// the bit — which lets the tail paths of the assembly be pinned
+// bit-for-bit against the scalar fallback, not just to a tolerance.
+func smallInts(r *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(r.Intn(17) - 8)
+	}
+	return s
+}
+
+// TestAxpyTailBitExact exercises every remainder path (n % 32, n % 8,
+// n == 0) with integer-valued inputs and demands bit identity with the
+// scalar fallback.
+func TestAxpyTailBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for _, n := range simdLens {
+		x := smallInts(r, n)
+		y := smallInts(r, n)
+		want := append([]float32(nil), y...)
+		alpha := float32(r.Intn(9) - 4)
+		axpyGeneric(alpha, x, want)
+		axpy(alpha, x, y)
+		for i := range y {
+			if math.Float32bits(y[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("axpy n=%d: [%d] = %g (bits %#x), want %g (bits %#x)",
+					n, i, y[i], math.Float32bits(y[i]), want[i], math.Float32bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestDotTailBitExact is the dot-product analogue: integer-valued
+// inputs, every unroll boundary, bit-for-bit against dotGeneric.
+func TestDotTailBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for _, n := range simdLens {
+		x := smallInts(r, n)
+		y := smallInts(r, n)
+		want := dotGeneric(x, y)
+		got := dot(x, y)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("dot n=%d: %g (bits %#x), want %g (bits %#x)",
+				n, got, math.Float32bits(got), want, math.Float32bits(want))
+		}
+	}
+}
+
+// TestAxpyNaNPropagation plants NaNs in the vector body and in the
+// scalar tail and checks the SIMD path poisons exactly the elements the
+// scalar fallback poisons, leaving every other element bit-identical.
+func TestAxpyNaNPropagation(t *testing.T) {
+	nan := float32(math.NaN())
+	for _, n := range []int{1, 9, 33, 100} {
+		r := rand.New(rand.NewSource(int64(35 + n)))
+		x := smallInts(r, n)
+		y := smallInts(r, n)
+		x[0] = nan
+		x[n-1] = nan // lands in the scalar tail when n % 8 != 0
+		want := append([]float32(nil), y...)
+		axpyGeneric(2, x, want)
+		axpy(2, x, y)
+		for i := range y {
+			gotNaN := y[i] != y[i]
+			wantNaN := want[i] != want[i]
+			if gotNaN != wantNaN {
+				t.Fatalf("axpy n=%d: [%d] NaN=%v, scalar fallback NaN=%v", n, i, gotNaN, wantNaN)
+			}
+			if !wantNaN && math.Float32bits(y[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("axpy n=%d: [%d] = %g, want %g", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDotNaNPropagation: a NaN anywhere — including the tail — must
+// surface in the reduced result, as it does in the scalar fallback.
+func TestDotNaNPropagation(t *testing.T) {
+	nan := float32(math.NaN())
+	for _, pos := range []int{0, 8, 16} {
+		const n = 17 // 16-wide body plus a 1-element tail
+		r := rand.New(rand.NewSource(int64(36 + pos)))
+		x := smallInts(r, n)
+		y := smallInts(r, n)
+		x[pos] = nan
+		want := dotGeneric(x, y)
+		got := dot(x, y)
+		if !(want != want) {
+			t.Fatalf("oracle lost the NaN at %d", pos)
+		}
+		if !(got != got) {
+			t.Fatalf("dot n=%d NaN at %d: got %g, want NaN", n, pos, got)
 		}
 	}
 }

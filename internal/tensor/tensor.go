@@ -132,14 +132,24 @@ func (t *T) L2() float64 {
 	return math.Sqrt(s)
 }
 
-// parallelRows runs fn over [0, n) split across GOMAXPROCS goroutines.
-// Small n runs inline to avoid goroutine overhead.
-func parallelRows(n int, fn func(lo, hi int)) {
+// minParallelWork is the total arithmetic (fused multiply-adds, element
+// copies) below which forking goroutines costs more than it saves. The
+// threshold is total work, not index count: a 4-block GEMM over a huge
+// k·n panel forks, while a 1000-row elementwise loop runs inline.
+const minParallelWork = 1 << 16
+
+// parallelWork runs fn over [0, n) split across GOMAXPROCS goroutines.
+// unitWork is the caller's estimate of the arithmetic per index; the
+// loop runs inline when n·unitWork is under minParallelWork.
+func parallelWork(n, unitWork int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n < 64 {
+	if unitWork < 1 {
+		unitWork = 1
+	}
+	if workers <= 1 || n*unitWork < minParallelWork {
 		fn(0, n)
 		return
 	}
@@ -159,6 +169,11 @@ func parallelRows(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// parallelRows is parallelWork with a nominal per-row cost of 1024, for
+// loops whose per-index work is moderate or unknown; it forks at the
+// same n ≥ 64 boundary the original count-based cutoff used.
+func parallelRows(n int, fn func(lo, hi int)) { parallelWork(n, 1024, fn) }
+
 // MatMulNaive computes C = A·B with the unblocked row-parallel triple
 // loop. It is kept as the reference oracle for the blocked kernel in
 // blocked.go; hot paths should call MatMul.
@@ -168,7 +183,7 @@ func MatMulNaive(a, b *T) *T {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := New(m, n)
-	parallelRows(m, func(lo, hi int) {
+	parallelWork(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Data[i*k : (i+1)*k]
 			cr := c.Data[i*n : (i+1)*n]
@@ -195,7 +210,7 @@ func MatMulTANaive(a, b *T) *T {
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	c := New(m, n)
 	// Accumulate per output row to stay race-free under parallelism.
-	parallelRows(m, func(lo, hi int) {
+	parallelWork(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cr := c.Data[i*n : (i+1)*n]
 			for p := 0; p < k; p++ {
@@ -221,7 +236,7 @@ func MatMulTBNaive(a, b *T) *T {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	c := New(m, n)
-	parallelRows(m, func(lo, hi int) {
+	parallelWork(m, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ar := a.Data[i*k : (i+1)*k]
 			cr := c.Data[i*n : (i+1)*n]
