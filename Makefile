@@ -1,8 +1,8 @@
 # Standard entry points for the eoml repo.
 #
 #   make check      — what CI runs: gofmt gate + vet + eomlvet + race tests
-#                     + reduced-size bench smokes (bench-ci, bench-e2e)
-#                     + bench-diff
+#                     + serve-smoke + reduced-size bench smokes
+#                     (bench-ci, bench-e2e) + bench-diff
 #   make lint       — the repo's own analyzer suite (cmd/eomlvet)
 #   make bench      — the hot-path benchmarks, emitted as $(BENCH_OUT)
 #   make bench-diff — gate the committed bench records: fails on >10%
@@ -16,7 +16,7 @@ BENCH_OLD ?= BENCH_5.json
 BENCH_NEW ?= BENCH_6.json
 BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkMatMulSmall|BenchmarkEncodeArena|BenchmarkEncodeQ8|BenchmarkLabelFileBatched|BenchmarkTileExtract|BenchmarkPipelineE2E
 
-.PHONY: build test vet lint race fmt bench bench-ci bench-diff bench-all bench-e2e check
+.PHONY: build test vet lint race fmt bench bench-ci bench-diff bench-all bench-e2e serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,12 @@ bench-ci:
 bench-e2e:
 	$(GO) test -run xxx -bench 'BenchmarkPipelineE2E' -benchtime 1x .
 
+# Control-plane smoke: boots the run API on a real listener, submits a
+# campaign over HTTP (model artifacts on disk, synthetic archive),
+# polls it to success, and scrapes per-run + aggregate metrics.
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -count 1 ./internal/serve
+
 # Regression gate over the committed records: deterministic in CI (no
 # benchmarks rerun), fails on >10% throughput regression between the two
 # most recent BENCH_N.json files.
@@ -80,4 +86,4 @@ bench-diff:
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: fmt vet lint race bench-ci bench-e2e bench-diff
+check: fmt vet lint race serve-smoke bench-ci bench-e2e bench-diff

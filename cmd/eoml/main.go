@@ -6,6 +6,16 @@
 //	eoml -config workflow.yaml                  # batch run with saved model
 //	eoml -config workflow.yaml -stream          # streaming run
 //	eoml -config workflow.yaml -metrics-addr localhost:9090
+//	eoml serve -addr localhost:8080             # multi-run control plane
+//
+// The serve subcommand turns the tool into a long-lived workflow
+// control plane: one engine, many runs. Clients POST a YAML config to
+// /api/v1/runs and get back a run ID; runs execute concurrently
+// (bounded by -max-runs), can be listed (GET /api/v1/runs), inspected
+// (GET /api/v1/runs/{id}), canceled (DELETE /api/v1/runs/{id}), and
+// scraped individually (GET /api/v1/runs/{id}/metrics), while /metrics
+// and /healthz aggregate across every retained run. -quota-rps shapes
+// each tenant's aggregate archive request rate across all its runs.
 //
 // With -train, the tool first performs the offline stages (download
 // training granules, fit the RICC autoencoder, cluster the AICCA
@@ -54,24 +64,65 @@ func attachPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// serveHTTP serves mux on addr for the lifetime of the run and returns
-// a stop func that closes the server and joins its goroutine, plus the
-// bound address for logging.
-func serveHTTP(addr string, mux *http.ServeMux) (stop func(), bound net.Addr, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
+// muxSet composes HTTP roles (run API, metrics, pprof) onto listener
+// addresses, binding each distinct address exactly once. Asking for the
+// mux of an address twice returns the same mux, so two flags naming the
+// same address share one listener instead of the second bind failing
+// with "address already in use" — the composition rule every
+// addr-taking flag of this command follows.
+type muxSet struct {
+	muxes map[string]*http.ServeMux
+	order []string
+	stops []func()
+}
+
+func newMuxSet() *muxSet {
+	return &muxSet{muxes: map[string]*http.ServeMux{}}
+}
+
+// mux finds or creates the mux bound to addr.
+func (m *muxSet) mux(addr string) *http.ServeMux {
+	if mx, ok := m.muxes[addr]; ok {
+		return mx
 	}
-	srv := &http.Server{Handler: mux}
-	served := make(chan struct{})
-	go func() {
-		defer close(served)
-		_ = srv.Serve(ln) // returns once stop calls Close
-	}()
-	return func() {
-		_ = srv.Close()
-		<-served
-	}, ln.Addr(), nil
+	mx := http.NewServeMux()
+	m.muxes[addr] = mx
+	m.order = append(m.order, addr)
+	return mx
+}
+
+// start binds every address and serves its mux, returning the bound
+// address per requested address. On any bind failure the already-bound
+// listeners are closed and the error returned.
+func (m *muxSet) start() (map[string]net.Addr, error) {
+	bound := map[string]net.Addr{}
+	for _, addr := range m.order {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			m.stop()
+			return nil, err
+		}
+		srv := &http.Server{Handler: m.muxes[addr]}
+		served := make(chan struct{})
+		go func() {
+			defer close(served)
+			_ = srv.Serve(ln) // returns once stop calls Close
+		}()
+		m.stops = append(m.stops, func() {
+			_ = srv.Close()
+			<-served
+		})
+		bound[addr] = ln.Addr()
+	}
+	return bound, nil
+}
+
+// stop closes every listener and joins the serve goroutines.
+func (m *muxSet) stop() {
+	for _, s := range m.stops {
+		s()
+	}
+	m.stops = nil
 }
 
 // sampleConfig is the declaration written by -init, mirroring the YAML
@@ -117,7 +168,52 @@ model:
 # metrics_addr: localhost:9090  # serve /metrics and /healthz during the run
 `
 
+// runServe is the `eoml serve` subcommand: a long-lived control plane
+// hosting many concurrent runs over one engine.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("eoml serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "run API listener (/api/v1/runs, /metrics, /healthz)")
+	maxRuns := fs.Int("max-runs", 2, "runs executing concurrently; further submissions queue")
+	retainRuns := fs.Int("retain-runs", 16, "finished runs kept inspectable before eviction")
+	quotaRPS := fs.Float64("quota-rps", 0, "per-tenant archive requests per second across all of a tenant's runs (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 8, "archive requests a tenant may burst before the rate applies")
+	pprofAddr := fs.String("pprof-addr", "", "serve /debug/pprof on this address; give it the -addr value to share that listener")
+	_ = fs.Parse(args)
+
+	eng := eoml.NewEngine(eoml.EngineOptions{Quotas: eoml.NewQuotaPool(*quotaRPS, *quotaBurst)})
+	cp := eoml.NewControlPlane(eng, eoml.ControlPlaneOptions{
+		MaxConcurrentRuns: *maxRuns,
+		RetainRuns:        *retainRuns,
+	})
+
+	ms := newMuxSet()
+	ms.mux(*addr).Handle("/", cp)
+	if *pprofAddr != "" {
+		// Same address as -addr → same mux, one listener; different
+		// address → its own listener. Never a double bind.
+		attachPprof(ms.mux(*pprofAddr))
+	}
+	bound, err := ms.start()
+	if err != nil {
+		log.Fatalf("eoml: serve: %v", err)
+	}
+	defer ms.stop()
+	fmt.Printf("eoml: run API on http://%s (POST /api/v1/runs; %d concurrent)\n", bound[*addr], *maxRuns)
+	if *pprofAddr != "" {
+		fmt.Printf("eoml: /debug/pprof on http://%s\n", bound[*pprofAddr])
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("eoml: shutting down")
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	configPath := flag.String("config", "workflow.yaml", "YAML workflow declaration")
 	train := flag.Bool("train", false, "train the model and codebook before running")
 	trainClasses := flag.Int("train-classes", 8, "AICCA codebook size when training")
@@ -183,31 +279,34 @@ func main() {
 	if obsAddr == "" {
 		obsAddr = cfg.MetricsAddr
 	}
+	ms := newMuxSet()
 	if obsAddr != "" {
-		mux := http.NewServeMux()
+		mux := ms.mux(obsAddr)
 		mux.Handle("/metrics", pipe.Metrics())
 		mux.Handle("/healthz", pipe.Health())
-		what := "/metrics and /healthz"
-		if *pprofAddr == obsAddr {
-			attachPprof(mux) // profile the run through the same listener
-			what = "/metrics, /healthz and /debug/pprof"
-		}
-		stop, bound, err := serveHTTP(obsAddr, mux)
-		if err != nil {
-			log.Fatalf("eoml: metrics listener: %v", err)
-		}
-		defer stop()
-		fmt.Printf("eoml: serving %s on http://%s\n", what, bound)
 	}
-	if *pprofAddr != "" && *pprofAddr != obsAddr {
-		mux := http.NewServeMux()
-		attachPprof(mux)
-		stop, bound, err := serveHTTP(*pprofAddr, mux)
+	if *pprofAddr != "" {
+		// Matching obsAddr reuses its mux (one listener, all roles);
+		// otherwise pprof gets its own — muxSet makes double-binding
+		// one address structurally impossible.
+		attachPprof(ms.mux(*pprofAddr))
+	}
+	if len(ms.order) > 0 {
+		bound, err := ms.start()
 		if err != nil {
-			log.Fatalf("eoml: pprof listener: %v", err)
+			log.Fatalf("eoml: observability listener: %v", err)
 		}
-		defer stop()
-		fmt.Printf("eoml: serving /debug/pprof on http://%s\n", bound)
+		defer ms.stop()
+		if obsAddr != "" {
+			what := "/metrics and /healthz"
+			if *pprofAddr == obsAddr {
+				what = "/metrics, /healthz and /debug/pprof"
+			}
+			fmt.Printf("eoml: serving %s on http://%s\n", what, bound[obsAddr])
+		}
+		if *pprofAddr != "" && *pprofAddr != obsAddr {
+			fmt.Printf("eoml: serving /debug/pprof on http://%s\n", bound[*pprofAddr])
+		}
 	}
 
 	var rep *eoml.Report

@@ -1,10 +1,116 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
+	"strings"
 	"testing"
 
 	"github.com/eoml/eoml"
 )
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, b.String()
+}
+
+// TestMuxSetSharesOneAddress: two roles asked onto the same address
+// land on the same mux and bind exactly one listener.
+func TestMuxSetSharesOneAddress(t *testing.T) {
+	ms := newMuxSet()
+	a := ms.mux("127.0.0.1:0")
+	b := ms.mux("127.0.0.1:0")
+	if a != b {
+		t.Fatal("same address produced two muxes")
+	}
+	a.HandleFunc("/one", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "one") })
+	b.HandleFunc("/two", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "two") })
+	bound, err := ms.start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.stop()
+	if len(bound) != 1 {
+		t.Fatalf("bound %d listeners, want 1", len(bound))
+	}
+	base := "http://" + bound["127.0.0.1:0"].String()
+	if _, body := get(t, base+"/one"); body != "one" {
+		t.Fatalf("/one = %q", body)
+	}
+	if _, body := get(t, base+"/two"); body != "two" {
+		t.Fatalf("/two = %q", body)
+	}
+}
+
+// TestMuxSetDistinctAddresses: different addresses get their own
+// listeners.
+func TestMuxSetDistinctAddresses(t *testing.T) {
+	ms := newMuxSet()
+	ms.mux("127.0.0.1:0").HandleFunc("/a", func(w http.ResponseWriter, r *http.Request) {})
+	ms.mux("localhost:0").HandleFunc("/b", func(w http.ResponseWriter, r *http.Request) {})
+	bound, err := ms.start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.stop()
+	if len(bound) != 2 {
+		t.Fatalf("bound %d listeners, want 2", len(bound))
+	}
+	if bound["127.0.0.1:0"].String() == bound["localhost:0"].String() {
+		t.Fatal("distinct addresses share a bound listener")
+	}
+}
+
+// TestServeListenerComposesWithPprof is the regression test for the
+// double-bind bug: the serve subcommand's run API, the aggregate
+// metrics endpoints, and /debug/pprof all asked onto ONE address must
+// come up on one shared listener instead of the second bind failing.
+func TestServeListenerComposesWithPprof(t *testing.T) {
+	eng := eoml.NewEngine(eoml.EngineOptions{Quotas: eoml.NewQuotaPool(100, 8)})
+	cp := eoml.NewControlPlane(eng, eoml.ControlPlaneOptions{})
+
+	// Mirror runServe with -pprof-addr equal to -addr.
+	const addr = "127.0.0.1:0"
+	ms := newMuxSet()
+	ms.mux(addr).Handle("/", cp)
+	attachPprof(ms.mux(addr))
+	bound, err := ms.start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.stop()
+	if len(bound) != 1 {
+		t.Fatalf("bound %d listeners, want 1", len(bound))
+	}
+	base := "http://" + bound[addr].String()
+
+	if status, body := get(t, base+"/api/v1/runs"); status != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Fatalf("run API: %d %q", status, body)
+	}
+	if status, body := get(t, base+"/metrics"); status != http.StatusOK || !strings.Contains(body, "eoml_serve_runs_submitted_total") {
+		t.Fatalf("metrics: %d %.120q", status, body)
+	}
+	if status, _ := get(t, base+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz status = %d", status)
+	}
+	if status, body := get(t, base+"/debug/pprof/cmdline"); status != http.StatusOK || body == "" {
+		t.Fatalf("pprof status = %d", status)
+	}
+}
 
 // The -init sample must always parse and validate: a user's very first
 // contact with the tool cannot be a config error.

@@ -39,6 +39,7 @@ import (
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/ricc"
+	"github.com/eoml/eoml/internal/serve"
 	"github.com/eoml/eoml/internal/tile"
 )
 
@@ -71,6 +72,46 @@ func LoadConfigFile(path string) (*Config, error) { return core.LoadConfigFile(p
 func NewPipeline(cfg Config, labeler *Labeler) (*Pipeline, error) {
 	return core.New(cfg, labeler)
 }
+
+// Engine hosts N isolated workflow runs in one process, sharing model
+// weights, decode arenas, and per-tenant archive quotas across them.
+type Engine = core.Engine
+
+// EngineOptions tunes a new Engine.
+type EngineOptions = core.EngineOptions
+
+// Run is one isolated execution built by Engine.NewRun.
+type Run = core.Run
+
+// RunOptions carries the per-run identity the control plane assigns.
+type RunOptions = core.RunOptions
+
+// NewEngine builds a multi-run engine.
+func NewEngine(opts EngineOptions) *Engine { return core.NewEngine(opts) }
+
+// QuotaPool hands out per-tenant archive-request token buckets.
+type QuotaPool = laads.QuotaPool
+
+// NewQuotaPool builds a quota pool granting each tenant requestsPerSec
+// with the given burst; requestsPerSec <= 0 disables quotas (nil pool).
+func NewQuotaPool(requestsPerSec float64, burst int) *QuotaPool {
+	return laads.NewQuotaPool(requestsPerSec, burst)
+}
+
+// ControlPlane is the HTTP run API over an Engine: POST configs in,
+// run IDs out, with per-run and aggregate observability endpoints.
+type ControlPlane = serve.Server
+
+// ControlPlaneOptions tunes a ControlPlane.
+type ControlPlaneOptions = serve.Options
+
+// NewControlPlane builds the run API handler over an engine.
+func NewControlPlane(eng *Engine, opts ControlPlaneOptions) *ControlPlane {
+	return serve.New(eng, opts)
+}
+
+// TenantHeader names the HTTP header carrying the submitting tenant.
+const TenantHeader = serve.TenantHeader
 
 // ArchiveOptions tunes a simulated LAADS DAAC archive server.
 type ArchiveOptions struct {

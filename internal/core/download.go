@@ -24,11 +24,19 @@ const downloadFunctionName = "eoml.download_granule"
 
 // registerDownloadFunction installs the download function into a compute
 // registry, bound to this pipeline's archive credentials and data
-// directory.
-func (p *Pipeline) registerDownloadFunction(reg *compute.Registry) error {
+// directory. runCtx is the run's lifetime: compute workers execute
+// tasks under their own endpoint context, so without this bridge a
+// canceled run would leave workers blocked in quota waits or slow
+// fetches until the endpoint's own timeout.
+func (p *Run) registerDownloadFunction(runCtx context.Context, reg *compute.Registry) error {
 	client := laads.NewClient(p.cfg.ArchiveURL, p.cfg.ArchiveToken)
+	client.Quota = p.quota
 	client.Instrument(p.metrics)
 	return reg.Register(downloadFunctionName, func(ctx context.Context, args map[string]any) (any, error) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(runCtx, cancel)
+		defer stop()
 		product, _ := args["product"].(string)
 		name, _ := args["name"].(string)
 		year, yok := asInt(args["year"])
@@ -64,9 +72,9 @@ func asInt(v any) (int, bool) {
 
 // downloadViaCompute fans the granule file list out over a compute
 // endpoint and returns (files, totalBytes).
-func (p *Pipeline) downloadViaCompute(ctx context.Context, granules []modis.GranuleID, onWorkerChange func(int)) (int, int64, error) {
+func (p *Run) downloadViaCompute(ctx context.Context, granules []modis.GranuleID, onWorkerChange func(int)) (int, int64, error) {
 	reg := compute.NewRegistry()
-	if err := p.registerDownloadFunction(reg); err != nil {
+	if err := p.registerDownloadFunction(ctx, reg); err != nil {
 		return 0, 0, err
 	}
 	ep, err := compute.NewEndpoint("dtn", reg, compute.EndpointConfig{

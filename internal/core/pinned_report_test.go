@@ -1,0 +1,41 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// pinnedReportString renders the deterministic subset of a Report — every
+// field except wall-clock telemetry — as one canonical string.
+func pinnedReportString(r *Report) string {
+	return fmt.Sprintf("granules=%d files=%d bytes=%d tileFiles=%d tiles=%d labeled=%d shipped=%d flowsFailed=%d",
+		r.GranulesRequested, r.FilesDownloaded, r.BytesDownloaded,
+		r.TileFiles, r.TilesProduced, r.TilesLabeled, r.FilesShipped, r.FlowsFailed)
+}
+
+// TestOneShotReportPinned pins the legacy one-shot path's Report to the
+// byte-exact pre-refactor outcome on a fixed config: the same granule
+// set, test scale, and training seed the pre-engine Pipeline produced
+// this golden string for. Any refactor of the run lifecycle (the
+// Engine/Run split) must keep the one-shot path byte-equivalent here.
+func TestOneShotReportPinned(t *testing.T) {
+	granules := findProductiveGranules(t, 3, 3)
+	labeler := trainTestLabeler(t, granules[0])
+	ts := newArchive(t)
+	cfg := testConfig(t, ts.URL, granules)
+
+	p, err := New(cfg, labeler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = "granules=3 files=9 bytes=205944 tileFiles=3 tiles=67 labeled=67 shipped=3 flowsFailed=0"
+	if got := pinnedReportString(rep); got != golden {
+		t.Errorf("one-shot report drifted from the pre-refactor pin:\n got: %s\nwant: %s", got, golden)
+	}
+}

@@ -9,11 +9,11 @@ import (
 
 	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/parsl"
 	"github.com/eoml/eoml/internal/provenance"
-	"github.com/eoml/eoml/internal/ricc"
 	"github.com/eoml/eoml/internal/stage"
 	"github.com/eoml/eoml/internal/tensor"
 	"github.com/eoml/eoml/internal/tile"
@@ -41,67 +41,87 @@ type Report struct {
 	Metrics []metrics.Family
 }
 
-// Pipeline executes the five-stage workflow. Both execution modes —
-// batch (Run) and streaming (RunStream) — are thin drivers over the
-// same stage objects from internal/stage, composed in different orders.
-type Pipeline struct {
+// Run is one isolated execution of the five-stage workflow, built by
+// Engine.NewRun. Both execution modes — batch (Run) and streaming
+// (RunStream) — are thin drivers over the same stage objects from
+// internal/stage, composed in different orders. Every Run owns its own
+// metric registry, health tracker, and stage state; the model weights,
+// decode arena, and archive quota it uses are the engine's shared ones.
+type Run struct {
 	cfg     Config
+	id      string
+	tenant  string
 	labeler *aicca.Labeler
 	prov    *provenance.Store
 	// extract recycles per-granule decode scratch across the concurrent
-	// preprocessing workers (one shard per worker in flight).
+	// preprocessing workers (one shard per worker in flight); shared
+	// engine-wide, so concurrent runs recycle one pool.
 	extract *tensor.ShardedArena
+	quota   *laads.Quota
 	metrics *metrics.Registry
 	health  *metrics.Health
 }
 
-// New builds a pipeline. The labeler may be nil only if the config names
-// model and codebook files to load.
-func New(cfg Config, labeler *aicca.Labeler) (*Pipeline, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if labeler == nil {
-		if cfg.ModelPath == "" || cfg.CodebookPath == "" {
-			return nil, fmt.Errorf("core: pipeline needs a labeler or model+codebook paths")
-		}
-		model, err := ricc.Load(cfg.ModelPath)
-		if err != nil {
-			return nil, err
-		}
-		cb, err := ricc.LoadCodebook(cfg.CodebookPath)
-		if err != nil {
-			return nil, err
-		}
-		labeler, err = aicca.NewLabeler(model, cb)
-		if err != nil {
-			return nil, err
-		}
-	}
-	p := &Pipeline{
-		cfg:     cfg,
-		labeler: labeler,
-		extract: tensor.NewShardedArena(),
-		metrics: metrics.NewRegistry(),
-		health:  metrics.NewHealth(),
-	}
-	p.extract.Instrument(p.metrics, "tile")
-	return p, nil
+// Pipeline is the legacy one-shot facade: a single-run Engine. It
+// exists so code written against the original one-Pipeline-per-process
+// API keeps compiling and behaving byte-identically; everything it does
+// is a thin delegation to a Run built the same way the control plane
+// builds them — one code path.
+type Pipeline struct {
+	run *Run
 }
 
-// Metrics returns the pipeline's live metric registry. It implements
+// New builds a one-shot pipeline. The labeler may be nil only if the
+// config names model and codebook files to load.
+func New(cfg Config, labeler *aicca.Labeler) (*Pipeline, error) {
+	run, err := NewEngine(EngineOptions{Labeler: labeler}).NewRun(cfg, RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{run: run}, nil
+}
+
+// Run executes the batch workflow; see Run.Run.
+func (p *Pipeline) Run(ctx context.Context) (*Report, error) { return p.run.Run(ctx) }
+
+// RunStream executes the streaming workflow; see Run.RunStream.
+func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report, error) {
+	return p.run.RunStream(ctx, arrivals)
+}
+
+// SetProvenance attaches a provenance store to the underlying run.
+func (p *Pipeline) SetProvenance(store *provenance.Store) { p.run.SetProvenance(store) }
+
+// Metrics returns the underlying run's live metric registry.
+func (p *Pipeline) Metrics() *metrics.Registry { return p.run.Metrics() }
+
+// Health returns the underlying run's per-stage liveness tracker.
+func (p *Pipeline) Health() *metrics.Health { return p.run.Health() }
+
+// ID returns the control-plane identity of the run (empty for the
+// legacy one-shot path).
+func (p *Run) ID() string { return p.id }
+
+// Tenant returns the tenant the run is attributed to (may be empty).
+func (p *Run) Tenant() string { return p.tenant }
+
+// Config returns the run's validated configuration.
+func (p *Run) Config() Config { return p.cfg }
+
+// Metrics returns the run's live metric registry. It implements
 // http.Handler (Prometheus text exposition; JSON on request), so
-// drivers can mount it directly on /metrics.
-func (p *Pipeline) Metrics() *metrics.Registry { return p.metrics }
+// drivers can mount it directly on /metrics. When the run was built
+// with a control-plane ID, every series carries run/tenant labels.
+func (p *Run) Metrics() *metrics.Registry { return p.metrics }
 
-// Health returns the pipeline's per-stage liveness tracker. It
-// implements http.Handler (200/503 with per-stage JSON), so drivers can
-// mount it directly on /healthz.
-func (p *Pipeline) Health() *metrics.Health { return p.health }
+// Health returns the run's per-stage liveness tracker. It implements
+// http.Handler (200/503 with per-stage JSON), so drivers can mount it
+// directly on /healthz.
+func (p *Run) Health() *metrics.Health { return p.health }
 
-// newRun builds the report and the shared run context every driver
+// newReport builds the report and the shared run context every driver
 // hands to the stage orchestrator.
-func (p *Pipeline) newRun(granules int) (*Report, *stage.RunContext) {
+func (p *Run) newReport(granules int) (*Report, *stage.RunContext) {
 	rep := &Report{
 		GranulesRequested: granules,
 		Timeline:          trace.NewTimeline(),
@@ -121,7 +141,7 @@ func (p *Pipeline) newRun(granules int) (*Report, *stage.RunContext) {
 // inferenceService builds the shared monitor+inference stage: crawler,
 // flow engine, cross-file batcher, and bounded worker pool, armed at
 // setup so labeling overlaps preprocessing (the paper's Fig. 6).
-func (p *Pipeline) inferenceService() *stage.InferenceService {
+func (p *Run) inferenceService() *stage.InferenceService {
 	return stage.NewInferenceService(stage.InferenceConfig{
 		Labeler:      p.labeler,
 		BatchTiles:   p.cfg.BatchTiles,
@@ -138,7 +158,7 @@ func (p *Pipeline) inferenceService() *stage.InferenceService {
 
 // shipment builds the stage-5 transfer, skipped when upstream produced
 // no tile files.
-func (p *Pipeline) shipment(svc *stage.InferenceService) *stage.Shipment {
+func (p *Run) shipment(svc *stage.InferenceService) *stage.Shipment {
 	return stage.NewShipment(stage.ShipmentConfig{
 		SrcDir:    p.cfg.OutboxDir,
 		DestDir:   p.cfg.DestDir,
@@ -148,7 +168,7 @@ func (p *Pipeline) shipment(svc *stage.InferenceService) *stage.Shipment {
 }
 
 // finish copies the stage outcomes into the report.
-func (p *Pipeline) finish(rep *Report, rc *stage.RunContext, svc *stage.InferenceService, ship *stage.Shipment) {
+func (p *Run) finish(rep *Report, rc *stage.RunContext, svc *stage.InferenceService, ship *stage.Shipment) {
 	rep.TilesLabeled = svc.TilesLabeled()
 	rep.FlowsFailed = svc.FlowsFailed()
 	rep.FilesShipped = ship.FilesShipped()
@@ -160,8 +180,8 @@ func (p *Pipeline) finish(rep *Report, rc *stage.RunContext, svc *stage.Inferenc
 // shipment and returns the run report. The inference service arms
 // during orchestrator setup, so labeling overlaps preprocessing as in
 // the paper's Fig. 6; shipment begins once every tile file is labeled.
-func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
-	rep, rc := p.newRun(len(p.cfg.GranuleIDs()))
+func (p *Run) Run(ctx context.Context) (*Report, error) {
+	rep, rc := p.newReport(len(p.cfg.GranuleIDs()))
 	svc := p.inferenceService()
 	ship := p.shipment(svc)
 
@@ -202,7 +222,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
 
 // preprocessBatch runs the Parsl block over every configured granule
 // and returns (tileFiles, tilesProduced).
-func (p *Pipeline) preprocessBatch(ctx context.Context, rc *stage.RunContext) (int, int, error) {
+func (p *Run) preprocessBatch(ctx context.Context, rc *stage.RunContext) (int, int, error) {
 	exec, err := parsl.NewHTEX(parsl.HTEXConfig{
 		Label:          "preprocess",
 		WorkersPerNode: p.cfg.PreprocessWorkers,
@@ -256,7 +276,7 @@ type preResult struct {
 }
 
 // preprocessGranule converts one granule triple into a tile NetCDF.
-func (p *Pipeline) preprocessGranule(g modis.GranuleID) (any, error) {
+func (p *Run) preprocessGranule(g modis.GranuleID) (any, error) {
 	started := time.Now()
 	read := func(kind modis.Kind) (*hdf.File, error) {
 		prod := modis.Product{Satellite: g.Satellite, Kind: kind}

@@ -12,12 +12,12 @@ import (
 // SetProvenance attaches a provenance store; subsequent Run calls record
 // the full lineage of every shipped product (granules → tile file →
 // labeled file → shipped file) into it.
-func (p *Pipeline) SetProvenance(store *provenance.Store) {
+func (p *Run) SetProvenance(store *provenance.Store) {
 	p.prov = store
 }
 
 // recordGranule registers a downloaded granule entity.
-func (p *Pipeline) recordGranule(prod modis.Product, g modis.GranuleID) string {
+func (p *Run) recordGranule(prod modis.Product, g modis.GranuleID) string {
 	if p.prov == nil {
 		return ""
 	}
@@ -38,7 +38,7 @@ func (p *Pipeline) recordGranule(prod modis.Product, g modis.GranuleID) string {
 
 // recordPreprocess registers the tile entity and the preprocessing
 // activity linking it to its source granules.
-func (p *Pipeline) recordPreprocess(g modis.GranuleID, tilePath string, tiles int, started, ended time.Time) {
+func (p *Run) recordPreprocess(g modis.GranuleID, tilePath string, tiles int, started, ended time.Time) {
 	if p.prov == nil {
 		return
 	}
@@ -69,7 +69,7 @@ func (p *Pipeline) recordPreprocess(g modis.GranuleID, tilePath string, tiles in
 // recordInference registers the labeled entity derived from a tile
 // file. It is wired into the stage layer as the inference service's
 // OnMoved hook, so every label-and-move flow reports through it.
-func (p *Pipeline) recordInference(tilePath, outboxPath string, labeled int, started, ended time.Time) {
+func (p *Run) recordInference(tilePath, outboxPath string, labeled int, started, ended time.Time) {
 	if p.prov == nil {
 		return
 	}
@@ -96,7 +96,7 @@ func (p *Pipeline) recordInference(tilePath, outboxPath string, labeled int, sta
 
 // recordShipment registers shipped entities for each outbox file. It is
 // the shipment stage's OnShipped hook.
-func (p *Pipeline) recordShipment(names []string, started, ended time.Time) {
+func (p *Run) recordShipment(names []string, started, ended time.Time) {
 	if p.prov == nil || len(names) == 0 {
 		return
 	}

@@ -22,8 +22,8 @@ import (
 // partial-file hazard of the batch design structurally impossible here.
 // The monitor+inference machinery and the shipment drain are the same
 // stage objects Run composes; only the ingest stage differs.
-func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report, error) {
-	rep, rc := p.newRun(0)
+func (p *Run) RunStream(ctx context.Context, arrivals <-chan int) (*Report, error) {
+	rep, rc := p.newReport(0)
 	svc := p.inferenceService()
 	ship := p.shipment(svc)
 
@@ -44,7 +44,7 @@ func (p *Pipeline) RunStream(ctx context.Context, arrivals <-chan int) (*Report,
 // is downloaded and its preprocessing app submitted to a persistent
 // executor; once the stream closes, the preprocessing backlog drains and
 // the inference service learns how many tile files to expect.
-func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arrivals <-chan int, rep *Report, svc *stage.InferenceService) error {
+func (p *Run) ingestStream(ctx context.Context, rc *stage.RunContext, arrivals <-chan int, rep *Report, svc *stage.InferenceService) error {
 	exec, err := parsl.NewHTEX(parsl.HTEXConfig{
 		Label:          "stream-preprocess",
 		WorkersPerNode: p.cfg.PreprocessWorkers,
@@ -78,6 +78,7 @@ func (p *Pipeline) ingestStream(ctx context.Context, rc *stage.RunContext, arriv
 	}
 
 	client := laads.NewClient(p.cfg.ArchiveURL, p.cfg.ArchiveToken)
+	client.Quota = p.quota
 	client.Instrument(p.metrics)
 	var futs []*parsl.AppFuture
 	for open := true; open; {

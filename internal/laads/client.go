@@ -26,6 +26,9 @@ type Client struct {
 	Retries int
 	// Backoff is the base delay between retries (doubled each attempt).
 	Backoff time.Duration
+	// Quota, when set, gates every archive request on the owning
+	// tenant's token bucket (see QuotaPool). Nil admits everything.
+	Quota *Quota
 
 	m *clientMetrics // nil until Instrument
 }
@@ -99,6 +102,9 @@ func (c *Client) httpClient() *http.Client {
 
 // List fetches the day listing for a product.
 func (c *Client) List(ctx context.Context, p modis.Product, year, doy int) ([]FileInfo, error) {
+	if err := c.Quota.Acquire(ctx); err != nil {
+		return nil, err
+	}
 	url := fmt.Sprintf("%s/archive/%s/%d/%d/", c.BaseURL, p.ShortName(), year, doy)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -174,6 +180,9 @@ func (c *Client) Download(ctx context.Context, p modis.Product, year, doy int, n
 }
 
 func (c *Client) fetchOnce(ctx context.Context, url, name, destDir string) (int64, string, error) {
+	if err := c.Quota.Acquire(ctx); err != nil {
+		return 0, "", err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, "", err

@@ -1,0 +1,134 @@
+package laads
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/eoml/eoml/internal/metrics"
+)
+
+// QuotaPool hands out per-tenant archive-request quotas. The multi-run
+// engine owns one pool: every run submitted by a tenant draws from that
+// tenant's token bucket, so N concurrent runs cannot multiply one
+// tenant's request rate against the archive — the control-plane
+// counterpart of the server's aggregate bandwidth shaping.
+//
+// A nil *QuotaPool, or one built with a non-positive rate, hands out nil
+// *Quota values whose Acquire is a no-op, mirroring the nil *Registry
+// convention so callers wire quotas unconditionally.
+type QuotaPool struct {
+	mu      sync.Mutex
+	rate    float64 // requests per second per tenant
+	burst   float64
+	tenants map[string]*Quota
+	reg     *metrics.Registry
+}
+
+// NewQuotaPool builds a pool granting each tenant requestsPerSec with
+// the given burst allowance (requests that may be issued back-to-back
+// before the rate applies; burst < 1 is raised to 1). requestsPerSec <=
+// 0 disables quotas: every Tenant call returns nil.
+func NewQuotaPool(requestsPerSec float64, burst int) *QuotaPool {
+	if requestsPerSec <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &QuotaPool{rate: requestsPerSec, burst: float64(burst), tenants: map[string]*Quota{}}
+}
+
+// Instrument registers the pool's per-tenant wait histograms with reg.
+// Tenants created before Instrument are re-registered; tenants created
+// after register eagerly at creation.
+func (p *QuotaPool) Instrument(reg *metrics.Registry) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reg = reg
+	for name, q := range p.tenants {
+		q.instrument(reg, name)
+	}
+}
+
+// Tenant finds or creates the named tenant's quota. All runs of one
+// tenant share the returned bucket.
+func (p *QuotaPool) Tenant(name string) *Quota {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q, ok := p.tenants[name]
+	if !ok {
+		q = &Quota{rate: p.rate, burst: p.burst, tokens: p.burst, last: time.Now()}
+		q.instrument(p.reg, name)
+		p.tenants[name] = q
+	}
+	return q
+}
+
+// Quota is one tenant's request token bucket: Acquire blocks until a
+// request token is available or the context is cancelled. A nil *Quota
+// admits everything immediately.
+type Quota struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	wait   *metrics.Histogram
+}
+
+// instrument registers the tenant's wait histogram; caller holds no
+// lock ordering obligations (registry registration is idempotent).
+func (q *Quota) instrument(reg *metrics.Registry, tenant string) {
+	if reg == nil {
+		return
+	}
+	q.mu.Lock()
+	q.wait = reg.Histogram("eoml_laads_quota_wait_seconds",
+		"Seconds each archive request waited on its tenant's request-rate quota.",
+		metrics.DurationBuckets(), metrics.L("tenant", tenant))
+	q.mu.Unlock()
+}
+
+// Acquire takes one request token, sleeping (context-aware) until the
+// bucket refills enough. It returns ctx.Err() if the wait is cancelled.
+func (q *Quota) Acquire(ctx context.Context) error {
+	if q == nil {
+		return nil
+	}
+	start := time.Now()
+	for {
+		q.mu.Lock()
+		now := time.Now()
+		q.tokens += now.Sub(q.last).Seconds() * q.rate
+		q.last = now
+		if q.tokens > q.burst {
+			q.tokens = q.burst
+		}
+		if q.tokens >= 1 {
+			q.tokens--
+			wait := q.wait
+			q.mu.Unlock()
+			if wait != nil {
+				wait.Observe(time.Since(start).Seconds())
+			}
+			return nil
+		}
+		deficit := 1 - q.tokens
+		q.mu.Unlock()
+		delay := time.Duration(deficit / q.rate * float64(time.Second))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package laads
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/eoml/eoml/internal/metrics"
+)
+
+func TestQuotaRateLimits(t *testing.T) {
+	pool := NewQuotaPool(50, 1) // one token per 20ms, no burst headroom
+	q := pool.Tenant("acme")
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := q.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First token rides the burst; the next two wait ~20ms each.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("3 acquires at 50 rps took only %v", elapsed)
+	}
+}
+
+func TestQuotaSharedAcrossRunsOfOneTenant(t *testing.T) {
+	pool := NewQuotaPool(50, 1)
+	a, b := pool.Tenant("acme"), pool.Tenant("acme")
+	if a != b {
+		t.Fatal("same tenant got distinct buckets")
+	}
+	if pool.Tenant("other") == a {
+		t.Fatal("distinct tenants share a bucket")
+	}
+}
+
+func TestQuotaAcquireCancellable(t *testing.T) {
+	pool := NewQuotaPool(0.1, 1) // 10s per token after the burst
+	q := pool.Tenant("slow")
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("cancelled acquire = %v, want deadline exceeded", err)
+	}
+}
+
+func TestQuotaNilIsNoOp(t *testing.T) {
+	var pool *QuotaPool
+	if q := pool.Tenant("anyone"); q != nil {
+		t.Fatal("nil pool handed out a quota")
+	}
+	if NewQuotaPool(0, 4) != nil {
+		t.Fatal("disabled pool is non-nil")
+	}
+	var q *Quota
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaInstrument(t *testing.T) {
+	pool := NewQuotaPool(1000, 8)
+	reg := metrics.NewRegistry()
+	pool.Instrument(reg)
+	q := pool.Tenant("acme")
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "eoml_laads_quota_wait_seconds" {
+			found = true
+			if len(fam.Series) != 1 || fam.Series[0].Labels[0] != metrics.L("tenant", "acme") {
+				t.Fatalf("quota series = %+v", fam.Series)
+			}
+			if fam.Series[0].Histogram.Count != 1 {
+				t.Fatalf("wait observations = %d, want 1", fam.Series[0].Histogram.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("quota wait histogram not registered")
+	}
+}

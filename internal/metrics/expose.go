@@ -19,17 +19,30 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // default, the JSON variant when the request asks for it with
 // ?format=json or an Accept: application/json header.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []Family{}
+	}
+	ExposeFamilies(w, req, snap)
+}
+
+// ExposeFamilies serves a frozen family list the way Registry.ServeHTTP
+// serves a live registry: Prometheus text exposition by default, JSON on
+// request. The control plane uses it to expose a MergeFamilies view over
+// several per-run registries.
+func ExposeFamilies(w http.ResponseWriter, req *http.Request, fams []Family) {
 	if req.URL.Query().Get("format") == "json" ||
 		strings.Contains(req.Header.Get("Accept"), "application/json") {
 		w.Header().Set("Content-Type", "application/json")
-		if err := r.WriteJSON(w); err != nil {
-			// Client went away mid-encode; nothing sensible to do.
-			return
-		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// An encode error means the client went away mid-write; nothing
+		// sensible to do.
+		_ = enc.Encode(fams)
 		return
 	}
 	w.Header().Set("Content-Type", PrometheusContentType)
-	_ = r.WritePrometheus(w)
+	_ = WriteFamilies(w, fams)
 }
 
 // WriteJSON renders the snapshot as a JSON array of families.
@@ -46,8 +59,15 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WritePrometheus renders the snapshot in Prometheus text exposition
 // format (one HELP and TYPE line per family, then its series).
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteFamilies(w, r.Snapshot())
+}
+
+// WriteFamilies renders a frozen family list — a single registry's
+// snapshot or a MergeFamilies result — in Prometheus text exposition
+// format.
+func WriteFamilies(w io.Writer, fams []Family) error {
 	bw := bufio.NewWriter(w)
-	for _, fam := range r.Snapshot() {
+	for _, fam := range fams {
 		if fam.Help != "" {
 			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
 		}

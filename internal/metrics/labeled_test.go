@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabeledRegistryStampsBaseLabels checks that a child registry adds
+// its base labels to every series, on top of per-series labels.
+func TestLabeledRegistryStampsBaseLabels(t *testing.T) {
+	r := NewLabeledRegistry(L("run", "r1"), L("tenant", "acme"))
+	r.Counter("eoml_test_total", "help").Add(3)
+	r.Gauge("eoml_test_gauge", "help", L("stage", "download")).Set(7)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("families = %d, want 2", len(snap))
+	}
+	got := snap[0].Series[0].Labels
+	if len(got) != 2 || got[0] != L("run", "r1") || got[1] != L("tenant", "acme") {
+		t.Fatalf("counter labels = %v", got)
+	}
+	got = snap[1].Series[0].Labels
+	if len(got) != 3 || got[2] != L("stage", "download") {
+		t.Fatalf("gauge labels = %v", got)
+	}
+	if r.BaseLabels()[0] != L("run", "r1") {
+		t.Fatalf("base labels = %v", r.BaseLabels())
+	}
+}
+
+// TestLabeledRegistriesShareFamilyNames is the re-registration property
+// the multi-run engine needs: two runs emit the same family name from
+// their own registries, and the merged exposition stays valid — one TYPE
+// line per family, series kept disjoint by the run label.
+func TestLabeledRegistriesShareFamilyNames(t *testing.T) {
+	a := NewLabeledRegistry(L("run", "a"))
+	b := NewLabeledRegistry(L("run", "b"))
+	for _, r := range []*Registry{a, b} {
+		r.Counter("eoml_stage_events_total", "events", L("stage", "download")).Inc()
+		r.Histogram("eoml_stage_seconds", "latency", DurationBuckets(), L("stage", "download")).Observe(0.2)
+	}
+	a.Counter("eoml_stage_events_total", "events", L("stage", "download")).Inc()
+
+	merged := MergeFamilies(a.Snapshot(), b.Snapshot())
+	if len(merged) != 2 {
+		t.Fatalf("merged families = %d, want 2", len(merged))
+	}
+	if n := len(merged[0].Series); n != 2 {
+		t.Fatalf("merged counter series = %d, want 2", n)
+	}
+	if v := merged[0].Series[0].Value; v != 2 {
+		t.Fatalf("run a counter = %v, want 2 (isolated from run b's 1)", v)
+	}
+	if v := merged[0].Series[1].Value; v != 1 {
+		t.Fatalf("run b counter = %v, want 1", v)
+	}
+
+	var text strings.Builder
+	if err := WriteFamilies(&text, merged); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePrometheus(strings.NewReader(text.String())); err != nil {
+		t.Fatalf("merged exposition invalid: %v\n%s", err, text.String())
+	}
+	if !strings.Contains(text.String(), `run="a"`) || !strings.Contains(text.String(), `run="b"`) {
+		t.Fatalf("merged exposition missing run labels:\n%s", text.String())
+	}
+}
+
+// TestMergeFamiliesKindConflict pins the conflict behavior: a family
+// re-declared under a different kind is dropped from the merge instead
+// of being emitted under the wrong TYPE line.
+func TestMergeFamiliesKindConflict(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("eoml_conflict", "as counter").Inc()
+	b := NewRegistry()
+	b.Gauge("eoml_conflict", "as gauge").Set(9)
+
+	merged := MergeFamilies(a.Snapshot(), b.Snapshot())
+	if len(merged) != 1 || merged[0].Kind != KindCounter {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if len(merged[0].Series) != 1 {
+		t.Fatalf("conflicting series kept: %+v", merged[0].Series)
+	}
+}
+
+// TestInvalidBaseLabelPanics mirrors the name-grammar panic of register.
+func TestInvalidBaseLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad base label key accepted")
+		}
+	}()
+	NewLabeledRegistry(L("bad key", "v"))
+}

@@ -1,0 +1,36 @@
+package metrics
+
+// MergeFamilies folds several registry snapshots into one family list
+// for a combined exposition: families with the same name are merged
+// into one (first HELP/TYPE wins, series concatenated in snapshot
+// order), so the merged output carries exactly one TYPE line per name —
+// the invariant ValidatePrometheus enforces. Callers must ensure the
+// merged series are label-disjoint (each run registry's base labels do
+// this); a family whose kind disagrees with the first registration is
+// dropped rather than emitted under the wrong TYPE.
+//
+// This is how the control plane serves one /metrics across N per-run
+// registries without aggregating them into a long-lived global registry:
+// the merge is computed per scrape from whichever runs are retained, so
+// an evicted run's registry stays garbage-collectable.
+func MergeFamilies(snapshots ...[]Family) []Family {
+	var out []Family
+	index := map[string]int{}
+	for _, snap := range snapshots {
+		for _, fam := range snap {
+			i, seen := index[fam.Name]
+			if !seen {
+				index[fam.Name] = len(out)
+				merged := fam
+				merged.Series = append([]Series(nil), fam.Series...)
+				out = append(out, merged)
+				continue
+			}
+			if out[i].Kind != fam.Kind {
+				continue // kind conflict: dropping beats lying about TYPE
+			}
+			out[i].Series = append(out[i].Series, fam.Series...)
+		}
+	}
+	return out
+}

@@ -172,6 +172,7 @@ type family struct {
 // unregistered throwaway metrics and renders empty.
 type Registry struct {
 	mu       sync.Mutex
+	base     []Label // appended to every series (per-run/tenant identity)
 	families map[string]*family
 	order    []string // family names in registration order
 }
@@ -179,6 +180,30 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
+}
+
+// NewLabeledRegistry returns an empty registry whose base labels are
+// stamped onto every series registered with it. This is how the engine
+// gives each workflow run its own child registry: components keep
+// emitting the same family names they always did, and the run/tenant
+// identity rides in as labels — so several runs' registries can be
+// merged into one exposition (MergeFamilies) without any series
+// colliding and without re-registration panics.
+func NewLabeledRegistry(labels ...Label) *Registry {
+	for _, l := range labels {
+		if !nameRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid base label key %q", l.Key))
+		}
+	}
+	return &Registry{base: append([]Label(nil), labels...), families: map[string]*family{}}
+}
+
+// BaseLabels returns the labels stamped onto every series.
+func (r *Registry) BaseLabels() []Label {
+	if r == nil {
+		return nil
+	}
+	return append([]Label(nil), r.base...)
 }
 
 // signature renders labels into a stable map key, sorted by label key.
@@ -206,6 +231,9 @@ func (r *Registry) register(name, help string, kind Kind, labels []Label) *serie
 		if !nameRE.MatchString(l.Key) {
 			panic(fmt.Sprintf("metrics: invalid label key %q in %s", l.Key, name))
 		}
+	}
+	if len(r.base) > 0 {
+		labels = append(append([]Label(nil), r.base...), labels...)
 	}
 	fam, ok := r.families[name]
 	if !ok {

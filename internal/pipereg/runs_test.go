@@ -1,0 +1,228 @@
+package pipereg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunLifecycleSucceeds(t *testing.T) {
+	reg := NewRunRegistry(2, 4)
+	id := reg.Submit("acme", "meta-payload", func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+	rec, err := reg.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateSucceeded || rec.Result != 42 || rec.Tenant != "acme" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Meta != "meta-payload" {
+		t.Fatalf("meta = %v", rec.Meta)
+	}
+	if rec.Started.IsZero() || rec.Finished.IsZero() {
+		t.Fatal("terminal record missing timestamps")
+	}
+}
+
+func TestRunLifecycleFails(t *testing.T) {
+	reg := NewRunRegistry(1, 4)
+	id := reg.Submit("", nil, func(ctx context.Context) (any, error) {
+		return nil, fmt.Errorf("stage download: boom")
+	})
+	rec, _ := reg.Wait(context.Background(), id)
+	if rec.State != StateFailed || rec.Error != "stage download: boom" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestRunCancelWhileRunning(t *testing.T) {
+	reg := NewRunRegistry(1, 4)
+	started := make(chan struct{})
+	id := reg.Submit("", nil, func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if !reg.Cancel(id) {
+		t.Fatal("cancel of a running run refused")
+	}
+	rec, _ := reg.Wait(context.Background(), id)
+	if rec.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", rec.State)
+	}
+	if reg.Cancel(id) {
+		t.Fatal("cancel of a terminal run accepted")
+	}
+}
+
+func TestRunCancelWhilePending(t *testing.T) {
+	reg := NewRunRegistry(1, 8)
+	block := make(chan struct{})
+	running := make(chan struct{})
+	hog := reg.Submit("", nil, func(ctx context.Context) (any, error) {
+		close(running)
+		<-block
+		return nil, nil
+	})
+	<-running
+	var ran atomic.Bool
+	queued := reg.Submit("", nil, func(ctx context.Context) (any, error) {
+		ran.Store(true)
+		return nil, nil
+	})
+	if rec, _ := reg.Get(queued); rec.State != StatePending {
+		t.Fatalf("queued run state = %s, want pending", rec.State)
+	}
+	reg.Cancel(queued)
+	rec, err := reg.Wait(context.Background(), queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", rec.State)
+	}
+	if ran.Load() {
+		t.Fatal("canceled pending run still executed")
+	}
+	close(block)
+	if rec, _ := reg.Wait(context.Background(), hog); rec.State != StateSucceeded {
+		t.Fatalf("hog state = %s", rec.State)
+	}
+}
+
+func TestRunConcurrencyBounded(t *testing.T) {
+	const limit = 3
+	reg := NewRunRegistry(limit, 64)
+	var active, peak atomic.Int32
+	var ids []string
+	for i := 0; i < 12; i++ {
+		ids = append(ids, reg.Submit("", nil, func(ctx context.Context) (any, error) {
+			n := active.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			active.Add(-1)
+			return nil, nil
+		}))
+	}
+	for _, id := range ids {
+		if _, err := reg.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestTerminalRunEviction(t *testing.T) {
+	reg := NewRunRegistry(4, 2)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id := reg.Submit("", fmt.Sprintf("meta-%d", i), func(ctx context.Context) (any, error) {
+			return nil, nil
+		})
+		if _, err := reg.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if got := len(reg.List()); got != 2 {
+		t.Fatalf("retained %d terminal runs, want 2", got)
+	}
+	if _, ok := reg.Get(ids[0]); ok {
+		t.Fatal("oldest terminal run not evicted")
+	}
+	if rec, ok := reg.Get(ids[4]); !ok || rec.Meta != "meta-4" {
+		t.Fatalf("newest run missing or lost meta: %+v", rec)
+	}
+}
+
+// TestEvictionSkipsLiveRuns: retention counts only terminal runs — a
+// long-running run is never evicted no matter how many finish after it.
+func TestEvictionSkipsLiveRuns(t *testing.T) {
+	reg := NewRunRegistry(4, 1)
+	block := make(chan struct{})
+	running := make(chan struct{})
+	live := reg.Submit("", nil, func(ctx context.Context) (any, error) {
+		close(running)
+		<-block
+		return nil, nil
+	})
+	<-running
+	for i := 0; i < 4; i++ {
+		id := reg.Submit("", nil, func(ctx context.Context) (any, error) { return nil, nil })
+		if _, err := reg.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := reg.Get(live); !ok {
+		t.Fatal("live run was evicted")
+	}
+	close(block)
+	if rec, _ := reg.Wait(context.Background(), live); rec.State != StateSucceeded {
+		t.Fatalf("live run state = %s", rec.State)
+	}
+}
+
+// TestRunRegistryHammer drives submit/cancel/get/list/evict from many
+// goroutines at once; run under -race this is the registry's
+// concurrency-safety proof.
+func TestRunRegistryHammer(t *testing.T) {
+	reg := NewRunRegistry(4, 8)
+	const submitters = 8
+	const perSubmitter = 25
+	var wg sync.WaitGroup
+	ids := make(chan string, submitters*perSubmitter)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				id := reg.Submit(fmt.Sprintf("tenant-%d", seed%3), nil, func(ctx context.Context) (any, error) {
+					select {
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					case <-time.After(time.Duration(seed+i) % 3 * time.Millisecond):
+						return i, nil
+					}
+				})
+				ids <- id
+				if (seed+i)%4 == 0 {
+					reg.Cancel(id)
+				}
+				reg.Get(id)
+				reg.List()
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(ids)
+	deadline, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for id := range ids {
+		rec, err := reg.Wait(deadline, id)
+		if err == nil && !rec.State.Terminal() {
+			t.Fatalf("run %s finished wait in non-terminal state %s", id, rec.State)
+		}
+		// Evicted runs fail Wait with "no run" — that's fine; the point is
+		// nothing deadlocks and every survivor is terminal.
+	}
+	for _, rec := range reg.List() {
+		if !rec.State.Terminal() {
+			if _, err := reg.Wait(deadline, rec.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

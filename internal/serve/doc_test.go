@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/eoml/eoml/internal/core"
+)
+
+// TestServeDocCoversControlPlaneMetrics is the serve-side half of the
+// metric-catalogue drift test (the pipeline half lives in
+// internal/core's TestOperationsDocCoversAllMetrics, which cannot
+// import this package): every family the control plane registers must
+// be documented in docs/OPERATIONS.md, and every eoml_serve_* name the
+// doc mentions must be registered.
+func TestServeDocCoversControlPlaneMetrics(t *testing.T) {
+	s := New(core.NewEngine(core.EngineOptions{}), Options{})
+	names := map[string]bool{}
+	for _, f := range s.reg.Snapshot() {
+		names[f.Name] = true
+	}
+	if len(names) < 3 {
+		t.Fatalf("only %d control-plane families registered — instrumentation regressed?", len(names))
+	}
+
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v", err)
+	}
+	doc := string(data)
+	for name := range names {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document control-plane family %s", name)
+		}
+	}
+	for _, tok := range regexp.MustCompile(`eoml_serve_[a-z0-9_]+`).FindAllString(doc, -1) {
+		if !names[strings.TrimSuffix(tok, "_")] && !names[tok] {
+			t.Errorf("docs/OPERATIONS.md mentions %s, which the control plane does not register", tok)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package serve is the workflow control plane's HTTP surface: a run
+// API over one shared core.Engine. Clients POST a pipeline config and
+// get back a run ID; N runs execute concurrently (bounded), each with
+// its own metric registry labeled run=/tenant=; runs can be listed,
+// inspected, canceled, and scraped individually, while the classic
+// /metrics and /healthz endpoints aggregate across every retained run.
+// This is the paper's §V.A pipeline-as-a-service step: the workflow
+// stops being one process per campaign and becomes a long-lived
+// service campaigns are submitted to.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/eoml/eoml/internal/core"
+	"github.com/eoml/eoml/internal/metrics"
+	"github.com/eoml/eoml/internal/pipereg"
+)
+
+// TenantHeader names the request header carrying the submitting
+// tenant; empty means the shared default tenant.
+const TenantHeader = "X-Eoml-Tenant"
+
+// maxConfigBytes bounds a submitted config body; real configs are a
+// few hundred bytes, so 1 MiB is generous without inviting abuse.
+const maxConfigBytes = 1 << 20
+
+// Options tunes a Server.
+type Options struct {
+	// MaxConcurrentRuns bounds how many runs execute at once; further
+	// submissions queue as pending. Default 2.
+	MaxConcurrentRuns int
+	// RetainRuns bounds how many terminal runs stay inspectable (and how
+	// many per-run registries stay reachable from /metrics); the oldest
+	// are evicted beyond it. Default 16.
+	RetainRuns int
+}
+
+// Server routes the run API. It implements http.Handler; mount it at
+// the listener root.
+type Server struct {
+	engine *core.Engine
+	runs   *pipereg.RunRegistry
+	reg    *metrics.Registry // control-plane-level series (submissions, quota waits)
+	mux    *http.ServeMux
+
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+}
+
+// New builds a control-plane server over an engine.
+func New(engine *core.Engine, opts Options) *Server {
+	if opts.MaxConcurrentRuns <= 0 {
+		opts.MaxConcurrentRuns = 2
+	}
+	if opts.RetainRuns <= 0 {
+		opts.RetainRuns = 16
+	}
+	s := &Server{
+		engine: engine,
+		runs:   pipereg.NewRunRegistry(opts.MaxConcurrentRuns, opts.RetainRuns),
+		reg:    metrics.NewRegistry(),
+		mux:    http.NewServeMux(),
+	}
+	s.submitted = s.reg.Counter("eoml_serve_runs_submitted_total",
+		"Workflow runs accepted through POST /api/v1/runs.")
+	s.rejected = s.reg.Counter("eoml_serve_runs_rejected_total",
+		"Run submissions refused (unparsable or invalid configs).")
+	s.reg.GaugeFunc("eoml_serve_runs_active",
+		"Runs currently pending or running.", func() float64 {
+			n := 0
+			for _, rec := range s.runs.List() {
+				if !rec.State.Terminal() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	engine.Quotas().Instrument(s.reg)
+
+	s.mux.HandleFunc("POST /api/v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /api/v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/metrics", s.handleRunMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleAggregateMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the run API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) { s.mux.ServeHTTP(w, req) }
+
+// Runs exposes the registry, for drivers that submit programmatically
+// (the one-shot CLI path submits and waits through the same registry
+// the HTTP API uses).
+func (s *Server) Runs() *pipereg.RunRegistry { return s.runs }
+
+// runView is the JSON rendering of one run.
+type runView struct {
+	pipereg.RunRecord
+	Summary string `json:"summary,omitempty"`
+}
+
+func viewOf(rec pipereg.RunRecord) runView {
+	v := runView{RunRecord: rec}
+	if rep, ok := rec.Result.(*core.Report); ok && rep != nil {
+		v.Summary = rep.Summary()
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a YAML pipeline config, builds an isolated run
+// on the shared engine, and returns its ID without waiting for it.
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxConfigBytes+1))
+	if err != nil {
+		s.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxConfigBytes {
+		s.rejected.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, "config exceeds %d bytes", maxConfigBytes)
+		return
+	}
+	cfg, err := core.LoadConfig(body)
+	if err != nil {
+		s.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tenant := req.Header.Get(TenantHeader)
+	id, err := s.runs.SubmitBuild(tenant, func(id string) (any, pipereg.RunFunc, error) {
+		run, err := s.engine.NewRun(*cfg, core.RunOptions{ID: id, Tenant: tenant})
+		if err != nil {
+			return nil, nil, err
+		}
+		fn := func(ctx context.Context) (any, error) { return run.Run(ctx) }
+		return run, fn, nil
+	})
+	if err != nil {
+		s.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submitted.Inc()
+	rec, _ := s.runs.Get(id)
+	writeJSON(w, http.StatusAccepted, viewOf(rec))
+}
+
+// handleList renders every retained run in submission order.
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	recs := s.runs.List()
+	views := make([]runView, len(recs))
+	for i, rec := range recs {
+		views[i] = viewOf(rec)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	rec, ok := s.runs.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(rec))
+}
+
+// handleCancel aborts a pending or running run. Cancellation is
+// asynchronous: 202 means the cancel signal was delivered, and the
+// record reaches the canceled state when the run's stages unwind.
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	rec, ok := s.runs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	if !s.runs.Cancel(id) {
+		writeError(w, http.StatusConflict, "run %s already %s", id, rec.State)
+		return
+	}
+	rec, _ = s.runs.Get(id)
+	writeJSON(w, http.StatusAccepted, viewOf(rec))
+}
+
+// handleRunMetrics scrapes one run's own registry — only its series,
+// stamped with its run/tenant labels.
+func (s *Server) handleRunMetrics(w http.ResponseWriter, req *http.Request) {
+	rec, ok := s.runs.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	run, ok := rec.Meta.(*core.Run)
+	if !ok {
+		writeError(w, http.StatusNotFound, "run %s has no registry", rec.ID)
+		return
+	}
+	run.Metrics().ServeHTTP(w, req)
+}
+
+// handleAggregateMetrics merges the control-plane registry with every
+// retained run's registry into one exposition. The merge happens per
+// scrape over the registry's current retention window — nothing here
+// holds a reference to an evicted run, so old registries stay
+// garbage-collectable no matter how long the server lives.
+func (s *Server) handleAggregateMetrics(w http.ResponseWriter, req *http.Request) {
+	snapshots := [][]metrics.Family{s.reg.Snapshot()}
+	for _, rec := range s.runs.List() {
+		if run, ok := rec.Meta.(*core.Run); ok {
+			snapshots = append(snapshots, run.Metrics().Snapshot())
+		}
+	}
+	metrics.ExposeFamilies(w, req, metrics.MergeFamilies(snapshots...))
+}
+
+// runHealth is one run's entry in the aggregate health report.
+type runHealth struct {
+	ID      string                `json:"id"`
+	State   pipereg.RunState      `json:"state"`
+	Healthy bool                  `json:"healthy"`
+	Stages  []metrics.StageHealth `json:"stages,omitempty"`
+}
+
+// handleHealth reports 200 while every live run's stages are healthy
+// and 503 as soon as any run has a stalled or failed stage — the same
+// contract the single-run /healthz had, widened over the fleet. An
+// idle server (no live runs) is healthy.
+func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
+	allHealthy := true
+	var views []runHealth
+	for _, rec := range s.runs.List() {
+		run, ok := rec.Meta.(*core.Run)
+		if !ok {
+			continue
+		}
+		healthy, stages := run.Health().Check()
+		if !rec.State.Terminal() && !healthy {
+			allHealthy = false
+		}
+		views = append(views, runHealth{
+			ID:      rec.ID,
+			State:   rec.State,
+			Healthy: healthy || rec.State.Terminal(),
+			Stages:  stages,
+		})
+	}
+	status := http.StatusOK
+	overall := "ok"
+	if !allHealthy {
+		status = http.StatusServiceUnavailable
+		overall = "unhealthy"
+	}
+	writeJSON(w, status, map[string]any{"status": overall, "runs": views})
+}
