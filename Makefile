@@ -1,8 +1,8 @@
 # Standard entry points for the eoml repo.
 #
 #   make check      — what CI runs: gofmt gate + vet + eomlvet + race tests
-#                     + serve-smoke + reduced-size bench smokes
-#                     (bench-ci, bench-e2e) + bench-diff
+#                     + fuzz-smoke + serve-smoke + reduced-size bench
+#                     smokes (bench-ci, bench-e2e) + bench-diff
 #   make lint       — the repo's own analyzer suite (cmd/eomlvet)
 #   make bench      — the hot-path benchmarks, emitted as $(BENCH_OUT)
 #   make bench-diff — gate the committed bench records: fails on >10%
@@ -16,7 +16,9 @@ BENCH_OLD ?= BENCH_5.json
 BENCH_NEW ?= BENCH_6.json
 BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkMatMulSmall|BenchmarkEncodeArena|BenchmarkEncodeQ8|BenchmarkLabelFileBatched|BenchmarkTileExtract|BenchmarkPipelineE2E
 
-.PHONY: build test vet lint race fmt bench bench-ci bench-diff bench-all bench-e2e serve-smoke check
+FUZZTIME ?= 10s
+
+.PHONY: build test vet lint race fmt fuzz-smoke bench bench-ci bench-diff bench-all bench-e2e serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -44,6 +46,14 @@ lint:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing pass over the two parsers that consume untrusted bytes:
+# the yamlite config parser and the HDF granule decoder. $(FUZZTIME) per
+# target; any crasher found lands in testdata/fuzz/ and from then on
+# runs as a plain regression test under `go test`.
+fuzz-smoke:
+	$(GO) test ./internal/yamlite -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hdf -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 
 # Hot-path benchmarks (kernels, arena, batching, tile throughput),
 # emitted as a machine-readable record via cmd/benchjson. Runs each
@@ -86,4 +96,4 @@ bench-diff:
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: fmt vet lint race serve-smoke bench-ci bench-e2e bench-diff
+check: fmt vet lint race fuzz-smoke serve-smoke bench-ci bench-e2e bench-diff

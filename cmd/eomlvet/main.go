@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	eomlvet [./...]
+//	eomlvet [-json] [./...]
 //	eomlvet -list
 //
 // The only supported pattern is the whole module (`./...`, the default):
 // the analyzers are cheap compared to type-checking, and the invariants
 // they enforce are module-wide properties. Suppress a finding in-code
 // with `//eomlvet:ignore <check> <rationale>` (see internal/analysis).
+//
+// -json switches the finding stream to JSON Lines (one object per
+// finding: file, line, col, check, message). In the default text mode,
+// when GITHUB_ACTIONS=true the findings are additionally emitted as
+// `::error` workflow commands so they surface as inline pull-request
+// annotations; JSON mode stays pure JSON for machine consumers.
 package main
 
 import (
@@ -24,8 +30,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the checks in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON Lines instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: eomlvet [-list] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: eomlvet [-list] [-json] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,8 +63,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if os.Getenv("GITHUB_ACTIONS") == "true" {
+			analysis.WriteGitHubAnnotations(os.Stdout, diags)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "eomlvet: %d finding(s)\n", len(diags))

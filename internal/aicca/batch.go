@@ -117,6 +117,7 @@ func (b *BatchLabeler) LabelTiles(tiles []*tile.Tile) error {
 		return fmt.Errorf("aicca: batch labeler is closed")
 	}
 	j := batchJob{tiles: tiles, res: make(chan error, 1)}
+	//eomlvet:ignore locksleep the send must happen under b.mu so Close cannot close b.jobs between the closed check and the send; run drains the channel without taking the lock, so the wait is bounded
 	b.jobs <- j // send under the lock so Close cannot race the channel close
 	b.mu.Unlock()
 	return <-j.res
@@ -166,6 +167,8 @@ func (b *BatchLabeler) Close() {
 // run is the flusher loop: accumulate jobs until the batch is full or
 // the oldest pending job has waited MaxDelay, then label everything
 // pending in one Encode call.
+//
+//eomlvet:ignore ctxflow lifecycle goroutine terminated by close(b.jobs) in Close; the flagged sends are to per-job result channels with capacity 1 and exactly one receiver, so they never block
 func (b *BatchLabeler) run() {
 	defer close(b.done)
 	var pending []batchJob

@@ -37,17 +37,23 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. Exactly one of Run (per-package) and
+// RunModule (interprocedural, whole-module) is set.
 type Analyzer struct {
 	// Name is the check identifier used in output and ignore directives.
 	Name string
 	// Doc states the invariant and why it exists.
 	Doc string
-	// AppliesTo reports whether the check runs on the package with the
-	// given import path; nil means every package.
+	// AppliesTo reports whether the check reports findings in the package
+	// with the given import path; nil means every package. Interprocedural
+	// analyzers still see the whole module for call-graph facts — the
+	// scope bounds only where diagnostics may land.
 	AppliesTo func(pkgPath string) bool
 	// Run inspects one type-checked package.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once, with the shared call
+	// graph and fact store (lockguard, ctxflow, locksleep).
+	RunModule func(*ModulePass)
 }
 
 // Pass is the per-package view an analyzer inspects.
@@ -68,6 +74,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Check:   p.check,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// ModulePass is the whole-module view an interprocedural analyzer
+// inspects: every loaded package, the call graph over them, and the
+// propagated fact store. One graph and fact store are shared by all
+// module analyzers in a run.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+	Facts *Facts
+
+	check  string
+	scope  func(pkgPath string) bool
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the analyzer may report findings in pkg
+// (the analyzer's AppliesTo, applied by the driver; facts still flow
+// through out-of-scope packages).
+func (p *ModulePass) InScope(pkg *Package) bool {
+	return p.scope == nil || p.scope(pkg.Path)
 }
 
 // inspectStack walks the file like ast.Inspect while exposing the

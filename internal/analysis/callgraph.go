@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the interprocedural substrate under lockguard, ctxflow,
+// and locksleep: a module-wide call graph over the type-checked
+// packages, with SCC condensation so facts can be propagated bottom-up
+// (callee before caller) in one deterministic pass.
+//
+// Resolution is static: direct calls through named functions and
+// methods (calleeFunc), plus method-set resolution for calls through
+// the module's small interface surface — a call to an interface method
+// gets an edge to every module-declared concrete method that
+// implements it. Calls through plain function values stay unresolved;
+// the analyzers built on top are lint heuristics, not verifiers, and
+// the repo's conventions (no function-typed registries on hot
+// concurrency paths) keep that blind spot small.
+
+// CallSite is one static call edge, positioned at the call expression.
+type CallSite struct {
+	Caller *FuncNode
+	Callee *FuncNode
+	Pos    token.Pos
+	// Go marks a call that starts a goroutine — either `go f()` directly
+	// or any call syntactically inside a `go func(){...}()` literal. Go
+	// calls never block the caller, so blocking facts must not propagate
+	// across them; they still count as reachability for context-flow.
+	Go bool
+	// Deferred marks `defer f()`; deferred calls run (and block) in the
+	// caller's frame at return, so facts propagate across them normally.
+	Deferred bool
+}
+
+// FuncNode is one function or method in the call graph. Functions
+// outside the analyzed packages (stdlib callees) get a node with a nil
+// Decl so edges stay representable; facts about them come only from
+// call-site pattern matching.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl // nil for functions without a body in the analyzed set
+	Pkg  *Package      // nil when Decl is nil
+	Out  []*CallSite
+	In   []*CallSite
+}
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	// Nodes maps every seen *types.Func (declared or external) to its node.
+	Nodes map[*types.Func]*FuncNode
+	// Declared lists the nodes with bodies, in deterministic
+	// (package path, source position) order.
+	Declared []*FuncNode
+}
+
+// BuildCallGraph constructs the graph over the given packages.
+func BuildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*FuncNode{}}
+	// Pass 1: a node per declared function, and the named-type inventory
+	// for interface resolution.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if n, ok := tn.Type().(*types.Named); ok {
+					named = append(named, n)
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = node
+				g.Declared = append(g.Declared, node)
+			}
+		}
+	}
+	sort.Slice(g.Declared, func(i, j int) bool {
+		a, b := g.Declared[i], g.Declared[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+
+	// Pass 2: edges. Calls inside `go func(){...}()` literals belong to
+	// the enclosing declaration but are marked Go (they run concurrently,
+	// not in the caller's frame).
+	for _, node := range g.Declared {
+		caller := node
+		inspectStack(wrapDecl(caller.Decl), func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			isGo, isDefer := callContext(call, stack)
+			fn := calleeFunc(caller.Pkg.Info, call)
+			if fn == nil {
+				return
+			}
+			for _, callee := range g.resolve(fn, named) {
+				site := &CallSite{Caller: caller, Callee: callee, Pos: call.Pos(), Go: isGo, Deferred: isDefer}
+				caller.Out = append(caller.Out, site)
+				callee.In = append(callee.In, site)
+			}
+		})
+	}
+	return g
+}
+
+// wrapDecl adapts a FuncDecl for inspectStack, which takes *ast.File.
+// A one-decl synthetic file keeps the traversal helper shared.
+func wrapDecl(fd *ast.FuncDecl) *ast.File {
+	return &ast.File{Name: ast.NewIdent("_"), Decls: []ast.Decl{fd}}
+}
+
+// callContext classifies a call's execution context from its ancestor
+// stack: started as a goroutine (directly or via an enclosing
+// go-literal), deferred, or a plain call.
+func callContext(call *ast.CallExpr, stack []ast.Node) (isGo, isDefer bool) {
+	if len(stack) > 0 {
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.GoStmt:
+			if parent.Call == call {
+				return true, false
+			}
+		case *ast.DeferStmt:
+			if parent.Call == call {
+				isDefer = true
+			}
+		}
+	}
+	// Inside the body of a literal that a go statement invokes?
+	for i := 0; i+2 < len(stack)+1 && i < len(stack); i++ {
+		g, ok := stack[i].(*ast.GoStmt)
+		if !ok {
+			continue
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			if call.Pos() >= lit.Body.Pos() && call.End() <= lit.Body.End() {
+				return true, isDefer
+			}
+		}
+	}
+	return false, isDefer
+}
+
+// resolve expands one static callee into graph nodes: the function
+// itself, plus — when it is an interface method — every module-declared
+// concrete method implementing it.
+func (g *CallGraph) resolve(fn *types.Func, named []*types.Named) []*FuncNode {
+	out := []*FuncNode{g.node(fn)}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return out
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return out
+	}
+	for _, n := range named {
+		if types.IsInterface(n) {
+			continue
+		}
+		var impl types.Type = n
+		if !types.Implements(impl, iface) {
+			impl = types.NewPointer(n)
+			if !types.Implements(impl, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, fn.Pkg(), fn.Name())
+		if m, ok := obj.(*types.Func); ok {
+			if node := g.Nodes[m]; node != nil && node.Decl != nil {
+				out = append(out, node)
+			}
+		}
+	}
+	return out
+}
+
+// node finds or creates the (possibly external) node for fn.
+func (g *CallGraph) node(fn *types.Func) *FuncNode {
+	if n, ok := g.Nodes[fn]; ok {
+		return n
+	}
+	n := &FuncNode{Fn: fn}
+	g.Nodes[fn] = n
+	return n
+}
+
+// BottomUpSCCs returns the strongly connected components of the
+// declared subgraph in bottom-up order: every component appears after
+// all components it calls into (go edges excluded — a goroutine launch
+// is not a frame on the caller's stack). Facts computed left to right
+// therefore see final callee facts, with each SCC handled as one unit
+// for mutual recursion.
+func (g *CallGraph) BottomUpSCCs() [][]*FuncNode {
+	// Tarjan's algorithm; its natural emission order (a component is
+	// finished only after everything it reaches) is exactly bottom-up.
+	index := map[*FuncNode]int{}
+	low := map[*FuncNode]int{}
+	onStack := map[*FuncNode]bool{}
+	var stack []*FuncNode
+	var sccs [][]*FuncNode
+	next := 0
+
+	var strong func(v *FuncNode)
+	strong = func(v *FuncNode) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, site := range v.Out {
+			w := site.Callee
+			if site.Go || w.Decl == nil {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range g.Declared {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,94 @@
+package analysis
+
+// CtxFlow closes the gap ctxsend leaves open: ctxsend proves each
+// channel op in orchestration code sits under a select with a ctx.Done
+// case, but says nothing about a function that buries its waiting three
+// calls deep. CtxFlow is transitive — the MayBlock fact propagates
+// bottom-up over the call graph, stopping at calls into context-taking
+// callees (a cancellable callee blocks only as long as its caller
+// lets it, so the obligation transfers to the context it was given).
+//
+// A function is then flagged when it may block un-cancellably and the
+// context plumbing cannot reach it: it has no context.Context parameter
+// of its own, and at least one call path into it starts from a function
+// without one (or from a goroutine launch, which severs the caller's
+// context). Passing context.Background()/TODO() inline at a call site
+// counts as blocking — a dead context revives the un-cancellable wait.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "functions that may block un-cancellably must take a context.Context " +
+		"or be reachable only from functions that do",
+	AppliesTo: internalOnly,
+	RunModule: runCtxFlow,
+}
+
+func runCtxFlow(pass *ModulePass) {
+	g, facts := pass.Graph, pass.Facts
+
+	// protected(f): f takes a context itself, or every in-module call
+	// site sits in a protected caller (fixpoint, monotone upward). A
+	// goroutine launch never confers protection — the spawned frame
+	// outlives the caller's context unless one is passed explicitly.
+	protected := map[*FuncNode]bool{}
+	for _, node := range g.Declared {
+		protected[node] = facts.TakesCtx[node]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Declared {
+			if protected[node] || len(node.In) == 0 {
+				continue
+			}
+			all := true
+			for _, site := range node.In {
+				if site.Go || site.Caller.Decl == nil || !protected[site.Caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				protected[node] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, node := range g.Declared {
+		if !pass.InScope(node.Pkg) || protected[node] {
+			continue
+		}
+		cause := facts.MayBlock[node]
+		if cause == nil {
+			continue
+		}
+		pass.Reportf(node.Decl.Name.Pos(),
+			"%s may block un-cancellably (%s) but neither takes a context.Context nor is reached only from functions that do%s",
+			funcLabel(node.Fn), cause.Chain(), entryNote(node))
+	}
+}
+
+// entryNote explains why protection fails when it is not obvious from
+// the signature alone.
+func entryNote(node *FuncNode) string {
+	if len(node.In) == 0 {
+		return " (no in-module callers: it is an entry point)"
+	}
+	for _, site := range node.In {
+		if site.Go {
+			return " (launched as a goroutine by " + callerLabel(site) + ")"
+		}
+	}
+	for _, site := range node.In {
+		if site.Caller.Decl != nil {
+			return " (e.g. called from " + callerLabel(site) + ")"
+		}
+	}
+	return ""
+}
+
+func callerLabel(site *CallSite) string {
+	if site.Caller == nil || site.Caller.Fn == nil {
+		return "<unknown>"
+	}
+	return funcLabel(site.Caller.Fn)
+}

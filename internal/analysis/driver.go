@@ -6,7 +6,9 @@ import (
 	"strings"
 )
 
-// DefaultAnalyzers returns the full eomlvet suite in reporting order.
+// DefaultAnalyzers returns the full eomlvet suite in reporting order:
+// the syntactic per-package checks first, then the interprocedural
+// call-graph checks (lockguard, ctxflow, locksleep).
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		CtxSend,
@@ -16,6 +18,9 @@ func DefaultAnalyzers() []*Analyzer {
 		ArenaPair,
 		SpanPair,
 		PkgDoc,
+		LockGuard,
+		CtxFlow,
+		LockSleep,
 	}
 }
 
@@ -52,21 +57,42 @@ func RunModule(moduleDir string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil, err
 	}
 	known := map[string]bool{}
+	hasModuleAnalyzer := false
 	for _, a := range analyzers {
 		known[a.Name] = true
+		if a.RunModule != nil {
+			hasModuleAnalyzer = true
+		}
 	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		var diags []Diagnostic
 		for _, a := range analyzers {
-			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			if a.Run == nil || (a.AppliesTo != nil && !a.AppliesTo(pkg.Path)) {
 				continue
 			}
-			diags = append(diags, RunAnalyzer(a, loader.Fset, pkg)...)
+			all = append(all, RunAnalyzer(a, loader.Fset, pkg)...)
 		}
-		diags = applyIgnores(diags, collectIgnores(loader.Fset, pkg.Files), known)
-		all = append(all, diags...)
 	}
+	// Interprocedural analyzers share one call graph and fact store over
+	// the whole module; their AppliesTo bounds reporting, not analysis.
+	if hasModuleAnalyzer {
+		graph := BuildCallGraph(loader.Fset, pkgs)
+		facts := ComputeFacts(graph)
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			all = append(all, runModulePass(a, loader.Fset, pkgs, graph, facts, a.AppliesTo)...)
+		}
+	}
+	// Ignore directives are collected module-wide and applied once, so a
+	// directive satisfied by an interprocedural finding is not reported
+	// stale by the per-package pass (and vice versa).
+	var directives []*ignoreDirective
+	for _, pkg := range pkgs {
+		directives = append(directives, collectIgnores(loader.Fset, pkg.Files)...)
+	}
+	all = applyIgnores(all, directives, known)
 	for i := range all {
 		if rel, ok := strings.CutPrefix(all[i].Pos.Filename, moduleDir+"/"); ok {
 			all[i].Pos.Filename = rel
@@ -101,5 +127,29 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkg *Package) []Diagnostic {
 		report: func(d Diagnostic) { out = append(out, d) },
 	}
 	a.Run(pass)
+	return out
+}
+
+// RunModuleAnalyzer runs one interprocedural analyzer over a package
+// set with a freshly built call graph and fact store, ignoring the
+// analyzer's path scope (the caller owns scoping decisions). The
+// driver path (RunModule) shares one graph across analyzers instead.
+func RunModuleAnalyzer(a *Analyzer, fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	graph := BuildCallGraph(fset, pkgs)
+	return runModulePass(a, fset, pkgs, graph, ComputeFacts(graph), nil)
+}
+
+func runModulePass(a *Analyzer, fset *token.FileSet, pkgs []*Package, graph *CallGraph, facts *Facts, scope func(string) bool) []Diagnostic {
+	var out []Diagnostic
+	pass := &ModulePass{
+		Fset:   fset,
+		Pkgs:   pkgs,
+		Graph:  graph,
+		Facts:  facts,
+		check:  a.Name,
+		scope:  scope,
+		report: func(d Diagnostic) { out = append(out, d) },
+	}
+	a.RunModule(pass)
 	return out
 }

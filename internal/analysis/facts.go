@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Facts is the per-function fact store the interprocedural analyzers
+// share. Facts are computed once per module run: a direct scan of each
+// body for blocking primitives, then one bottom-up propagation pass
+// over the call-graph SCCs.
+type Facts struct {
+	Graph *CallGraph
+	// MayBlock maps each declared function to the witness explaining why
+	// it can block *un-cancellably* (absent = cannot): propagation stops
+	// at calls to context-taking callees, unless the call site passes a
+	// fresh Background()/TODO(). This is ctxflow's fact.
+	MayBlock map[*FuncNode]*BlockCause
+	// MayBlockRaw is the same fact without the context stop: any call
+	// chain reaching a blocking primitive, cancellable or not. This is
+	// locksleep's fact — a cancellable wait still holds the mutex while
+	// it waits.
+	MayBlockRaw map[*FuncNode]*BlockCause
+	// TakesCtx records functions with a context.Context parameter.
+	TakesCtx map[*FuncNode]bool
+}
+
+// BlockCause is the evidence trail behind a MayBlock fact: either a
+// blocking primitive in the function's own body, or a call to a
+// function that may block (Via), whose own cause chains further down.
+type BlockCause struct {
+	Pos  token.Pos
+	What string      // human description of the primitive or call
+	Via  *FuncNode   // non-nil when the cause is a call to another function
+	Next *BlockCause // the callee's own cause, for chain rendering
+}
+
+// Chain renders the cause trail ("receives from a channel" or
+// "calls laads.Acquire, which waits on a timer").
+func (c *BlockCause) Chain() string {
+	var parts []string
+	for cur := c; cur != nil; cur = cur.Next {
+		parts = append(parts, cur.What)
+		if len(parts) >= 4 { // deep chains add noise, not information
+			parts = append(parts, "…")
+			break
+		}
+	}
+	return strings.Join(parts, ", which ")
+}
+
+// ComputeFacts scans every declared function for direct blocking
+// primitives and propagates may-block bottom-up across SCCs. Blocking
+// does not propagate across calls to context-taking functions unless
+// the call site passes a fresh context.Background()/context.TODO() —
+// a cancellable callee blocks only as long as its caller lets it,
+// while a dead context revives the un-cancellable wait.
+func ComputeFacts(g *CallGraph) *Facts {
+	f := &Facts{
+		Graph:       g,
+		MayBlock:    map[*FuncNode]*BlockCause{},
+		MayBlockRaw: map[*FuncNode]*BlockCause{},
+		TakesCtx:    map[*FuncNode]bool{},
+	}
+	for _, node := range g.Declared {
+		f.TakesCtx[node] = signatureTakesContext(node.Fn)
+		if cause := directBlockCause(node); cause != nil {
+			f.MayBlock[node] = cause
+			f.MayBlockRaw[node] = cause
+		}
+	}
+	// Bottom-up: callees before callers, SCC members as one unit
+	// (iterated to a fixpoint inside each component for mutual
+	// recursion).
+	sccs := g.BottomUpSCCs()
+	propagate := func(fact map[*FuncNode]*BlockCause, ctxStops bool) {
+		for _, scc := range sccs {
+			for changed := true; changed; {
+				changed = false
+				for _, node := range scc {
+					if fact[node] != nil {
+						continue
+					}
+					for _, site := range node.Out {
+						if site.Go || site.Callee.Decl == nil {
+							continue
+						}
+						cause := fact[site.Callee]
+						if cause == nil {
+							continue
+						}
+						if ctxStops && f.TakesCtx[site.Callee] && !passesDeadContext(node, site) {
+							continue // cancellable from this call site
+						}
+						fact[node] = &BlockCause{
+							Pos:  site.Pos,
+							What: "calls " + funcLabel(site.Callee.Fn),
+							Via:  site.Callee,
+							Next: cause,
+						}
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	propagate(f.MayBlock, true)
+	propagate(f.MayBlockRaw, false)
+	return f
+}
+
+// signatureTakesContext reports whether fn has a context.Context
+// parameter.
+func signatureTakesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// passesDeadContext reports whether the call at site hands its
+// context-taking callee a context.Background() or context.TODO()
+// argument built inline — severing the caller's cancellation.
+func passesDeadContext(caller *FuncNode, site *CallSite) bool {
+	dead := false
+	ast.Inspect(caller.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() != site.Pos {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeFunc(caller.Pkg.Info, inner)
+			if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+				dead = true
+			}
+		}
+		return false
+	})
+	return dead
+}
+
+// directBlockCause scans one declared body for blocking primitives:
+// channel sends/receives outside a select, selects that can neither
+// bail out (no default) nor observe cancellation or shutdown (no
+// ctx.Done()/stop-channel case), time.Sleep, and ctx-less net/http
+// entry points. Code inside go-literals is excluded — it blocks the
+// goroutine, not this frame (and is ctxsend/lonegoroutine territory).
+// sync primitives (Mutex.Lock, WaitGroup.Wait, Cond.Wait) are
+// deliberately out: bounded-critical-section waits are the lock
+// discipline lockguard/locksleep police, not context flow.
+func directBlockCause(node *FuncNode) *BlockCause {
+	var cause *BlockCause
+	info := node.Pkg.Info
+	inspectStack(wrapDecl(node.Decl), func(n ast.Node, stack []ast.Node) {
+		if cause != nil || underGoLiteral(n, stack) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !insideSelectComm(n, stack) {
+				cause = &BlockCause{Pos: n.Pos(), What: "sends on a channel"}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !insideSelectComm(n, stack) {
+				cause = &BlockCause{Pos: n.Pos(), What: "receives from a channel"}
+			}
+		case *ast.SelectStmt:
+			if !selectCanBail(info, n) {
+				cause = &BlockCause{Pos: n.Pos(), What: "selects with no default, ctx.Done(), or stop-channel case"}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			switch {
+			case isPkgFunc(fn, "time", "Sleep"):
+				cause = &BlockCause{Pos: n.Pos(), What: "calls time.Sleep"}
+			case isPkgFunc(fn, "net/http", "Get") || isPkgFunc(fn, "net/http", "Post") ||
+				isPkgFunc(fn, "net/http", "PostForm") || isPkgFunc(fn, "net/http", "Head"):
+				cause = &BlockCause{Pos: n.Pos(), What: "calls ctx-less net/http." + fn.Name()}
+			}
+		}
+	})
+	return cause
+}
+
+// underGoLiteral reports whether n sits inside a go-statement literal
+// or a plain `go f(...)` call's argument list within the walked decl.
+func underGoLiteral(n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if g, ok := stack[i].(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok &&
+				n.Pos() >= lit.Body.Pos() && n.End() <= lit.Body.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// insideSelectComm reports whether n is the communication operation of
+// a select case (the select itself is then the blocking construct and
+// is judged by selectCanBail).
+func insideSelectComm(n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok {
+			return cc.Comm != nil && n.Pos() >= cc.Comm.Pos() && n.End() <= cc.Comm.End()
+		}
+	}
+	return false
+}
+
+// selectCanBail reports whether a select can either skip communication
+// (default clause) or be released by cancellation or shutdown: a
+// ctx.Done() receive, or a receive from a channel whose name marks it
+// as a stop/done/quit/close signal (the repo's stop-channel idiom —
+// close(stopCh) releases every such receiver at shutdown).
+func selectCanBail(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default
+		}
+		var expr ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			expr = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				expr = s.Rhs[0]
+			}
+		}
+		recv, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+		if !ok || recv.Op != token.ARROW {
+			continue
+		}
+		if call, ok := ast.Unparen(recv.X).(*ast.CallExpr); ok {
+			fn := calleeFunc(info, call)
+			if fn != nil && fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				return true
+			}
+			continue
+		}
+		if stopChannelName(chanExprName(recv.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+// chanExprName extracts the terminal identifier of a channel expression
+// (`stop`, `e.stopScal`, `b.stop` all yield the field/var name).
+func chanExprName(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// stopChannelName reports whether a channel identifier names a shutdown
+// signal by the repo's conventions.
+func stopChannelName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, marker := range []string{"stop", "done", "quit", "close", "exit", "cancel"} {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLabel renders a function for diagnostics: "pkg.Func" or
+// "pkg.(*Type).Method" with the package's base name only.
+func funcLabel(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = fmt.Sprintf("(%s%s).%s", star, named.Obj().Name(), fn.Name())
+		}
+	}
+	if fn.Pkg() != nil {
+		parts := strings.Split(fn.Pkg().Path(), "/")
+		return parts[len(parts)-1] + "." + name
+	}
+	return name
+}

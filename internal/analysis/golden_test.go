@@ -70,6 +70,16 @@ func collectWants(t *testing.T, l *Loader, files []*ast.File) []*want {
 	return wants
 }
 
+// runAnyAnalyzer dispatches on analyzer kind: per-package analyzers run
+// directly over the fixture package, interprocedural ones get a call
+// graph built over it (a fixture is a one-package module).
+func runAnyAnalyzer(a *Analyzer, l *Loader, pkg *Package) []Diagnostic {
+	if a.RunModule != nil {
+		return RunModuleAnalyzer(a, l.Fset, []*Package{pkg})
+	}
+	return RunAnalyzer(a, l.Fset, pkg)
+}
+
 // runFixture loads testdata/src/<name> and checks the analyzer's output
 // (after ignore-directive filtering) against the want expectations.
 func runFixture(t *testing.T, a *Analyzer) {
@@ -87,7 +97,7 @@ func runFixture(t *testing.T, a *Analyzer) {
 	for _, da := range DefaultAnalyzers() {
 		known[da.Name] = true
 	}
-	diags := applyIgnores(RunAnalyzer(a, l.Fset, pkg), collectIgnores(l.Fset, pkg.Files), known)
+	diags := applyIgnores(runAnyAnalyzer(a, l, pkg), collectIgnores(l.Fset, pkg.Files), known)
 	wants := collectWants(t, l, pkg.Files)
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want expectations", dir)
@@ -120,13 +130,19 @@ func TestCloseCheckFixture(t *testing.T)    { runFixture(t, CloseCheck) }
 func TestArenaPairFixture(t *testing.T)     { runFixture(t, ArenaPair) }
 func TestSpanPairFixture(t *testing.T)      { runFixture(t, SpanPair) }
 func TestPkgDocFixture(t *testing.T)        { runFixture(t, PkgDoc) }
+func TestLockGuardFixture(t *testing.T)     { runFixture(t, LockGuard) }
+func TestCtxFlowFixture(t *testing.T)       { runFixture(t, CtxFlow) }
+func TestLockSleepFixture(t *testing.T)     { runFixture(t, LockSleep) }
 
 // TestAnalyzerMetadata keeps the suite's self-description coherent.
 func TestAnalyzerMetadata(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range DefaultAnalyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Fatalf("analyzer %+v is missing metadata", a)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Fatalf("analyzer %s must set exactly one of Run and RunModule", a.Name)
 		}
 		if seen[a.Name] {
 			t.Fatalf("duplicate analyzer name %s", a.Name)
@@ -157,6 +173,12 @@ func TestScoping(t *testing.T) {
 		{SleepPoll, "github.com/eoml/eoml/examples/streaming", false},
 		{LoneGoroutine, "github.com/eoml/eoml/internal/transfer", true},
 		{LoneGoroutine, "github.com/eoml/eoml/examples/streaming", false},
+		{LockGuard, "github.com/eoml/eoml/internal/pipereg", true},
+		{LockGuard, "github.com/eoml/eoml/cmd/eoml", false},
+		{CtxFlow, "github.com/eoml/eoml/internal/laads", true},
+		{CtxFlow, "github.com/eoml/eoml/examples/streaming", false},
+		{LockSleep, "github.com/eoml/eoml/internal/compute", true},
+		{LockSleep, "github.com/eoml/eoml/cmd/eomlvet", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.AppliesTo(c.pkgPath); got != c.applies {
@@ -185,7 +207,7 @@ func TestSeededViolationFailsGate(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", a.Name, err)
 		}
-		if diags := RunAnalyzer(a, l.Fset, pkg); len(diags) == 0 {
+		if diags := runAnyAnalyzer(a, l, pkg); len(diags) == 0 {
 			t.Errorf("%s found nothing in its seeded fixture; the gate would pass a violation", a.Name)
 		}
 	}

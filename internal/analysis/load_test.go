@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a synthetic module under a temp dir: files maps
+// module-relative paths to contents. Returns the module root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestNewLoaderMissingGoMod(t *testing.T) {
+	root := t.TempDir()
+	if _, err := NewLoader(root); err == nil {
+		t.Fatal("NewLoader succeeded on a directory without go.mod")
+	}
+}
+
+func TestNewLoaderMalformedGoMod(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "// no module line here\ngo 1.22\n",
+	})
+	_, err := NewLoader(root)
+	if err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Fatalf("err = %v, want a no-module-line error", err)
+	}
+}
+
+func TestFindModuleRootNotFound(t *testing.T) {
+	// A temp dir has no go.mod anywhere up to the filesystem root
+	// (barring a pathological host); the walk must terminate with an
+	// error instead of spinning at "/".
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Skip("a go.mod exists above the temp dir on this host")
+	}
+}
+
+func TestLoadDirSyntaxError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module example.com/m\n\ngo 1.22\n",
+		"broken/b.go": "package broken\n\nfunc f( {\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join(root, "broken"), "example.com/m/broken"); err == nil {
+		t.Fatal("LoadDir accepted a file that does not parse")
+	}
+}
+
+func TestLoadDirTypeError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":   "module example.com/m\n\ngo 1.22\n",
+		"bad/b.go": "package bad\n\nvar x int = \"not an int\"\n",
+		"ok/ok.go": "package ok\n\nvar Y = 1\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(root, "bad"), "example.com/m/bad")
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("err = %v, want a type-checking error", err)
+	}
+	// A broken sibling must not poison the loader for healthy packages.
+	if _, err := l.LoadDir(filepath.Join(root, "ok"), "example.com/m/ok"); err != nil {
+		t.Fatalf("healthy package failed after a broken one: %v", err)
+	}
+}
+
+func TestLoadDirImportCycle(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"example.com/m/b\"\n\nvar X = b.Y\n",
+		"b/b.go": "package b\n\nimport \"example.com/m/a\"\n\nvar Y = a.X\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(root, "a"), "example.com/m/a")
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("err = %v, want an import-cycle error", err)
+	}
+}
+
+func TestLoadDirNoBuildableFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":            "module example.com/m\n\ngo 1.22\n",
+		"empty/doc_test.go": "package empty\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.LoadDir(filepath.Join(root, "empty"), "example.com/m/empty")
+	if err == nil || !strings.Contains(err.Error(), "no buildable Go files") {
+		t.Fatalf("err = %v, want a no-buildable-files error", err)
+	}
+}
+
+func TestLoadAllSkipsAndSorts(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":              "module example.com/m\n\ngo 1.22\n",
+		"zeta/z.go":           "package zeta\n\nvar Z = 1\n",
+		"alpha/a.go":          "package alpha\n\nvar A = 1\n",
+		"alpha/testdata/t.go": "package ignored\n\nfunc bad( {\n", // never parsed
+		".hidden/h.go":        "package hidden\n\nfunc bad( {\n",  // never parsed
+		"_skip/s.go":          "package skip\n\nfunc bad( {\n",    // never parsed
+		"docsonly/README.md":  "no Go files here\n",
+		"alpha/a_test.go":     "package alpha\n\nfunc bad( {\n", // tests excluded
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := []string{"example.com/m/alpha", "example.com/m/zeta"}
+	if strings.Join(paths, " ") != strings.Join(want, " ") {
+		t.Fatalf("LoadAll = %v, want %v", paths, want)
+	}
+}
+
+func TestLoadAllSurfacesBrokenPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":      "module example.com/m\n\ngo 1.22\n",
+		"ok/ok.go":    "package ok\n\nvar X = 1\n",
+		"broken/b.go": "package broken\n\nvar x int = \"nope\"\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadAll(); err == nil {
+		t.Fatal("LoadAll succeeded over a module with a type-broken package")
+	}
+}
+
+func TestLoadDirCachesPackages(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":    "module example.com/m\n\ngo 1.22\n",
+		"dep/d.go":  "package dep\n\nvar D = 1\n",
+		"top/t.go":  "package top\n\nimport \"example.com/m/dep\"\n\nvar T = dep.D\n",
+		"side/s.go": "package side\n\nimport \"example.com/m/dep\"\n\nvar S = dep.D\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := l.LoadDir(filepath.Join(root, "top"), "example.com/m/top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := l.LoadDir(filepath.Join(root, "side"), "example.com/m/side")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-package type identity: both importers must see the same
+	// *types.Package for the shared dep, or facts keyed by types.Object
+	// would silently stop matching across packages.
+	depFromTop := top.Types.Imports()[0]
+	depFromSide := side.Types.Imports()[0]
+	if depFromTop != depFromSide {
+		t.Fatal("shared dependency type-checked twice: type identity broken")
+	}
+}

@@ -1,0 +1,477 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard mechanizes the invariant every shared structure in the
+// control plane (RunRegistry, QuotaPool, the metric registries) holds
+// by convention only: struct fields guarded by a sibling sync.Mutex /
+// sync.RWMutex must be read and written with that mutex held.
+//
+// A field becomes guarded two ways:
+//
+//   - declaration: its doc or line comment says `guarded by <mu>`,
+//     naming a sibling mutex field — the explicit contract;
+//   - inference: for structs with exactly one mutex field, a field
+//     whose accesses are in the clear majority (and at least twice)
+//     performed under that mutex is treated as guarded — the "you
+//     locked it eleven times and forgot once" bug shape.
+//
+// Checking is interprocedural: a method that touches guarded state
+// without locking is not flagged at the access if every call site in
+// the module holds the mutex (the `evictLocked`-style unexported
+// helper), but any caller chain that reaches the access without the
+// lock is reported with the path. Constructor scopes — functions that
+// build the struct with a composite literal — are exempt: the value
+// is not yet shared.
+//
+// RWMutex semantics: writes need the write lock; reads accept RLock.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "struct fields guarded by a sibling mutex (declared `guarded by <mu>` " +
+		"or inferred from majority-of-accesses) must be accessed with it held, " +
+		"on every interprocedural path",
+	AppliesTo: internalOnly,
+	RunModule: runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedStruct is one struct with a mutex and guarded fields.
+type guardedStruct struct {
+	name    *types.TypeName
+	pkg     *Package
+	mutexes []*types.Var          // sibling mutex fields, declaration order
+	guards  map[*types.Var]*guard // guarded field -> its guard
+}
+
+type guard struct {
+	mu       *types.Var // the protecting mutex field
+	declared bool       // true: doc comment; false: inferred by vote
+}
+
+// fieldAccess is one read or write of a candidate field.
+type fieldAccess struct {
+	pos   token.Pos
+	field *types.Var
+	owner *guardedStruct
+	write bool
+	held  lockMode // strongest hold on the owner's mutex at the access
+	node  *FuncNode
+	scope ast.Node // the *ast.FuncDecl or *ast.FuncLit owning the access
+	inLit bool     // access happens inside a function literal scope
+}
+
+func runLockGuard(pass *ModulePass) {
+	// Phase 1: candidate structs across all packages.
+	structs := collectGuardedStructs(pass)
+	if len(structs) == 0 {
+		return
+	}
+	fieldOwner := map[*types.Var]*guardedStruct{}
+	for _, gs := range structs {
+		under := gs.name.Type().Underlying().(*types.Struct)
+		for i := 0; i < under.NumFields(); i++ {
+			fieldOwner[under.Field(i)] = gs
+		}
+	}
+
+	// Phase 2: one simulation pass over every declared function,
+	// recording candidate-field accesses with their held state, lock
+	// activity per function, and the held state at every call site
+	// (for the interprocedural pass).
+	var accesses []*fieldAccess
+	votes := map[*types.Var][2]int{}  // field -> [locked, unlocked] votes
+	written := map[*types.Var]bool{}  // field has a tracked (non-ctor) write
+	litHeld := map[ast.Node]heldSet{} // FuncLit -> held set at its creation
+	heldAtCall := map[token.Pos]heldSet{}
+	goCall := map[token.Pos]bool{}
+	for _, node := range pass.Graph.Declared {
+		node := node
+		writes := writeTargets(node.Decl)
+		ctors := constructedTypes(node.Pkg.Info, node.Decl)
+		locksAny := map[*types.Var]bool{} // mutex fields this function locks
+		var local []*fieldAccess
+		simulateLocks(node.Decl, node.Pkg.Info, func(n ast.Node, held heldSet, flags visitFlags) {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// A literal created while the lock is held is assumed to run
+				// under it (the sort.Slice-comparator-under-Lock pattern); a
+				// literal launched as a goroutine inherits nothing.
+				if !flags.Go {
+					litHeld[n] = held.clone()
+				}
+			case *ast.CallExpr:
+				snap := held.clone()
+				heldAtCall[n.Pos()] = snap
+				if flags.Go {
+					goCall[n.Pos()] = true
+				}
+				if key, op := lockOpOf(node.Pkg.Info, n); op == opLock || op == opRLock {
+					if mu, ok := key.field.(*types.Var); ok {
+						locksAny[mu] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				fv, ok := node.Pkg.Info.ObjectOf(n.Sel).(*types.Var)
+				if !ok || !fv.IsField() {
+					return
+				}
+				gs, ok := fieldOwner[fv]
+				if !ok || ctors[gs.name] {
+					return
+				}
+				if writes[n] {
+					written[fv] = true
+				}
+				local = append(local, &fieldAccess{
+					pos:   n.Sel.Pos(),
+					field: fv,
+					owner: gs,
+					write: writes[n],
+					held:  heldOn(held, gs.mutexes),
+					node:  node,
+					scope: flags.Scope,
+					inLit: flags.Scope != node.Decl,
+				})
+			}
+		})
+		// Votes for inference come only from functions that manipulate
+		// the struct's mutex themselves: a lock-free helper (called with
+		// the lock held by its caller) must not dilute the majority.
+		for _, a := range local {
+			if len(a.owner.mutexes) == 1 && locksAny[a.owner.mutexes[0]] {
+				held := a.held
+				if a.inLit {
+					if lh, ok := litHeld[a.scope]; ok {
+						if m := heldOnField(lh, a.owner.mutexes[0]); m > held {
+							held = m
+						}
+					}
+				}
+				v := votes[a.field]
+				if held > 0 {
+					v[0]++
+				} else {
+					v[1]++
+				}
+				votes[a.field] = v
+			}
+		}
+		accesses = append(accesses, local...)
+	}
+
+	// Phase 3: finalize guards — declared ones always, inferred ones by
+	// clear majority (≥2 locked accesses, strictly more locked than not).
+	// Inference also requires a tracked write: a field only ever read
+	// post-construction is immutable and needs no guard, and channel
+	// fields synchronize themselves (the mutex guards the close protocol,
+	// not the sends).
+	for _, gs := range structs {
+		under := gs.name.Type().Underlying().(*types.Struct)
+		for i := 0; i < under.NumFields(); i++ {
+			fv := under.Field(i)
+			if _, already := gs.guards[fv]; already || isMutexType(fv.Type()) {
+				continue
+			}
+			if len(gs.mutexes) != 1 || !written[fv] {
+				continue
+			}
+			if _, isChan := fv.Type().Underlying().(*types.Chan); isChan {
+				continue
+			}
+			if v := votes[fv]; v[0] >= 2 && v[0] > v[1] {
+				gs.guards[fv] = &guard{mu: gs.mutexes[0], declared: false}
+			}
+		}
+	}
+
+	// Phase 4: judge every access to a guarded field. An in-function
+	// unlocked access makes the function a suspect; the suspicion walks
+	// up the call graph until a call site holds the mutex (satisfied) or
+	// the chain leaves the module / hits a goroutine launch (reported).
+	reported := map[token.Pos]bool{}
+	for _, a := range accesses {
+		g, guarded := a.owner.guards[a.field]
+		if !guarded || reported[a.pos] {
+			continue
+		}
+		need := holdRead
+		if a.write {
+			need = holdWrite
+		}
+		if a.held >= need {
+			continue
+		}
+		if !pass.InScope(a.node.Pkg) {
+			continue
+		}
+		if a.inLit {
+			// A literal created with the lock held runs under it for our
+			// purposes (synchronous callbacks like sort comparators);
+			// otherwise it is an anonymous scope with unknowable call
+			// sites and must take the lock itself.
+			if lh, ok := litHeld[a.scope]; ok && heldOnField(lh, g.mu) >= need {
+				continue
+			}
+			report(pass, a, g, "in a function literal inside "+funcLabel(a.node.Fn))
+			reported[a.pos] = true
+			continue
+		}
+		if chain, bad := unlockedPath(a.node, g.mu, need, heldAtCall, goCall); bad {
+			report(pass, a, g, chain)
+			reported[a.pos] = true
+		}
+	}
+}
+
+// report emits one lockguard diagnostic.
+func report(pass *ModulePass, a *fieldAccess, g *guard, how string) {
+	kind := "read"
+	if a.write {
+		kind = "written"
+	}
+	basis := "declared `guarded by " + g.mu.Name() + "`"
+	if !g.declared {
+		basis = "inferred guarded by " + g.mu.Name() + " (majority of accesses hold it)"
+	}
+	pass.Reportf(a.pos, "%s.%s is %s without holding %s (%s); %s",
+		a.owner.name.Name(), a.field.Name(), kind, g.mu.Name(), basis, how)
+}
+
+// unlockedPath walks caller chains from fn looking for a path that
+// reaches it without mu held at the call site. Returns a rendered
+// chain and true when one exists; false when every path into fn locks
+// first. A function with no in-module callers is itself an unlocked
+// entry point.
+func unlockedPath(fn *FuncNode, mu *types.Var, need lockMode, heldAtCall map[token.Pos]heldSet, goCall map[token.Pos]bool) (string, bool) {
+	type frame struct {
+		node  *FuncNode
+		trail []string
+	}
+	seen := map[*FuncNode]bool{fn: true}
+	queue := []frame{{node: fn, trail: []string{funcLabel(fn.Fn)}}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		if len(f.node.In) == 0 {
+			if f.node == fn {
+				return "in " + funcLabel(fn.Fn) + ", which never locks it", true
+			}
+			return "reached unlocked via " + strings.Join(reverse(f.trail), " → "), true
+		}
+		for _, site := range f.node.In {
+			if heldOnField(heldAtCall[site.Pos], mu) >= need && !goCall[site.Pos] {
+				continue // this caller holds the lock across the call
+			}
+			caller := site.Caller
+			if caller.Decl == nil {
+				return "reached unlocked via " + strings.Join(reverse(f.trail), " → "), true
+			}
+			if goCall[site.Pos] {
+				// `go helper()` — even a held lock at launch does not
+				// cover the goroutine's execution.
+				return "launched as a goroutine by " + funcLabel(caller.Fn) +
+					" (a held lock does not cover the goroutine)", true
+			}
+			if seen[caller] || len(f.trail) > 8 {
+				continue
+			}
+			seen[caller] = true
+			queue = append(queue, frame{node: caller, trail: append(append([]string{}, f.trail...), funcLabel(caller.Fn))})
+		}
+	}
+	return "", false
+}
+
+func reverse(s []string) []string {
+	out := make([]string, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+// heldOn reports the strongest hold on any of the struct's mutexes.
+func heldOn(held heldSet, mutexes []*types.Var) lockMode {
+	var best lockMode
+	for _, mu := range mutexes {
+		if m := heldOnField(held, mu); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// heldOnField reports the strongest hold whose key selects the given
+// mutex field (any base object — the simulation cannot always prove
+// aliasing, and same-field-same-type is the useful approximation).
+func heldOnField(held heldSet, mu *types.Var) lockMode {
+	var best lockMode
+	for k, m := range held {
+		if k.field == types.Object(mu) && m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// collectGuardedStructs finds every struct declaring a sibling mutex
+// field, with `guarded by <mu>` comments resolved to declared guards.
+func collectGuardedStructs(pass *ModulePass) []*guardedStruct {
+	var out []*guardedStruct
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					gs := buildGuardedStruct(pass, pkg, tn, st)
+					if gs != nil {
+						out = append(out, gs)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func buildGuardedStruct(pass *ModulePass, pkg *Package, tn *types.TypeName, st *ast.StructType) *guardedStruct {
+	gs := &guardedStruct{name: tn, pkg: pkg, guards: map[*types.Var]*guard{}}
+	byName := map[string]*types.Var{}
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			fv, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			byName[name.Name] = fv
+			if isMutexType(fv.Type()) {
+				gs.mutexes = append(gs.mutexes, fv)
+			}
+		}
+	}
+	if len(gs.mutexes) == 0 {
+		return nil
+	}
+	// Resolve `guarded by <mu>` comments now the siblings are known.
+	for _, fld := range st.Fields.List {
+		text := ""
+		if fld.Doc != nil {
+			text += fld.Doc.Text()
+		}
+		if fld.Comment != nil {
+			text += " " + fld.Comment.Text()
+		}
+		m := guardedByRE.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu, ok := byName[m[1]]
+		if !ok || !isMutexType(mu.Type()) {
+			pass.Reportf(fld.Pos(), "%s declares `guarded by %s` but %q is not a sibling mutex field",
+				tn.Name(), m[1], m[1])
+			continue
+		}
+		for _, name := range fld.Names {
+			if fv, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				gs.guards[fv] = &guard{mu: mu, declared: true}
+			}
+		}
+	}
+	return gs
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// writeTargets marks the SelectorExprs written by fd: assignment
+// left-hand sides (unwrapping index chains — `r.items[k] = v` mutates
+// r.items), ++/--, delete() on a field-held map, and address-taking
+// (a pointer escape is treated as a write).
+func writeTargets(fd *ast.FuncDecl) map[ast.Node]bool {
+	writes := map[ast.Node]bool{}
+	mark := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		for {
+			if ix, ok := e.(*ast.IndexExpr); ok {
+				e = ast.Unparen(ix.X)
+				continue
+			}
+			break
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// constructedTypes lists the named types fd builds with composite
+// literals — constructor scopes, where the value is unshared and
+// locking would be wrong.
+func constructedTypes(info *types.Info, fd *ast.FuncDecl) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(cl)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			out[named.Obj()] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,421 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file approximates, per function scope, which mutexes are held at
+// every call and field access — the substrate under lockguard (guarded
+// fields must be touched under their mutex) and locksleep (no blocking
+// while a mutex is held). The simulation is a statement-tree abstract
+// interpretation, not a position scan: `mu.Lock(); if bad { mu.Unlock();
+// return }; f = x; mu.Unlock()` keeps the lock held across the early-out
+// branch, and `defer mu.Unlock()` holds to the end of the scope. Loops
+// run once, branches merge by intersection (held only if held on every
+// surviving path), so the result errs toward "not held" — the safe
+// direction for lockguard's majority vote and the noisy-but-honest
+// direction for flagged accesses.
+
+// lockKey identifies one mutex: the leftmost identifier's object (a
+// receiver, local, or package var) plus the mutex field selected from
+// it (nil when the identifier is itself the mutex, or receives a
+// promoted method from an embedded mutex).
+type lockKey struct {
+	base  types.Object
+	field types.Object
+}
+
+// lockMode distinguishes shared from exclusive holds.
+type lockMode int
+
+const (
+	holdRead  lockMode = 1 // RLock
+	holdWrite lockMode = 2 // Lock
+)
+
+// heldSet maps each held mutex to the strongest mode on every path.
+type heldSet map[lockKey]lockMode
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps mutexes held on both paths at the weaker mode.
+func intersect(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				va = vb
+			}
+			out[k] = va
+		}
+	}
+	return out
+}
+
+// visitFlags qualifies how a visited node executes.
+type visitFlags struct {
+	Go         bool     // inside a `go f(...)` call expression
+	Deferred   bool     // inside a `defer f(...)` call expression
+	SelectComm bool     // the node is a select case's communication op
+	Scope      ast.Node // the *ast.FuncDecl or *ast.FuncLit owning the node
+}
+
+// lockVisit observes one call, selector, channel operation, select, or
+// range statement with the locks held there.
+type lockVisit func(n ast.Node, held heldSet, flags visitFlags)
+
+// lockSim drives the simulation over one function declaration and
+// every function literal inside it (each literal is its own scope with
+// an empty entry state — a goroutine or callback does not inherit the
+// frame's locks; it must take its own).
+type lockSim struct {
+	info   *types.Info
+	visit  lockVisit
+	lits   []*ast.FuncLit
+	scope  ast.Node
+	inComm bool
+}
+
+// simulateLocks runs the held-mutex simulation over fd, invoking visit
+// for every CallExpr, SelectorExpr, channel op, select, and range
+// statement with the locks held at that point.
+func simulateLocks(fd *ast.FuncDecl, info *types.Info, visit lockVisit) {
+	s := &lockSim{info: info, visit: visit, scope: fd}
+	s.block(fd.Body.List, heldSet{})
+	// Literals queued during the walk, plus any discovered inside them.
+	// Each literal is its own scope with an empty entry state.
+	for i := 0; i < len(s.lits); i++ {
+		s.scope = s.lits[i]
+		s.block(s.lits[i].Body.List, heldSet{})
+	}
+}
+
+// notify invokes the visitor with scope and select-comm context filled.
+func (s *lockSim) notify(n ast.Node, held heldSet, flags visitFlags) {
+	flags.Scope = s.scope
+	flags.SelectComm = flags.SelectComm || s.inComm
+	s.visit(n, held, flags)
+}
+
+// block simulates a statement list, returning the exit state and
+// whether the list always terminates (return/branch/panic).
+func (s *lockSim) block(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, st := range list {
+		var term bool
+		held, term = s.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockSim) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return s.block(st.List, held)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	case *ast.ExprStmt:
+		s.exprs(held, visitFlags{}, st.X)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := s.info.ObjectOf(id).(*types.Builtin); builtin {
+					return held, true
+				}
+			}
+		}
+		return held, false
+	case *ast.AssignStmt:
+		s.exprs(held, visitFlags{}, append(append([]ast.Expr{}, st.Rhs...), st.Lhs...)...)
+		return held, false
+	case *ast.IncDecStmt:
+		s.exprs(held, visitFlags{}, st.X)
+		return held, false
+	case *ast.SendStmt:
+		s.notify(st, held, visitFlags{})
+		s.exprs(held, visitFlags{}, st.Chan, st.Value)
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.exprs(held, visitFlags{}, vs.Values...)
+				}
+			}
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		s.exprs(held, visitFlags{}, st.Results...)
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.GoStmt:
+		s.exprs(held, visitFlags{Go: true}, st.Call)
+		return held, false
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the rest of the
+		// scope (the unlock runs at return); other deferred calls are
+		// visited with the current state as an approximation.
+		s.exprs(held, visitFlags{Deferred: true}, st.Call)
+		return held, false
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		s.exprs(held, visitFlags{}, st.Cond)
+		afterBody, bodyTerm := s.block(st.Body.List, held.clone())
+		afterElse, elseTerm := held, false
+		if st.Else != nil {
+			afterElse, elseTerm = s.stmt(st.Else, held.clone())
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return afterElse, false
+		case elseTerm:
+			return afterBody, false
+		default:
+			return intersect(afterBody, afterElse), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.exprs(held, visitFlags{}, st.Cond)
+		}
+		afterBody, term := s.block(st.Body.List, held.clone())
+		if st.Post != nil {
+			afterBody, _ = s.stmt(st.Post, afterBody)
+		}
+		if term || st.Cond == nil {
+			// Body always exits via return/branch, or the loop has no
+			// condition (runs at least once toward those exits).
+			return held, false
+		}
+		return intersect(held, afterBody), false
+	case *ast.RangeStmt:
+		s.notify(st, held, visitFlags{})
+		s.exprs(held, visitFlags{}, st.X)
+		afterBody, term := s.block(st.Body.List, held.clone())
+		if term {
+			return held, false
+		}
+		return intersect(held, afterBody), false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.exprs(held, visitFlags{}, st.Tag)
+		}
+		return s.clauses(st.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		return s.clauses(st.Body.List, held)
+	case *ast.SelectStmt:
+		s.notify(st, held, visitFlags{})
+		exit := heldSet(nil)
+		allTerm := true
+		for _, clause := range st.Body.List {
+			cc := clause.(*ast.CommClause)
+			branch := held.clone()
+			if cc.Comm != nil {
+				s.inComm = true
+				branch, _ = s.stmt(cc.Comm, branch)
+				s.inComm = false
+			}
+			after, term := s.block(cc.Body, branch)
+			if !term {
+				allTerm = false
+				if exit == nil {
+					exit = after
+				} else {
+					exit = intersect(exit, after)
+				}
+			}
+		}
+		if allTerm && len(st.Body.List) > 0 {
+			return held, true
+		}
+		if exit == nil {
+			exit = held
+		}
+		return exit, false
+	default:
+		return held, false
+	}
+}
+
+// clauses merges switch/type-switch case bodies: the exit state is the
+// intersection of every non-terminating case, plus the entry state
+// unless a default clause guarantees some case runs.
+func (s *lockSim) clauses(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	exit := heldSet(nil)
+	hasDefault := false
+	allTerm := true
+	for _, clause := range list {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		branch := held.clone()
+		s.exprs(branch, visitFlags{}, cc.List...)
+		after, term := s.block(cc.Body, branch)
+		if !term {
+			allTerm = false
+			if exit == nil {
+				exit = after
+			} else {
+				exit = intersect(exit, after)
+			}
+		}
+	}
+	if hasDefault && allTerm && len(list) > 0 {
+		return held, true
+	}
+	if exit == nil {
+		exit = held
+	}
+	if !hasDefault {
+		exit = intersect(exit, held)
+	}
+	return exit, false
+}
+
+// exprs walks expressions in source order: visiting calls and
+// selectors with the current held set, applying Lock/Unlock effects as
+// they are encountered, and queuing function literals as separate
+// scopes.
+func (s *lockSim) exprs(held heldSet, flags visitFlags, roots ...ast.Expr) {
+	for _, root := range roots {
+		if root == nil {
+			continue
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Notified at creation with the enclosing frame's held set
+				// (so analyzers can reason about synchronously-invoked
+				// closures), then simulated as its own scope.
+				s.notify(n, held, flags)
+				s.lits = append(s.lits, n)
+				return false
+			case *ast.CallExpr:
+				s.notify(n, held, flags)
+				key, op := lockOpOf(s.info, n)
+				if op != opNone && key.base != nil {
+					switch op {
+					case opLock:
+						held[key] = holdWrite
+					case opRLock:
+						if held[key] < holdRead {
+							held[key] = holdRead
+						}
+					case opUnlock, opRUnlock:
+						if !flags.Deferred {
+							delete(held, key)
+						}
+					}
+				}
+				return true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					s.notify(n, held, flags)
+				}
+				return true
+			case *ast.SelectorExpr:
+				s.notify(n, held, flags)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockOpOf recognizes sync.Mutex/RWMutex Lock/Unlock/RLock/RUnlock
+// calls and derives the mutex's identity key.
+func lockOpOf(info *types.Info, call *ast.CallExpr) (lockKey, lockOpKind) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockKey{}, opNone
+	}
+	if !isMethodOn(fn, "sync", "Mutex", fn.Name()) && !isMethodOn(fn, "sync", "RWMutex", fn.Name()) {
+		return lockKey{}, opNone
+	}
+	var op lockOpKind
+	switch fn.Name() {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return lockKey{}, opNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, opNone
+	}
+	return keyOf(info, sel.X), op
+}
+
+// keyOf derives the lock identity of a mutex-valued expression:
+// `mu` → (mu, nil); `r.mu`, `r.inner.mu` → (r, mu-field). Expressions
+// without an identifier root (map lookups, call results) are
+// untracked.
+func keyOf(info *types.Info, expr ast.Expr) lockKey {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return lockKey{base: info.ObjectOf(e)}
+	case *ast.SelectorExpr:
+		return lockKey{base: rootIdentObj(info, e.X), field: info.ObjectOf(e.Sel)}
+	}
+	return lockKey{}
+}
+
+// rootIdentObj resolves the leftmost identifier of a selector chain.
+func rootIdentObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockSleep flags blocking while a mutex is held — the failure mode
+// that turns one slow granule fetch into a stalled control plane: a
+// method takes the registry lock, then sleeps, waits on a channel, or
+// calls into a function that (transitively) does. Every other locker
+// queues behind the wait, including the HTTP handlers the run API
+// serves status from.
+//
+// Held state comes from the same branch-aware simulation as lockguard;
+// "may block" for callees is the raw transitive fact (a cancellable
+// wait still holds the mutex while it waits, so taking a context does
+// not excuse the callee here). sync primitives themselves (Unlock,
+// Cond.Wait) are exempt — bounded handoffs are how locks work.
+var LockSleep = &Analyzer{
+	Name: "locksleep",
+	Doc: "no blocking operation — sleep, channel op, select wait, or call " +
+		"into a function that may block — while holding a mutex",
+	AppliesTo: internalOnly,
+	RunModule: runLockSleep,
+}
+
+func runLockSleep(pass *ModulePass) {
+	seen := map[token.Pos]bool{}
+	flag := func(pos token.Pos, held heldSet, what string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		pass.Reportf(pos, "%s while holding %s", what, heldLabel(held))
+	}
+	for _, node := range pass.Graph.Declared {
+		if !pass.InScope(node.Pkg) {
+			continue
+		}
+		info := node.Pkg.Info
+		simulateLocks(node.Decl, info, func(n ast.Node, held heldSet, flags visitFlags) {
+			// `go f()` returns immediately; deferred calls run after the
+			// scope's deferred Unlocks are already queued to release.
+			if len(held) == 0 || flags.Go || flags.Deferred {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				switch {
+				case isPkgFunc(fn, "time", "Sleep"):
+					flag(n.Pos(), held, "calls time.Sleep")
+				case isPkgFunc(fn, "net/http", "Get") || isPkgFunc(fn, "net/http", "Post") ||
+					isPkgFunc(fn, "net/http", "PostForm") || isPkgFunc(fn, "net/http", "Head"):
+					flag(n.Pos(), held, "calls net/http."+fn.Name())
+				case fn != nil:
+					callee := pass.Graph.Nodes[fn]
+					if callee == nil {
+						return
+					}
+					if cause := pass.Facts.MayBlockRaw[callee]; cause != nil {
+						flag(n.Pos(), held, "calls "+funcLabel(fn)+", which "+cause.Chain()+",")
+					}
+				}
+			case *ast.SendStmt:
+				if !flags.SelectComm {
+					flag(n.Pos(), held, "sends on a channel")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !flags.SelectComm {
+					flag(n.Pos(), held, "receives from a channel")
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					flag(n.Pos(), held, "waits in a select")
+				}
+			case *ast.RangeStmt:
+				if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+					flag(n.Pos(), held, "ranges over a channel")
+				}
+			}
+		})
+	}
+}
+
+// selectHasDefault reports whether sel can skip communication entirely.
+// Unlike ctxflow's selectCanBail, a cancellation case is not enough
+// here: a select waiting on ctx.Done() still holds the mutex while it
+// waits.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// heldLabel renders the held mutexes for a message ("r.mu" or
+// "mu, pool.mu").
+func heldLabel(held heldSet) string {
+	var names []string
+	for k := range held {
+		var parts []string
+		if k.base != nil {
+			parts = append(parts, k.base.Name())
+		}
+		if k.field != nil {
+			parts = append(parts, k.field.Name())
+		}
+		names = append(names, strings.Join(parts, "."))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonDiagnostic is the machine-readable shape of one finding: flat,
+// stable field names, one object per line (JSON Lines), so CI scripts
+// can `jq` the stream without a wrapper document.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as JSON Lines: one object per finding,
+// in the driver's sorted order.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGitHubAnnotations renders diagnostics as GitHub Actions workflow
+// commands (`::error file=…,line=…::message`), so findings surface as
+// inline annotations on the pull-request diff. Paths are the
+// module-relative paths the driver already produces, which is what the
+// runner expects for a checkout at the repo root.
+func WriteGitHubAnnotations(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=eomlvet %s::%s\n",
+			escapeAnnotationProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+			escapeAnnotationProperty(d.Check), escapeAnnotationData(d.Message))
+	}
+}
+
+// escapeAnnotationData escapes a workflow-command message: %, CR and LF
+// must not terminate or fork the command.
+func escapeAnnotationData(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
+}
+
+// escapeAnnotationProperty escapes a workflow-command property value,
+// which additionally reserves ':' and ','.
+func escapeAnnotationProperty(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return r.Replace(s)
+}

@@ -1,0 +1,87 @@
+// Package ctxflow seeds context-flow violations: functions that may
+// block un-cancellably without taking a context.Context or being
+// reachable only from functions that do.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// waitForSlot blocks with no context anywhere in sight.
+func waitForSlot() { // want "may block un-cancellably"
+	time.Sleep(time.Second)
+}
+
+// poll is cancellable end to end: the select bails on ctx.Done().
+func poll(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Minute):
+		return nil
+	}
+}
+
+// drain blocks, but every call path starts from a context-taking
+// function — the obligation rests with Run's context.
+func drain(ch chan int) int {
+	return <-ch
+}
+
+// Run is protected by its own context parameter.
+func Run(ctx context.Context, ch chan int) int {
+	if err := poll(ctx); err != nil {
+		return 0
+	}
+	return drain(ch)
+}
+
+// helper takes a context but ignores it for the receive — it stays
+// protected itself (callers can in principle release it), while a
+// caller that hands it a dead context revives the un-cancellable wait.
+func helper(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return <-ch
+}
+
+// entry severs its own cancellation by passing context.Background().
+func entry(ch chan int) int { // want "may block un-cancellably"
+	return helper(context.Background(), ch)
+}
+
+// pump is reached only through a goroutine launch, which severs the
+// spawner's context even though spawn itself never blocks.
+func pump(ch chan int) { // want "may block un-cancellably"
+	ch <- 1
+}
+
+func spawn(ch chan int) {
+	go pump(ch)
+}
+
+// loop waits on a stop channel — the shutdown idiom close(stop)
+// releases it, so the select is not an un-cancellable block.
+func loop(stop chan struct{}, work chan int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// pumpExempt is the intentional-lifecycle escape hatch.
+//
+//eomlvet:ignore ctxflow fixture: lifecycle goroutine with an out-of-band shutdown protocol
+func pumpExempt(ch chan int) {
+	ch <- 2
+}
+
+func spawnExempt(ch chan int) {
+	go pumpExempt(ch)
+}
+
+var sink = []any{waitForSlot, Run, entry, spawn, loop, spawnExempt}

@@ -1,0 +1,132 @@
+// Package lockguard seeds guarded-field violations: declared guards
+// (`guarded by <mu>` comments), inferred guards (majority of accesses
+// under the struct's single mutex), interprocedural helper coverage,
+// goroutine severance, and function-literal scopes.
+package lockguard
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counter has an explicitly declared guard.
+type Counter struct {
+	mu sync.Mutex
+	// n is the running count. guarded by mu
+	n int
+	// name is set once at construction and never guarded.
+	name string
+}
+
+func NewCounter(name string) *Counter {
+	return &Counter{name: name} // constructor scope: unshared, no lock needed
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Bad() int {
+	return c.n // want "Counter.n is read without holding mu"
+}
+
+func (c *Counter) BadWrite(v int) {
+	c.n = v // want "Counter.n is written without holding mu"
+}
+
+func (c *Counter) Name() string { return c.name } // unguarded field: fine
+
+// Registry's items map is never declared guarded — the guard is
+// inferred from the majority of accesses holding mu.
+type Registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func NewRegistry() *Registry {
+	return &Registry{items: map[string]int{}}
+}
+
+func (r *Registry) Put(k string, v int) {
+	r.mu.Lock()
+	r.items[k] = v
+	r.mu.Unlock()
+}
+
+func (r *Registry) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items[k]
+}
+
+func (r *Registry) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.items)
+}
+
+// Keys sorts under the read lock; the comparator literal is created
+// with the lock held, so its accesses count as covered.
+func (r *Registry) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.items))
+	for k := range r.items {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return r.items[keys[i]] < r.items[keys[j]]
+	})
+	return keys
+}
+
+func (r *Registry) Leak() map[string]int {
+	return r.items // want "Registry.items is read without holding mu"
+}
+
+// evictLocked touches items without locking, but every call site holds
+// mu — the caller-holds-the-lock helper pattern. Not a finding.
+func (r *Registry) evictLocked(k string) {
+	delete(r.items, k)
+}
+
+func (r *Registry) Evict(k string) {
+	r.mu.Lock()
+	r.evictLocked(k)
+	r.mu.Unlock()
+}
+
+// reset is only ever reached through a goroutine launch; a lock held at
+// the launch site does not cover the goroutine's execution.
+func (r *Registry) reset() {
+	r.items = map[string]int{} // want "Registry.items is written without holding mu"
+}
+
+func (r *Registry) Recycle() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go r.reset()
+}
+
+// Async returns a literal created without the lock: its access has
+// unknowable call sites and must lock for itself.
+func (r *Registry) Async() func() int {
+	return func() int {
+		return len(r.items) // want "in a function literal"
+	}
+}
+
+// Broken points its guard comment at a non-mutex sibling.
+type Broken struct {
+	mu sync.Mutex
+	// guarded by lock
+	x int // want "not a sibling mutex field"
+}
+
+func (b *Broken) Touch() {
+	b.mu.Lock()
+	b.x++
+	b.mu.Unlock()
+}

@@ -1,0 +1,96 @@
+// Package locksleep seeds blocking-under-lock violations: sleeps,
+// channel operations, selects, and transitive may-block calls made
+// while a mutex is held.
+package locksleep
+
+import (
+	"sync"
+	"time"
+)
+
+// Store is the shared structure whose mutex the violations hold.
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Store) SlowInc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	time.Sleep(time.Millisecond) // want "calls time.Sleep while holding s.mu"
+}
+
+// fetch blocks; calling it under the lock drags the wait inside the
+// critical section.
+func fetch(ch chan int) int {
+	return <-ch
+}
+
+func (s *Store) Absorb(ch chan int) {
+	s.mu.Lock()
+	s.n = fetch(ch) // want "calls locksleep.fetch"
+	s.mu.Unlock()
+}
+
+func (s *Store) Publish(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want "sends on a channel while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *Store) Wait(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "waits in a select while holding s.mu"
+	case v := <-ch:
+		s.n = v
+	}
+}
+
+func (s *Store) DrainAll(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range ch { // want "ranges over a channel while holding s.mu"
+		s.n += v
+	}
+}
+
+// Checked releases the lock on every path before blocking: the
+// early-unlock branch and the fallthrough both unlock first.
+func (s *Store) Checked(ch chan int) {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.n--
+	s.mu.Unlock()
+	ch <- 1 // lock released on every path: fine
+}
+
+// TryPublish never waits: the select has a default.
+func (s *Store) TryPublish(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- s.n:
+	default:
+	}
+}
+
+// Spawn launches the blocking work on its own goroutine; the launch
+// itself returns immediately, so nothing blocks under the lock.
+func (s *Store) Spawn(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go fetch(ch)
+}
+
+// Intentional wait under lock, with a recorded rationale.
+func (s *Store) Handoff(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//eomlvet:ignore locksleep fixture: the consumer never takes s.mu, so the handoff cannot deadlock
+	ch <- s.n
+}

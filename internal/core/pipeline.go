@@ -237,10 +237,10 @@ func (p *Run) preprocessBatch(ctx context.Context, rc *stage.RunContext) (int, i
 		return 0, 0, err
 	}
 	exec.Instrument(p.metrics)
-	if err := exec.Start(); err != nil {
+	if err := exec.Start(ctx); err != nil {
 		return 0, 0, err
 	}
-	defer exec.Shutdown()
+	defer exec.Shutdown(ctx)
 	dfk, err := parsl.NewDFK(exec, parsl.DFKConfig{Retries: 1})
 	if err != nil {
 		return 0, 0, err
@@ -266,7 +266,7 @@ func (p *Run) preprocessBatch(ctx context.Context, rc *stage.RunContext) (int, i
 			files++
 		}
 	}
-	return files, tiles, exec.Shutdown()
+	return files, tiles, exec.Shutdown(ctx)
 }
 
 // preResult is the per-granule outcome of the preprocessing app.

@@ -59,10 +59,10 @@ func (p *Run) ingestStream(ctx context.Context, rc *stage.RunContext, arrivals <
 		return err
 	}
 	exec.Instrument(p.metrics)
-	if err := exec.Start(); err != nil {
+	if err := exec.Start(ctx); err != nil {
 		return err
 	}
-	defer exec.Shutdown()
+	defer exec.Shutdown(ctx)
 	dfk, err := parsl.NewDFK(exec, parsl.DFKConfig{Retries: 1})
 	if err != nil {
 		return err
@@ -136,5 +136,5 @@ func (p *Run) ingestStream(ctx context.Context, rc *stage.RunContext, arrivals <
 	svc.ExpectFiles(expect)
 	rc.Health.Done("download")
 	rc.Health.Done("preprocess")
-	return exec.Shutdown()
+	return exec.Shutdown(ctx)
 }

@@ -1,0 +1,68 @@
+package hdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedFile builds a small valid file so the fuzzer starts from a
+// structurally correct stream (magic, attrs, datasets, CRC) and mutates
+// from there, instead of spending its budget rediscovering the header.
+func fuzzSeedFile(t testing.TB) []byte {
+	f := NewFile()
+	f.Attrs["product"] = "MOD021KM"
+	f.Attrs["year"] = int64(2024)
+	f.Attrs["scale"] = 0.01
+	rad, err := NewFloat32("radiance", []int{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := NewUint8("cloud_mask", []int{6}, []byte{0, 1, 1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Dataset{rad, mask} {
+		if err := f.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode drives the granule header/stream reader with arbitrary
+// bytes. Decode must never panic — granule files arrive over the
+// network from the archive simulator and land on shared scratch, so
+// truncated and corrupted streams are an expected input class, and the
+// reader's length fields must not be trusted before bounds checks.
+// Any stream Decode accepts must also survive a Write → Decode round
+// trip.
+func FuzzDecode(f *testing.F) {
+	valid := fuzzSeedFile(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4]) // CRC stripped
+	f.Add(valid[:9])            // header only
+	f.Add([]byte{})
+	f.Add([]byte("EOMLHDF1"))              // magic alone
+	f.Add(bytes.Repeat([]byte{0xff}, 64))  // no magic
+	f.Add(append([]byte{}, valid[:20]...)) // truncated mid-attrs
+	corrupt := append([]byte{}, valid...)  // flip one payload byte
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := Decode(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, decoded); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		if _, err := Decode(buf.Bytes()); err != nil {
+			t.Fatalf("re-decode of re-encoded stream failed: %v", err)
+		}
+	})
+}

@@ -18,9 +18,10 @@ import (
 // *Quota values whose Acquire is a no-op, mirroring the nil *Registry
 // convention so callers wire quotas unconditionally.
 type QuotaPool struct {
-	mu      sync.Mutex
-	rate    float64 // requests per second per tenant
-	burst   float64
+	mu    sync.Mutex
+	rate  float64 // requests per second per tenant
+	burst float64
+	// tenants maps tenant name to its bucket. guarded by mu
 	tenants map[string]*Quota
 	reg     *metrics.Registry
 }
@@ -75,12 +76,16 @@ func (p *QuotaPool) Tenant(name string) *Quota {
 // request token is available or the context is cancelled. A nil *Quota
 // admits everything immediately.
 type Quota struct {
-	mu     sync.Mutex
-	rate   float64
-	burst  float64
+	mu sync.Mutex
+	// rate is the refill rate in tokens per second. guarded by mu
+	rate float64
+	// burst caps the bucket. guarded by mu
+	burst float64
+	// tokens is the current budget. guarded by mu
 	tokens float64
-	last   time.Time
-	wait   *metrics.Histogram
+	// last is the previous refill instant. guarded by mu
+	last time.Time
+	wait *metrics.Histogram
 }
 
 // instrument registers the tenant's wait histogram; caller holds no
@@ -120,9 +125,10 @@ func (q *Quota) Acquire(ctx context.Context) error {
 			}
 			return nil
 		}
-		deficit := 1 - q.tokens
+		// Size the wait under the lock: deficit and rate are guarded
+		// state, and a delay computed from a torn read oversleeps.
+		delay := time.Duration((1 - q.tokens) / q.rate * float64(time.Second))
 		q.mu.Unlock()
-		delay := time.Duration(deficit / q.rate * float64(time.Second))
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():

@@ -144,7 +144,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.RequestOverhead > 0 {
-		time.Sleep(s.cfg.RequestOverhead)
+		// Tied to the request context: a client that gives up mid-overhead
+		// releases the handler goroutine instead of pinning it.
+		if err := sleepCtx(r.Context(), s.cfg.RequestOverhead); err != nil {
+			return
+		}
 	}
 
 	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")

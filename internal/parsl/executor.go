@@ -12,6 +12,7 @@
 package parsl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -23,8 +24,9 @@ import (
 // cluster resource manager (Slurm on Defiant).
 type Provider interface {
 	// Allocate requests a block; it blocks until the block is granted (as
-	// a Slurm batch allocation would wait in queue) and returns a handle.
-	Allocate(nodes, workersPerNode int) (blockID string, err error)
+	// a Slurm batch allocation would wait in queue) or ctx is cancelled,
+	// and returns a handle.
+	Allocate(ctx context.Context, nodes, workersPerNode int) (blockID string, err error)
 	// Release returns a block to the resource manager.
 	Release(blockID string) error
 }
@@ -43,8 +45,9 @@ type LocalProvider struct {
 	nodesUsed map[string]int
 }
 
-// Allocate grants a block after the configured delay.
-func (p *LocalProvider) Allocate(nodes, workersPerNode int) (string, error) {
+// Allocate grants a block after the configured delay. A cancellation
+// during the delay rolls the grant back — the nodes return to the pool.
+func (p *LocalProvider) Allocate(ctx context.Context, nodes, workersPerNode int) (string, error) {
 	if nodes <= 0 || workersPerNode <= 0 {
 		return "", fmt.Errorf("parsl: block of %d nodes × %d workers", nodes, workersPerNode)
 	}
@@ -67,7 +70,16 @@ func (p *LocalProvider) Allocate(nodes, workersPerNode int) (string, error) {
 	p.nodesUsed[id] = nodes
 	p.mu.Unlock()
 	if p.AllocationDelay > 0 {
-		time.Sleep(p.AllocationDelay)
+		t := time.NewTimer(p.AllocationDelay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			p.mu.Lock()
+			delete(p.nodesUsed, id)
+			p.mu.Unlock()
+			return "", ctx.Err()
+		}
 	}
 	return id, nil
 }
@@ -182,7 +194,10 @@ func NewHTEX(cfg HTEXConfig) (*HighThroughputExecutor, error) {
 func (e *HighThroughputExecutor) Label() string { return e.cfg.Label }
 
 // Start allocates the initial blocks and launches the elasticity loop.
-func (e *HighThroughputExecutor) Start() error {
+// ctx bounds the initial allocations and every scale-out the elasticity
+// loop performs afterwards; cancelling it stops scale-outs but not the
+// executor itself (Shutdown owns teardown).
+func (e *HighThroughputExecutor) Start(ctx context.Context) error {
 	e.mu.Lock()
 	if e.started {
 		e.mu.Unlock()
@@ -191,12 +206,12 @@ func (e *HighThroughputExecutor) Start() error {
 	e.started = true
 	e.mu.Unlock()
 	for i := 0; i < e.cfg.InitBlocks; i++ {
-		if err := e.addBlock(); err != nil {
+		if err := e.addBlock(ctx); err != nil {
 			return err
 		}
 	}
 	e.scalerWG.Add(1)
-	go e.scaler()
+	go e.scaler(ctx)
 	return nil
 }
 
@@ -222,7 +237,10 @@ func (e *HighThroughputExecutor) Submit(task func()) error {
 }
 
 // Shutdown stops scaling, drains queued tasks, and releases all blocks.
-func (e *HighThroughputExecutor) Shutdown() error {
+// ctx bounds the drain block allocated when every block was already
+// scaled in; queued work still drains after cancellation, on whatever
+// blocks exist.
+func (e *HighThroughputExecutor) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.started || e.shutdown {
 		e.mu.Unlock()
@@ -240,7 +258,7 @@ func (e *HighThroughputExecutor) Shutdown() error {
 	needBlock := e.queued > 0 && len(e.blocks) == 0
 	e.mu.Unlock()
 	if needBlock {
-		if err := e.addBlock(); err != nil {
+		if err := e.addBlock(ctx); err != nil {
 			return fmt.Errorf("parsl: shutdown drain: %w", err)
 		}
 	}
@@ -310,8 +328,8 @@ func (e *HighThroughputExecutor) Instrument(reg *metrics.Registry) {
 		func() float64 { return float64(e.Blocks()) }, l)
 }
 
-func (e *HighThroughputExecutor) addBlock() error {
-	id, err := e.cfg.Provider.Allocate(e.cfg.NodesPerBlock, e.cfg.WorkersPerNode)
+func (e *HighThroughputExecutor) addBlock(ctx context.Context) error {
+	id, err := e.cfg.Provider.Allocate(ctx, e.cfg.NodesPerBlock, e.cfg.WorkersPerNode)
 	if err != nil {
 		return err
 	}
@@ -362,8 +380,9 @@ func (e *HighThroughputExecutor) worker(b *block) {
 }
 
 // scaler implements the elasticity strategy: scale out while tasks queue,
-// scale idle blocks in.
-func (e *HighThroughputExecutor) scaler() {
+// scale idle blocks in. ctx (from Start) bounds each scale-out
+// allocation.
+func (e *HighThroughputExecutor) scaler(ctx context.Context) {
 	defer e.scalerWG.Done()
 	ticker := time.NewTicker(e.cfg.ScaleInterval)
 	defer ticker.Stop()
@@ -389,7 +408,7 @@ func (e *HighThroughputExecutor) scaler() {
 		switch {
 		case queued > 0 && nblocks < e.cfg.MaxBlocks:
 			// Scale out. Allocation errors are retried on the next tick.
-			_ = e.addBlock()
+			_ = e.addBlock(ctx)
 		case queued == 0 && idleBlock != nil && nblocks > e.cfg.MinBlocks:
 			// Scale in the idle block.
 			e.mu.Lock()

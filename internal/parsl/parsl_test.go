@@ -22,11 +22,11 @@ func newExec(t *testing.T, cfg HTEXConfig) *HighThroughputExecutor {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Start(); err != nil {
+	if err := e.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		if err := e.Shutdown(); err != nil {
+		if err := e.Shutdown(context.Background()); err != nil {
 			t.Errorf("shutdown: %v", err)
 		}
 	})
@@ -158,14 +158,14 @@ func TestHTEXWorkerHookSeesActivity(t *testing.T) {
 
 func TestProviderValidationAndCapacity(t *testing.T) {
 	p := &LocalProvider{MaxNodes: 2}
-	if _, err := p.Allocate(0, 1); err == nil {
+	if _, err := p.Allocate(context.Background(), 0, 1); err == nil {
 		t.Error("zero nodes accepted")
 	}
-	id1, err := p.Allocate(2, 4)
+	id1, err := p.Allocate(context.Background(), 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Allocate(1, 1); err == nil {
+	if _, err := p.Allocate(context.Background(), 1, 1); err == nil {
 		t.Error("over-capacity allocation accepted")
 	}
 	if p.NodesInUse() != 2 {
@@ -334,14 +334,14 @@ func TestShutdownDrainsQueueEvenWithoutBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Start(); err != nil {
+	if err := e.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ran := false
 	if err := e.Submit(func() { ran = true }); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Shutdown(); err != nil {
+	if err := e.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !ran {

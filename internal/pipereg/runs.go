@@ -68,8 +68,10 @@ type runEntry struct {
 // evicted so a long-lived control plane does not accumulate every
 // registry and report it ever produced.
 type RunRegistry struct {
-	mu      sync.Mutex
-	runs    map[string]*runEntry
+	mu sync.Mutex
+	// runs maps run ID to its entry. guarded by mu
+	runs map[string]*runEntry
+	// nextSeq orders submissions for listing and eviction. guarded by mu
 	nextSeq int
 	sem     chan struct{}
 	retain  int

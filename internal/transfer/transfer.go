@@ -202,6 +202,7 @@ func (s *Service) SubmitDir(srcEP, dstEP, srcDir, dstDir string) (string, error)
 	return s.Submit(srcEP, dstEP, items)
 }
 
+//eomlvet:ignore ctxflow Submit is a fire-and-forget queue API (Wait(ctx) is the cancellable edge); the flagged semaphore send is bounded by local file copies draining the other slots
 func (s *Service) run(tk *task, src, dst *Endpoint, items []Item) {
 	sem := make(chan struct{}, s.opts.Parallelism)
 	var wg sync.WaitGroup

@@ -1,0 +1,47 @@
+package yamlite
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the parser with arbitrary documents. Two properties
+// must hold for every input: Parse never panics (config files are
+// user-authored, so arbitrary bytes reach this code path in normal
+// operation), and any tree Parse accepts survives a Marshal → Parse
+// round trip (otherwise a valid config rewritten by tooling would stop
+// loading).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"key: value\n",
+		"a: 1\nb: 2.5\nc: true\nd: null\ne: ~\n",
+		"outer:\n  inner: deep\n  other: 2\n",
+		"list:\n  - one\n  - two\n",
+		"- a: 1\n- b: 2\n",
+		"flow: [1, 2, 3]\nmap: {a: 1, b: two}\n",
+		"quoted: \"a \\\"b\\\" c\"\nsingle: 'x y'\n",
+		"# comment only\n",
+		"key: value # trailing comment\n",
+		"endpoints:\n  - name: defiant\n    workers: 32\n  - name: andes\n    workers: 8\n",
+		"laads:\n  token: \"abc123\"\n  products: [MOD021KM, MOD03, MOD35_L2]\n",
+		"bad:\n\t- tab indent\n",
+		"dup: 1\ndup: 2\n",
+		"a:\n - 1\n  - 2\n",
+		"deep:\n a:\n  b:\n   c:\n    d: 1\n",
+		"x: [1, [2, [3]]]\n",
+		"neg: -12\nexp: 1e9\nhex-ish: 0x10\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out := Marshal(v)
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("re-parse of marshalled tree failed: %v\noriginal: %q\nmarshalled: %q", err, data, out)
+		}
+	})
+}

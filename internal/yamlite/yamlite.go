@@ -101,12 +101,12 @@ func stripComment(s string) string {
 	inSingle, inDouble := false, false
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; {
+		case inDouble && c == '\\':
+			i++ // the escape consumes the next byte, including `\"` and `\\`
 		case c == '\'' && !inDouble:
 			inSingle = !inSingle
 		case c == '"' && !inSingle:
-			if i == 0 || s[i-1] != '\\' {
-				inDouble = !inDouble
-			}
+			inDouble = !inDouble
 		case c == '#' && !inSingle && !inDouble:
 			// A '#' only begins a comment at line start or after whitespace.
 			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
@@ -117,9 +117,9 @@ func stripComment(s string) string {
 	return s
 }
 
-// parseBlock parses a block (mapping or sequence) whose entries all sit at
-// the given indent, starting at line index i. It returns the value and the
-// index of the first unconsumed line.
+// parseBlock parses a block (mapping, sequence, or bare scalar) whose
+// entries all sit at the given indent, starting at line index i. It
+// returns the value and the index of the first unconsumed line.
 func (p *parser) parseBlock(i, indent int) (any, int, error) {
 	if i >= len(p.lines) {
 		return nil, i, nil
@@ -127,6 +127,16 @@ func (p *parser) parseBlock(i, indent int) (any, int, error) {
 	ln := p.lines[i]
 	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
 		return p.parseSequence(i, indent)
+	}
+	if !looksLikeMapEntry(ln.text) {
+		// A lone non-entry line is a scalar document (or scalar value of
+		// the enclosing key): `null`, `42`, `[1, 2]`. Marshal emits these
+		// for scalar trees, so Parse must accept them back.
+		v, err := parseScalar(ln.text, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		return v, i + 1, nil
 	}
 	return p.parseMapping(i, indent)
 }
@@ -234,9 +244,11 @@ func splitKey(s string, lineNum int) (key, rest string, err error) {
 	inSingle, inDouble, depth := false, false, 0
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; {
+		case inDouble && c == '\\':
+			i++ // the escape consumes the next byte, including `\"` and `\\`
 		case c == '\'' && !inDouble:
 			inSingle = !inSingle
-		case c == '"' && !inSingle && (i == 0 || s[i-1] != '\\'):
+		case c == '"' && !inSingle:
 			inDouble = !inDouble
 		case (c == '[' || c == '{') && !inSingle && !inDouble:
 			depth++
@@ -335,6 +347,33 @@ func unescapeDouble(s string, lineNum int) (string, error) {
 			b.WriteByte('\\')
 		case '"':
 			b.WriteByte('"')
+		case 'a':
+			b.WriteByte('\a')
+		case 'b':
+			b.WriteByte('\b')
+		case 'f':
+			b.WriteByte('\f')
+		case 'v':
+			b.WriteByte('\v')
+		case 'x', 'u', 'U':
+			// Hex escapes, as strconv.Quote emits for control characters
+			// and non-printable runes: \xHH (one byte), \uHHHH, \UHHHHHHHH
+			// (one rune). Marshal quotes with strconv.Quote, so Parse must
+			// read everything it can produce.
+			digits := map[byte]int{'x': 2, 'u': 4, 'U': 8}[s[i]]
+			if i+digits >= len(s) {
+				return "", fmt.Errorf("yamlite: line %d: truncated \\%c escape", lineNum, s[i])
+			}
+			n, err := strconv.ParseUint(s[i+1:i+1+digits], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("yamlite: line %d: bad \\%c escape: %v", lineNum, s[i], err)
+			}
+			if s[i] == 'x' {
+				b.WriteByte(byte(n))
+			} else {
+				b.WriteRune(rune(n))
+			}
+			i += digits
 		default:
 			return "", fmt.Errorf("yamlite: line %d: unknown escape \\%c", lineNum, s[i])
 		}
@@ -367,7 +406,11 @@ func parseFlowValue(s string, lineNum int) (any, string, error) {
 	case '"', '\'':
 		quote := s[0]
 		for i := 1; i < len(s); i++ {
-			if s[i] == quote && (quote == '\'' || s[i-1] != '\\') {
+			if quote == '"' && s[i] == '\\' {
+				i++ // the escape consumes the next byte
+				continue
+			}
+			if s[i] == quote {
 				v, err := parseScalar(s[:i+1], lineNum)
 				return v, s[i+1:], err
 			}
