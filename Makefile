@@ -1,8 +1,9 @@
 # Standard entry points for the eoml repo.
 #
 #   make check      — what CI runs: gofmt gate + vet + eomlvet + race tests
-#                     + fuzz-smoke + serve-smoke + reduced-size bench
-#                     smokes (bench-ci, bench-e2e) + bench-diff
+#                     + fuzz-smoke + serve-smoke + fleet-smoke +
+#                     reduced-size bench smokes (bench-ci, bench-e2e) +
+#                     bench-diff
 #   make lint       — the repo's own analyzer suite (cmd/eomlvet)
 #   make bench      — the hot-path benchmarks, emitted as $(BENCH_OUT)
 #   make bench-diff — gate the committed bench records: fails on >10%
@@ -11,14 +12,14 @@
 GO ?= go
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_6.json
-BENCH_OLD ?= BENCH_5.json
-BENCH_NEW ?= BENCH_6.json
-BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkMatMulSmall|BenchmarkEncodeArena|BenchmarkEncodeQ8|BenchmarkLabelFileBatched|BenchmarkTileExtract|BenchmarkPipelineE2E
+BENCH_OUT ?= BENCH_9.json
+BENCH_OLD ?= BENCH_6.json
+BENCH_NEW ?= BENCH_9.json
+BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkMatMulSmall|BenchmarkEncodeArena|BenchmarkEncodeQ8|BenchmarkLabelFileBatched|BenchmarkTileExtract|BenchmarkPipelineE2E|BenchmarkFleetScaling
 
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race fmt fuzz-smoke bench bench-ci bench-diff bench-all bench-e2e serve-smoke check
+.PHONY: build test vet lint race fmt fuzz-smoke bench bench-ci bench-diff bench-all bench-e2e serve-smoke fleet-smoke check
 
 build:
 	$(GO) build ./...
@@ -63,8 +64,8 @@ fuzz-smoke:
 # the first exit code).
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . > bench.out.tmp
-	$(GO) run ./cmd/benchjson -pr 6 \
-		-title "Reduced-precision inference: int8-quantized GEMM with float-oracle gating, plus an e2e pipeline bench" \
+	$(GO) run ./cmd/benchjson -pr 9 \
+		-title "Multi-process worker fleet: cmd/eoml-worker with leased tasks, measured strong/weak scaling" \
 		-command "make bench BENCHTIME=$(BENCHTIME) BENCHCOUNT=$(BENCHCOUNT)" < bench.out.tmp > $(BENCH_OUT)
 	@rm -f bench.out.tmp
 	@echo "wrote $(BENCH_OUT)"
@@ -86,6 +87,13 @@ bench-e2e:
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -count 1 ./internal/serve
 
+# Worker-fleet smoke: spawns two real worker processes (the test binary
+# re-exec'd in worker mode), registers them with an in-process
+# coordinator over HTTP, and runs a tiny distribution:fleet campaign
+# end to end against the synthetic archive.
+fleet-smoke:
+	$(GO) test -race -run TestFleetSmoke -count 1 .
+
 # Regression gate over the committed records: deterministic in CI (no
 # benchmarks rerun), fails on >10% throughput regression between the two
 # most recent BENCH_N.json files.
@@ -96,4 +104,4 @@ bench-diff:
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
-check: fmt vet lint race fuzz-smoke serve-smoke bench-ci bench-e2e bench-diff
+check: fmt vet lint race fuzz-smoke serve-smoke fleet-smoke bench-ci bench-e2e bench-diff

@@ -1,0 +1,72 @@
+// Command eoml-worker is one fleet worker process: it serves the
+// tile-extraction and AICCA-labeling kernels on a local compute
+// endpoint, registers that endpoint with a control plane started as
+// `eoml serve -fleet`, heartbeats to stay live, and drains gracefully
+// on SIGINT. Tasks arrive as granule *references* — shared-storage
+// paths plus archive coordinates — never bytes, so a worker can run at
+// another facility and fetch its own inputs.
+//
+//	eoml serve -addr localhost:8080 -fleet        # control plane
+//	eoml-worker -coordinator http://localhost:8080
+//	eoml-worker -coordinator http://localhost:8080 -slots 4
+//
+// Submit a run whose YAML declares `distribution: fleet` and the
+// coordinator leases its preprocess and inference work to every
+// registered worker.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/eoml/eoml"
+)
+
+func main() {
+	id := flag.String("id", "", "worker identity; default worker-<hostname>-<pid>")
+	coordinator := flag.String("coordinator", "http://localhost:8080", "control-plane base URL hosting the /fleet/ membership API")
+	listen := flag.String("listen", "127.0.0.1:0", "task endpoint listen address (0 = OS-assigned port)")
+	advertise := flag.String("advertise", "", "endpoint URL to register instead of the listen address (NAT / multi-facility)")
+	slots := flag.Int("slots", 1, "tasks this worker executes concurrently")
+	taskTimeout := flag.Duration("task-timeout", 0, "per-task execution bound (0 = none)")
+	flag.Parse()
+
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "unknown"
+		}
+		*id = fmt.Sprintf("worker-%s-%d", host, os.Getpid())
+	}
+
+	w, err := eoml.NewFleetWorker(eoml.FleetWorkerConfig{
+		ID:             *id,
+		CoordinatorURL: *coordinator,
+		ListenAddr:     *listen,
+		AdvertiseURL:   *advertise,
+		Slots:          *slots,
+		TaskTimeout:    *taskTimeout,
+	})
+	if err != nil {
+		log.Fatalf("eoml-worker: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	startCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	err = w.Start(startCtx)
+	cancel()
+	if err != nil {
+		log.Fatalf("eoml-worker: %v", err)
+	}
+	fmt.Printf("eoml-worker: %s serving %d slot(s) on %s, registered with %s\n", *id, *slots, w.URL(), *coordinator)
+
+	<-ctx.Done()
+	fmt.Println("eoml-worker: draining")
+	w.Stop()
+}

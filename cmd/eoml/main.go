@@ -161,6 +161,8 @@ batch:
 
 precision: float32        # encode arithmetic: float32 (oracle) or int8 (quantized, faster)
 
+distribution: local       # local (in-process) or fleet (leased to eoml-worker processes)
+
 model:
   weights: /tmp/eoml/ricc.hdf
   codebook: /tmp/eoml/aicca-codebook.hdf
@@ -178,9 +180,20 @@ func runServe(args []string) {
 	quotaRPS := fs.Float64("quota-rps", 0, "per-tenant archive requests per second across all of a tenant's runs (0 = unlimited)")
 	quotaBurst := fs.Int("quota-burst", 8, "archive requests a tenant may burst before the rate applies")
 	pprofAddr := fs.String("pprof-addr", "", "serve /debug/pprof on this address; give it the -addr value to share that listener")
+	fleetOn := fs.Bool("fleet", false, "host a worker-fleet coordinator (/fleet/ membership API) so runs may declare `distribution: fleet`")
 	_ = fs.Parse(args)
 
-	eng := eoml.NewEngine(eoml.EngineOptions{Quotas: eoml.NewQuotaPool(*quotaRPS, *quotaBurst)})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := eoml.EngineOptions{Quotas: eoml.NewQuotaPool(*quotaRPS, *quotaBurst)}
+	if *fleetOn {
+		coord := eoml.NewFleetCoordinator(eoml.FleetConfig{})
+		coord.Start(ctx)
+		defer coord.Close()
+		opts.Fleet = coord
+	}
+	eng := eoml.NewEngine(opts)
 	cp := eoml.NewControlPlane(eng, eoml.ControlPlaneOptions{
 		MaxConcurrentRuns: *maxRuns,
 		RetainRuns:        *retainRuns,
@@ -199,12 +212,13 @@ func runServe(args []string) {
 	}
 	defer ms.stop()
 	fmt.Printf("eoml: run API on http://%s (POST /api/v1/runs; %d concurrent)\n", bound[*addr], *maxRuns)
+	if *fleetOn {
+		fmt.Printf("eoml: fleet membership on http://%s/fleet/ (start workers with `eoml-worker -coordinator http://%s`)\n", bound[*addr], bound[*addr])
+	}
 	if *pprofAddr != "" {
 		fmt.Printf("eoml: /debug/pprof on http://%s\n", bound[*pprofAddr])
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	<-ctx.Done()
 	fmt.Println("eoml: shutting down")
 }

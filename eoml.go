@@ -35,6 +35,7 @@ import (
 
 	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/core"
+	"github.com/eoml/eoml/internal/fleet"
 	"github.com/eoml/eoml/internal/hdf"
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/modis"
@@ -112,6 +113,34 @@ func NewControlPlane(eng *Engine, opts ControlPlaneOptions) *ControlPlane {
 
 // TenantHeader names the HTTP header carrying the submitting tenant.
 const TenantHeader = serve.TenantHeader
+
+// FleetCoordinator leases preprocess/inference tasks to registered
+// eoml-worker processes: heartbeat liveness, in-flight bounds, lease
+// requeue, work stealing, and elastic scale hints.
+type FleetCoordinator = fleet.Coordinator
+
+// FleetConfig tunes a FleetCoordinator.
+type FleetConfig = fleet.Config
+
+// NewFleetCoordinator builds a worker-fleet coordinator. Pass it to
+// EngineOptions.Fleet so runs can declare `distribution: fleet`, and
+// call Start to run its liveness sweep.
+func NewFleetCoordinator(cfg FleetConfig) *FleetCoordinator {
+	return fleet.NewCoordinator(cfg)
+}
+
+// FleetWorker is one worker process runtime: a compute endpoint serving
+// the tile-extraction and labeling kernels, registered and heartbeating
+// with the coordinator. cmd/eoml-worker is a thin main around it.
+type FleetWorker = fleet.Worker
+
+// FleetWorkerConfig tunes a FleetWorker.
+type FleetWorkerConfig = fleet.WorkerConfig
+
+// NewFleetWorker builds a fleet worker; Start makes it live.
+func NewFleetWorker(cfg FleetWorkerConfig) (*FleetWorker, error) {
+	return fleet.NewWorker(cfg)
+}
 
 // ArchiveOptions tunes a simulated LAADS DAAC archive server.
 type ArchiveOptions struct {

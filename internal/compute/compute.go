@@ -8,10 +8,19 @@ package compute
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
+
+// ErrDraining is returned by Submit once Stop has begun draining the
+// endpoint: the task was not accepted, but the endpoint is shutting
+// down cleanly rather than broken. Callers that own retry policy (the
+// fleet coordinator) treat a draining rejection as requeue-able —
+// resubmit the task elsewhere — where any other submission failure is
+// fatal for the task. Test with errors.Is.
+var ErrDraining = errors.New("endpoint draining")
 
 // Function is a registered callable. Arguments and results must be
 // JSON-serializable when the function is invoked through the HTTP
@@ -271,7 +280,11 @@ func (e *Endpoint) Submit(function string, args map[string]any) (*Future, error)
 		return nil, err
 	}
 	e.mu.Lock()
-	if !e.started || e.stopped {
+	if e.stopped {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("compute: endpoint %q: %w", e.ID, ErrDraining)
+	}
+	if !e.started {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("compute: endpoint %q is not running", e.ID)
 	}
@@ -279,13 +292,15 @@ func (e *Endpoint) Submit(function string, args map[string]any) (*Future, error)
 	id := fmt.Sprintf("%s-task-%06d", e.ID, e.nextID)
 	fut := newFuture(id)
 	e.futures[id] = fut
-	e.mu.Unlock()
-
+	// Enqueue while still holding the lock: Stop closes the queue under
+	// the same lock, so the stopped check above and this non-blocking
+	// send are atomic — a concurrent drain yields ErrDraining, never a
+	// send on a closed channel.
 	select {
 	case e.queue <- &queued{fn: fn, arg: args, fut: fut}:
+		e.mu.Unlock()
 		return fut, nil
 	default:
-		e.mu.Lock()
 		delete(e.futures, id)
 		e.mu.Unlock()
 		return nil, fmt.Errorf("compute: endpoint %q queue full", e.ID)

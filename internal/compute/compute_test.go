@@ -2,6 +2,7 @@ package compute
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -326,4 +327,67 @@ func TestMapPreservesOrder(t *testing.T) {
 			t.Fatalf("result[%d] = %v", i, r)
 		}
 	}
+}
+
+// TestSubmitDrainingTyped pins the typed drain rejection: after Stop, a
+// local Submit fails with ErrDraining (errors.Is), and the same error
+// survives the HTTP hop as a 503 so a remote submitter can distinguish
+// requeue-able rejections from fatal ones.
+func TestSubmitDrainingTyped(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, err := NewEndpoint("drain", reg, EndpointConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Never-started endpoints are "not running", not draining.
+	if _, err := ep.Submit("add", nil); errors.Is(err, ErrDraining) {
+		t.Fatalf("unstarted Submit = %v, want a non-draining error", err)
+	}
+
+	ep.Start()
+	ts := httptest.NewServer(ep.Handler())
+	defer ts.Close()
+	ep.Stop()
+
+	if _, err := ep.Submit("add", nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Stop = %v, want ErrDraining", err)
+	}
+	remote := NewRemoteEndpoint(ts.URL)
+	if _, err := remote.Submit(context.Background(), "add", nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("remote Submit after Stop = %v, want ErrDraining across the HTTP hop", err)
+	}
+}
+
+// TestSubmitStopRace hammers Submit against a concurrent Stop: every
+// submission must either be accepted (and its future complete) or fail
+// with ErrDraining — never panic on the closed queue.
+func TestSubmitStopRace(t *testing.T) {
+	reg := registryWithMath(t)
+	ep, err := NewEndpoint("race", reg, EndpointConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				fut, err := ep.Submit("add", map[string]any{"a": 1.0, "b": 2.0})
+				if err != nil {
+					if !errors.Is(err, ErrDraining) {
+						t.Errorf("Submit = %v, want nil or ErrDraining", err)
+					}
+					return
+				}
+				if _, err := fut.Get(context.Background()); err != nil {
+					t.Errorf("accepted task errored: %v", err)
+				}
+			}
+		}()
+	}
+	ep.Stop()
+	wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -56,6 +57,13 @@ func (e *Endpoint) Handler() http.Handler {
 		}
 		fut, err := e.Submit(req.Function, req.Args)
 		if err != nil {
+			// A draining endpoint is a retryable condition, not a bad
+			// request: 503 tells remote submitters (the fleet coordinator)
+			// to resubmit the task elsewhere.
+			if errors.Is(err, ErrDraining) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -134,6 +142,11 @@ func (r *RemoteEndpoint) Submit(ctx context.Context, function string, args map[s
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The wire inverse of the handler's ErrDraining mapping, so
+			// errors.Is works across the HTTP hop.
+			return nil, fmt.Errorf("compute: submit: %s: %w", strings.TrimSpace(string(msg)), ErrDraining)
+		}
 		return nil, fmt.Errorf("compute: submit: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
 	var sr submitResponse

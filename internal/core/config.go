@@ -75,7 +75,20 @@ type Config struct {
 	// MetricsAddr, when non-empty, is the host:port cmd/eoml serves
 	// /metrics and /healthz on for the lifetime of the run.
 	MetricsAddr string
+
+	// Distribution selects where preprocess and inference execute:
+	// "local" (default — in-process Parsl pool and batcher, unchanged)
+	// or "fleet" (tasks leased to registered eoml-worker processes via
+	// the engine's fleet coordinator). Fleet mode requires model and
+	// codebook paths, since workers load weights from shared storage.
+	Distribution string
 }
+
+// Distribution modes.
+const (
+	DistributionLocal = "local"
+	DistributionFleet = "fleet"
+)
 
 // DefaultConfig returns a runnable baseline (archive URL and directories
 // must still be set).
@@ -94,6 +107,7 @@ func DefaultConfig() Config {
 		BatchTiles:        256,
 		BatchDelay:        20 * time.Millisecond,
 		Precision:         string(aicca.PrecisionFloat32),
+		Distribution:      DistributionLocal,
 	}
 }
 
@@ -143,6 +157,15 @@ func (c *Config) Validate() error {
 	}
 	if _, err := aicca.ParsePrecision(c.Precision); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	switch c.Distribution {
+	case "", DistributionLocal:
+	case DistributionFleet:
+		if c.ModelPath == "" || c.CodebookPath == "" {
+			return fmt.Errorf("core: distribution %q requires model.weights and model.codebook (workers load artifacts from shared storage)", c.Distribution)
+		}
+	default:
+		return fmt.Errorf("core: unknown distribution %q (want %q or %q)", c.Distribution, DistributionLocal, DistributionFleet)
 	}
 	return nil
 }
@@ -307,6 +330,9 @@ func LoadConfig(data []byte) (*Config, error) {
 	if v, ok := doc["metrics_addr"].(string); ok {
 		cfg.MetricsAddr = v
 	}
+	if v, ok := doc["distribution"].(string); ok {
+		cfg.Distribution = v
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -343,6 +369,7 @@ func ConfigKeys() []string {
 		"model.weights",
 		"model.codebook",
 		"metrics_addr",
+		"distribution",
 	}
 }
 

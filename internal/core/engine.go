@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/eoml/eoml/internal/aicca"
+	"github.com/eoml/eoml/internal/fleet"
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/ricc"
@@ -23,6 +24,7 @@ type Engine struct {
 	labeler *aicca.Labeler       // optional programmatic labeler shared by every run
 	quotas  *laads.QuotaPool     // per-tenant archive request quotas (nil = unlimited)
 	extract *tensor.ShardedArena // shared per-granule decode scratch
+	fleet   *fleet.Coordinator   // worker fleet (nil = fleet distribution unavailable)
 
 	mu     sync.Mutex
 	models map[string]*aicca.Labeler // disk-loaded labelers keyed by model|codebook
@@ -36,6 +38,9 @@ type EngineOptions struct {
 	// Quotas, when set, gates each run's archive requests on its
 	// tenant's token bucket. Nil admits everything.
 	Quotas *laads.QuotaPool
+	// Fleet, when set, lets runs with `distribution: fleet` lease their
+	// preprocess and inference tasks to registered worker processes.
+	Fleet *fleet.Coordinator
 }
 
 // NewEngine builds an engine.
@@ -44,6 +49,7 @@ func NewEngine(opts EngineOptions) *Engine {
 		labeler: opts.Labeler,
 		quotas:  opts.Quotas,
 		extract: tensor.NewShardedArena(),
+		fleet:   opts.Fleet,
 		models:  map[string]*aicca.Labeler{},
 	}
 }
@@ -113,12 +119,16 @@ func (e *Engine) NewRun(cfg Config, opts RunOptions) (*Run, error) {
 	default:
 		reg = metrics.NewRegistry()
 	}
+	if cfg.Distribution == DistributionFleet && e.fleet == nil {
+		return nil, fmt.Errorf("core: config asks for distribution %q but the engine has no fleet coordinator", cfg.Distribution)
+	}
 	r := &Run{
 		cfg:     cfg,
 		id:      opts.ID,
 		tenant:  opts.Tenant,
 		labeler: labeler,
 		extract: e.extract,
+		fleet:   e.fleet,
 		quota:   e.quotas.Tenant(tenantOrDefault(opts.Tenant)),
 		metrics: reg,
 		health:  metrics.NewHealth(),
@@ -126,6 +136,11 @@ func (e *Engine) NewRun(cfg Config, opts RunOptions) (*Run, error) {
 	r.extract.Instrument(r.metrics, "tile")
 	return r, nil
 }
+
+// Fleet returns the engine's worker-fleet coordinator, or nil when the
+// engine runs everything in-process. The control plane uses this to
+// mount the membership API and instrument the eoml_fleet_* series.
+func (e *Engine) Fleet() *fleet.Coordinator { return e.fleet }
 
 // Quotas returns the engine's per-tenant archive quota pool (nil when
 // quotas are disabled), so drivers can instrument it.

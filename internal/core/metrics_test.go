@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/eoml/eoml/internal/fleet"
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/metrics"
 )
@@ -153,6 +154,15 @@ func TestOperationsDocCoversAllMetrics(t *testing.T) {
 	pool.Instrument(quotaReg)
 	pool.Tenant("doc")
 	for _, f := range quotaReg.Snapshot() {
+		names[f.Name] = true
+	}
+	// The worker-fleet families register on the engine's coordinator
+	// (serve wires them when -fleet is set); union an instrumented one.
+	fleetReg := metrics.NewRegistry()
+	fc := fleet.NewCoordinator(fleet.Config{})
+	fc.Instrument(fleetReg)
+	fc.Close()
+	for _, f := range fleetReg.Snapshot() {
 		names[f.Name] = true
 	}
 	if len(names) < 20 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/eoml/eoml/internal/aicca"
+	"github.com/eoml/eoml/internal/fleet"
 	"github.com/eoml/eoml/internal/hdf"
 	"github.com/eoml/eoml/internal/laads"
 	"github.com/eoml/eoml/internal/metrics"
@@ -57,6 +58,9 @@ type Run struct {
 	// preprocessing workers (one shard per worker in flight); shared
 	// engine-wide, so concurrent runs recycle one pool.
 	extract *tensor.ShardedArena
+	// fleet leases preprocess/inference tasks to worker processes when
+	// cfg.Distribution is "fleet"; nil otherwise.
+	fleet   *fleet.Coordinator
 	quota   *laads.Quota
 	metrics *metrics.Registry
 	health  *metrics.Health
@@ -142,7 +146,7 @@ func (p *Run) newReport(granules int) (*Report, *stage.RunContext) {
 // flow engine, cross-file batcher, and bounded worker pool, armed at
 // setup so labeling overlaps preprocessing (the paper's Fig. 6).
 func (p *Run) inferenceService() *stage.InferenceService {
-	return stage.NewInferenceService(stage.InferenceConfig{
+	cfg := stage.InferenceConfig{
 		Labeler:      p.labeler,
 		BatchTiles:   p.cfg.BatchTiles,
 		BatchDelay:   p.cfg.BatchDelay,
@@ -153,7 +157,34 @@ func (p *Run) inferenceService() *stage.InferenceService {
 		OutboxDir:    p.cfg.OutboxDir,
 		StallTimeout: p.cfg.StallTimeout,
 		OnMoved:      p.recordInference,
-	})
+	}
+	if p.cfg.Distribution == DistributionFleet {
+		// Labeling runs on the fleet: the flow ships the tile file's
+		// *path* plus model refs, a worker labels it in place on shared
+		// storage, and the move step stays run-side.
+		cfg.LabelFile = p.fleetLabelFile
+	}
+	return stage.NewInferenceService(cfg)
+}
+
+// fleetLabelFile is the fleet-distributed inference kernel call: one
+// leased task per tile file, labels written in place by the worker.
+func (p *Run) fleetLabelFile(ctx context.Context, path string) (int, error) {
+	fut, err := p.fleet.Submit(ctx, fleet.LabelFunction, fleet.LabelArgs{
+		File:      path,
+		Model:     p.cfg.ModelPath,
+		Codebook:  p.cfg.CodebookPath,
+		Precision: p.cfg.Precision,
+	}.Args())
+	if err != nil {
+		return 0, err
+	}
+	v, err := fut.Get(ctx)
+	if err != nil {
+		return 0, err
+	}
+	res, err := fleet.ParseLabelResult(v)
+	return res.Labeled, err
 }
 
 // shipment builds the stage-5 transfer, skipped when upstream produced
@@ -186,6 +217,14 @@ func (p *Run) Run(ctx context.Context) (*Report, error) {
 	ship := p.shipment(svc)
 
 	download := stage.Func("download", func(ctx context.Context, rc *stage.RunContext) error {
+		if p.cfg.Distribution == DistributionFleet {
+			// Tasks ship granule refs, not bytes: each worker fetches the
+			// granules it leases straight from the archive, so no data
+			// moves through this process.
+			rc.Health.Beat("download")
+			rc.Timeline.Record("download", rc.Since(), 0)
+			return nil
+		}
 		rc.EventCounter("download", stage.EventIn).Add(int64(3 * len(p.cfg.GranuleIDs())))
 		files, bytes, err := p.downloadViaCompute(ctx, p.cfg.GranuleIDs(), func(active int) {
 			rc.Timeline.Record("download", rc.Since(), active)
@@ -200,7 +239,13 @@ func (p *Run) Run(ctx context.Context) (*Report, error) {
 	})
 	preprocess := stage.Func("preprocess", func(ctx context.Context, rc *stage.RunContext) error {
 		rc.EventCounter("preprocess", stage.EventIn).Add(int64(len(p.cfg.GranuleIDs())))
-		files, tiles, err := p.preprocessBatch(ctx, rc)
+		var files, tiles int
+		var err error
+		if p.cfg.Distribution == DistributionFleet {
+			files, tiles, err = p.preprocessFleet(ctx, rc)
+		} else {
+			files, tiles, err = p.preprocessBatch(ctx, rc)
+		}
 		if err != nil {
 			return err
 		}
@@ -273,6 +318,83 @@ func (p *Run) preprocessBatch(ctx context.Context, rc *stage.RunContext) (int, i
 type preResult struct {
 	tiles   int
 	hasFile bool
+}
+
+// preprocessFleet leases one tile-extraction task per granule to the
+// worker fleet — all submitted up front, so in-flight parallelism is
+// bounded by fleet capacity, not this process's worker pool — and
+// returns (tileFiles, tilesProduced).
+func (p *Run) preprocessFleet(ctx context.Context, rc *stage.RunContext) (int, int, error) {
+	granules := p.cfg.GranuleIDs()
+	futs := make([]*fleet.Future, len(granules))
+	for i, g := range granules {
+		fut, err := p.fleet.Submit(ctx, fleet.PreprocessFunction, p.preprocessArgs(g).Args())
+		if err != nil {
+			return 0, 0, fmt.Errorf("granule %d: %w", g.Index, err)
+		}
+		futs[i] = fut
+	}
+	files, tiles := 0, 0
+	for i, fut := range futs {
+		started := time.Now()
+		v, err := fut.Get(ctx)
+		if err != nil {
+			return 0, 0, fmt.Errorf("granule %d: %w", granules[i].Index, err)
+		}
+		res, err := fleet.ParsePreprocessResult(v)
+		if err != nil {
+			return 0, 0, err
+		}
+		tiles += res.Tiles
+		if res.File != "" {
+			files++
+			p.recordPreprocess(granules[i], res.File, res.Tiles, started, time.Now())
+		}
+		rc.Health.Beat("preprocess")
+		rc.Timeline.Record("preprocess", rc.Since(), len(futs)-(i+1))
+	}
+	return files, tiles, nil
+}
+
+// preprocessViaFleet is the single-granule form used by the streaming
+// driver's per-arrival apps.
+func (p *Run) preprocessViaFleet(ctx context.Context, g modis.GranuleID) (any, error) {
+	started := time.Now()
+	fut, err := p.fleet.Submit(ctx, fleet.PreprocessFunction, p.preprocessArgs(g).Args())
+	if err != nil {
+		return nil, err
+	}
+	v, err := fut.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fleet.ParsePreprocessResult(v)
+	if err != nil {
+		return nil, err
+	}
+	if res.File == "" {
+		return preResult{}, nil
+	}
+	p.recordPreprocess(g, res.File, res.Tiles, started, time.Now())
+	return preResult{tiles: res.Tiles, hasFile: true}, nil
+}
+
+// preprocessArgs builds the granule-ref task arguments: paths on
+// shared storage plus archive coordinates so a worker without the
+// run's filesystem can fetch inputs itself.
+func (p *Run) preprocessArgs(g modis.GranuleID) fleet.PreprocessArgs {
+	return fleet.PreprocessArgs{
+		Satellite:    g.Satellite.String(),
+		Year:         g.Year,
+		DOY:          g.DOY,
+		Index:        g.Index,
+		DataDir:      p.cfg.DataDir,
+		TileDir:      p.cfg.TileDir,
+		TilePixels:   p.cfg.TilePixels,
+		MinCloudFrac: p.cfg.MinCloudFrac,
+		ArchiveURL:   p.cfg.ArchiveURL,
+		ArchiveToken: p.cfg.ArchiveToken,
+	}
 }
 
 // preprocessGranule converts one granule triple into a tile NetCDF.

@@ -96,24 +96,32 @@ func (p *Run) ingestStream(ctx context.Context, rc *stage.RunContext, arrivals <
 		}
 		g := modis.GranuleID{Satellite: p.cfg.Satellite, Year: p.cfg.Year, DOY: p.cfg.DOY, Index: idx}
 		rep.GranulesRequested++
-		rc.Timeline.Record("download", rc.Since(), 1)
-		var tasks []laads.Task
-		for _, prod := range p.cfg.Products() {
-			tasks = append(tasks, laads.Task{Product: prod, Year: g.Year, DOY: g.DOY, Name: modis.FileName(prod, g)})
+		// In fleet mode the leased worker fetches the granule ref itself;
+		// nothing downloads through this process.
+		if p.cfg.Distribution != DistributionFleet {
+			rc.Timeline.Record("download", rc.Since(), 1)
+			var tasks []laads.Task
+			for _, prod := range p.cfg.Products() {
+				tasks = append(tasks, laads.Task{Product: prod, Year: g.Year, DOY: g.DOY, Name: modis.FileName(prod, g)})
+			}
+			rc.EventCounter("download", stage.EventIn).Add(int64(len(tasks)))
+			dlRep, err := client.DownloadAll(ctx, tasks, p.cfg.DataDir, p.cfg.DownloadWorkers)
+			if err != nil {
+				return fmt.Errorf("download granule %d: %w", idx, err)
+			}
+			rep.FilesDownloaded += len(dlRep.Files)
+			rep.BytesDownloaded += dlRep.TotalBytes
+			rc.EventCounter("download", stage.EventOut).Add(int64(len(dlRep.Files)))
+			rc.Health.Beat("download")
+			rc.Timeline.Record("download", rc.Since(), 0)
 		}
-		rc.EventCounter("download", stage.EventIn).Add(int64(len(tasks)))
-		dlRep, err := client.DownloadAll(ctx, tasks, p.cfg.DataDir, p.cfg.DownloadWorkers)
-		if err != nil {
-			return fmt.Errorf("download granule %d: %w", idx, err)
-		}
-		rep.FilesDownloaded += len(dlRep.Files)
-		rep.BytesDownloaded += dlRep.TotalBytes
-		rc.EventCounter("download", stage.EventOut).Add(int64(len(dlRep.Files)))
 		rc.Health.Beat("download")
-		rc.Timeline.Record("download", rc.Since(), 0)
 
 		rc.Event("preprocess", stage.EventIn)
 		futs = append(futs, dfk.Submit(fmt.Sprintf("stream-tiles[%d]", idx), func(ctx context.Context) (any, error) {
+			if p.cfg.Distribution == DistributionFleet {
+				return p.preprocessViaFleet(ctx, g)
+			}
 			return p.preprocessGranule(g)
 		}))
 	}

@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/eoml/eoml/internal/aicca"
+	"github.com/eoml/eoml/internal/compute"
+	"github.com/eoml/eoml/internal/hdf"
+	"github.com/eoml/eoml/internal/laads"
+	"github.com/eoml/eoml/internal/modis"
+	"github.com/eoml/eoml/internal/ricc"
+	"github.com/eoml/eoml/internal/tensor"
+	"github.com/eoml/eoml/internal/tile"
+)
+
+// Names of the task functions every worker serves. Task arguments ship
+// granule *references* — archive coordinates and shared-storage paths —
+// never pixel bytes.
+const (
+	PreprocessFunction = "eoml.preprocess_granule"
+	LabelFunction      = "eoml.label_file"
+)
+
+// PreprocessArgs is the wire form of one tile-extraction task: which
+// granule, where its HDF triple lives (DataDir), where the tile NetCDF
+// goes (TileDir), and optionally which archive to fetch missing inputs
+// from — the multi-facility case where the worker does not share the
+// submitter's filesystem.
+type PreprocessArgs struct {
+	Satellite    string  `json:"satellite"`
+	Year         int     `json:"year"`
+	DOY          int     `json:"doy"`
+	Index        int     `json:"index"`
+	DataDir      string  `json:"data_dir"`
+	TileDir      string  `json:"tile_dir"`
+	TilePixels   int     `json:"tile_pixels"`
+	MinCloudFrac float64 `json:"min_cloud_frac"`
+	ArchiveURL   string  `json:"archive_url,omitempty"`
+	ArchiveToken string  `json:"archive_token,omitempty"`
+}
+
+// Args flattens to the compute fabric's map form.
+func (a PreprocessArgs) Args() map[string]any {
+	return map[string]any{
+		"satellite": a.Satellite, "year": a.Year, "doy": a.DOY, "index": a.Index,
+		"data_dir": a.DataDir, "tile_dir": a.TileDir,
+		"tile_pixels": a.TilePixels, "min_cloud_frac": a.MinCloudFrac,
+		"archive_url": a.ArchiveURL, "archive_token": a.ArchiveToken,
+	}
+}
+
+// PreprocessResult reports one granule's extraction outcome.
+type PreprocessResult struct {
+	Tiles int    `json:"tiles"`
+	File  string `json:"file"`
+}
+
+// ParsePreprocessResult decodes a task result from its wire form.
+func ParsePreprocessResult(v any) (PreprocessResult, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return PreprocessResult{}, fmt.Errorf("fleet: preprocess result is %T, want map", v)
+	}
+	return PreprocessResult{Tiles: intFrom(m, "tiles"), File: stringFrom(m, "file")}, nil
+}
+
+// LabelArgs is the wire form of one inference task: the tile file to
+// label in place plus the model/codebook refs the worker loads (and
+// caches) from shared storage.
+type LabelArgs struct {
+	File      string `json:"file"`
+	Model     string `json:"model"`
+	Codebook  string `json:"codebook"`
+	Precision string `json:"precision,omitempty"`
+}
+
+// Args flattens to the compute fabric's map form.
+func (a LabelArgs) Args() map[string]any {
+	return map[string]any{
+		"file": a.File, "model": a.Model, "codebook": a.Codebook, "precision": a.Precision,
+	}
+}
+
+// LabelResult reports one file's labeling outcome.
+type LabelResult struct {
+	Labeled int `json:"labeled"`
+}
+
+// ParseLabelResult decodes a task result from its wire form.
+func ParseLabelResult(v any) (LabelResult, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return LabelResult{}, fmt.Errorf("fleet: label result is %T, want map", v)
+	}
+	return LabelResult{Labeled: intFrom(m, "labeled")}, nil
+}
+
+// Kernels hosts the worker-side task implementations against shared
+// per-process state: one decode arena for tile extraction and a
+// model/codebook cache for inference (loaded once per pair, like
+// core.Engine's weights cache).
+type Kernels struct {
+	arena *tensor.ShardedArena
+
+	mu sync.Mutex
+	// models caches loaded labelers keyed "modelPath|codebookPath".
+	// guarded by mu
+	models map[string]*aicca.Labeler
+}
+
+// NewKernels builds the worker kernel set.
+func NewKernels() *Kernels {
+	return &Kernels{arena: tensor.NewShardedArena(), models: map[string]*aicca.Labeler{}}
+}
+
+// Register adds both task functions to a compute registry.
+func (k *Kernels) Register(reg *compute.Registry) error {
+	if err := reg.Register(PreprocessFunction, k.preprocess); err != nil {
+		return err
+	}
+	return reg.Register(LabelFunction, k.label)
+}
+
+// preprocess is the tile-extraction kernel. Inputs absent from DataDir
+// are fetched from the archive when credentials are supplied, so a
+// worker at another facility only needs the granule reference. The
+// output NetCDF is written via an atomic temp+rename with fully
+// deterministic content, which is what makes duplicated leases (steal,
+// requeue-after-partial) safe.
+func (k *Kernels) preprocess(ctx context.Context, args map[string]any) (any, error) {
+	sat, err := parseSatellite(stringFrom(args, "satellite"))
+	if err != nil {
+		return nil, err
+	}
+	g := modis.GranuleID{
+		Satellite: sat,
+		Year:      intFrom(args, "year"),
+		DOY:       intFrom(args, "doy"),
+		Index:     intFrom(args, "index"),
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	dataDir := stringFrom(args, "data_dir")
+	tileDir := stringFrom(args, "tile_dir")
+	if dataDir == "" || tileDir == "" {
+		return nil, fmt.Errorf("fleet: preprocess needs data_dir and tile_dir")
+	}
+
+	var client *laads.Client
+	if url := stringFrom(args, "archive_url"); url != "" {
+		client = laads.NewClient(url, stringFrom(args, "archive_token"))
+	}
+	read := func(kind modis.Kind) (*hdf.File, error) {
+		prod := modis.Product{Satellite: g.Satellite, Kind: kind}
+		name := modis.FileName(prod, g)
+		path := filepath.Join(dataDir, name)
+		if _, err := os.Stat(path); os.IsNotExist(err) && client != nil {
+			if err := os.MkdirAll(dataDir, 0o755); err != nil {
+				return nil, err
+			}
+			if _, err := client.Download(ctx, prod, g.Year, g.DOY, name, dataDir); err != nil {
+				return nil, fmt.Errorf("fetch %s: %w", name, err)
+			}
+		}
+		return hdf.ReadFile(path)
+	}
+	mod02, err := read(modis.L1B)
+	if err != nil {
+		return nil, err
+	}
+	mod03, err := read(modis.Geo)
+	if err != nil {
+		return nil, err
+	}
+	mod06, err := read(modis.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tile.Extract(mod02, mod03, mod06, tile.Options{
+		TileSize:     intFrom(args, "tile_pixels"),
+		MinCloudFrac: floatFrom(args, "min_cloud_frac"),
+		Arena:        k.arena,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Tiles) == 0 {
+		return PreprocessResult{}.asMap(), nil // night granule or no ocean clouds
+	}
+	if err := os.MkdirAll(tileDir, 0o755); err != nil {
+		return nil, err
+	}
+	// Same name core's in-process path produces, so local and fleet
+	// distribution yield byte-identical layouts on shared storage.
+	name := fmt.Sprintf("tiles.%s.A%04d%03d.%s.nc", g.Satellite.Prefix(), g.Year, g.DOY, g.HHMM())
+	path := filepath.Join(tileDir, name)
+	if err := tile.WriteNetCDF(path, res.Tiles); err != nil {
+		return nil, err
+	}
+	return PreprocessResult{Tiles: len(res.Tiles), File: path}.asMap(), nil
+}
+
+func (r PreprocessResult) asMap() map[string]any {
+	return map[string]any{"tiles": r.Tiles, "file": r.File}
+}
+
+// label is the inference kernel: load (or reuse) the labeler for the
+// model/codebook pair and label the tile file in place. AppendLabels
+// rewrites via temp+rename, and labels are deterministic for a given
+// precision, so duplicated leases are idempotent here too.
+func (k *Kernels) label(ctx context.Context, args map[string]any) (any, error) {
+	file := stringFrom(args, "file")
+	model := stringFrom(args, "model")
+	codebook := stringFrom(args, "codebook")
+	if file == "" || model == "" || codebook == "" {
+		return nil, fmt.Errorf("fleet: label needs file, model and codebook")
+	}
+	prec, err := aicca.ParsePrecision(stringFrom(args, "precision"))
+	if err != nil {
+		return nil, err
+	}
+	l, err := k.labelerFor(model, codebook)
+	if err != nil {
+		return nil, err
+	}
+	if l.Precision != prec {
+		// Shallow per-task override, same trick as aicca's BatchConfig:
+		// the shared model/codebook pointers stay cached.
+		ll := *l
+		ll.Precision = prec
+		l = &ll
+	}
+	n, err := l.LabelFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{"labeled": n}, nil
+}
+
+// labelerFor loads a labeler once per model/codebook pair.
+func (k *Kernels) labelerFor(model, codebook string) (*aicca.Labeler, error) {
+	key := model + "|" + codebook
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l, ok := k.models[key]; ok {
+		return l, nil
+	}
+	m, err := ricc.Load(model)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: load model: %w", err)
+	}
+	cb, err := ricc.LoadCodebook(codebook)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: load codebook: %w", err)
+	}
+	l, err := aicca.NewLabeler(m, cb)
+	if err != nil {
+		return nil, err
+	}
+	k.models[key] = l
+	return l, nil
+}
+
+func parseSatellite(s string) (modis.Satellite, error) {
+	switch s {
+	case "Terra":
+		return modis.Terra, nil
+	case "Aqua":
+		return modis.Aqua, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown satellite %q", s)
+}
+
+// intFrom tolerates the JSON hop turning ints into float64s.
+func intFrom(m map[string]any, key string) int {
+	switch v := m[key].(type) {
+	case int:
+		return v
+	case float64:
+		return int(v)
+	}
+	return 0
+}
+
+func floatFrom(m map[string]any, key string) float64 {
+	switch v := m[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return 0
+}
+
+func stringFrom(m map[string]any, key string) string {
+	s, _ := m[key].(string)
+	return s
+}

@@ -81,6 +81,13 @@ func New(engine *core.Engine, opts Options) *Server {
 			return float64(n)
 		})
 	engine.Quotas().Instrument(s.reg)
+	if fl := engine.Fleet(); fl != nil {
+		// Worker membership rides the control plane: workers register
+		// and heartbeat here, and the eoml_fleet_* series land in the
+		// aggregate /metrics exposition.
+		fl.Instrument(s.reg)
+		s.mux.Handle("/fleet/", fl.Handler())
+	}
 
 	s.mux.HandleFunc("POST /api/v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/runs", s.handleList)

@@ -65,6 +65,11 @@ type InferenceConfig struct {
 	StallTimeout time.Duration
 	// OnMoved, when set, observes every labeled file move (provenance).
 	OnMoved func(src, dst string, labeled int, started, ended time.Time)
+	// LabelFile, when set, replaces the in-process batcher for the
+	// flow's inference action — the hook fleet distribution uses to
+	// lease labeling to a worker process. It must label the file in
+	// place and return the tile count; the move step stays local.
+	LabelFile func(ctx context.Context, path string) (int, error)
 }
 
 func (c InferenceConfig) withDefaults() InferenceConfig {
@@ -377,6 +382,9 @@ func (s *InferenceService) inferenceProvider() flows.ActionProvider {
 		path, _ := params["file"].(string)
 		if path == "" {
 			return nil, fmt.Errorf("stage: inference action needs a file")
+		}
+		if s.cfg.LabelFile != nil {
+			return s.cfg.LabelFile(ctx, path)
 		}
 		return s.batcher.LabelFile(path)
 	}
