@@ -12,9 +12,12 @@
 GO ?= go
 BENCHTIME ?= 1s
 BENCHCOUNT ?= 3
-BENCH_OUT ?= BENCH_9.json
-BENCH_OLD ?= BENCH_6.json
-BENCH_NEW ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
+BENCH_OLD ?= BENCH_9.json
+BENCH_NEW ?= BENCH_10.json
+# At least one compared benchmark must match this, so the fleet
+# granules_per_s series cannot silently vanish from the gate.
+BENCH_REQUIRE ?= BenchmarkFleetScaling/(strong|weak)/
 BENCH_PAT := BenchmarkMatMulBlocked|BenchmarkMatMulSmall|BenchmarkEncodeArena|BenchmarkEncodeQ8|BenchmarkLabelFileBatched|BenchmarkTileExtract|BenchmarkPipelineE2E|BenchmarkFleetScaling
 
 FUZZTIME ?= 10s
@@ -64,8 +67,8 @@ fuzz-smoke:
 # the first exit code).
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . > bench.out.tmp
-	$(GO) run ./cmd/benchjson -pr 9 \
-		-title "Multi-process worker fleet: cmd/eoml-worker with leased tasks, measured strong/weak scaling" \
+	$(GO) run ./cmd/benchjson -pr 10 \
+		-title "Fleet hot path: worker granule prefetch, content-addressed download/result cache, batched lease/result RPCs" \
 		-command "make bench BENCHTIME=$(BENCHTIME) BENCHCOUNT=$(BENCHCOUNT)" < bench.out.tmp > $(BENCH_OUT)
 	@rm -f bench.out.tmp
 	@echo "wrote $(BENCH_OUT)"
@@ -96,9 +99,10 @@ fleet-smoke:
 
 # Regression gate over the committed records: deterministic in CI (no
 # benchmarks rerun), fails on >10% throughput regression between the two
-# most recent BENCH_N.json files.
+# most recent BENCH_N.json files. -require additionally fails if the
+# fleet scaling series stops being compared (rename/deletion).
 bench-diff:
-	$(GO) run ./cmd/benchdiff $(BENCH_OLD) $(BENCH_NEW)
+	$(GO) run ./cmd/benchdiff -require '$(BENCH_REQUIRE)' $(BENCH_OLD) $(BENCH_NEW)
 
 # Every figure/table/ablation benchmark in the repo.
 bench-all:

@@ -9,6 +9,13 @@
 // against its direction by more than the threshold. Memory metrics are
 // printed but never gate. `make bench-diff` runs this against the two
 // most recent committed records and is part of `make check`/CI.
+//
+// Compare silently skips benchmarks absent from either record, which
+// would let a renamed (or deleted) hot-path series dodge the gate;
+// -require closes that hole by demanding at least one compared
+// benchmark match the regexp:
+//
+//	benchdiff -require 'FleetScaling/(strong|weak)/' BENCH_9.json BENCH_10.json
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 
 	"github.com/eoml/eoml/internal/benchfmt"
 )
@@ -30,11 +38,20 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 0.10, "regression tolerance as a fraction (0.10 = 10%)")
+	require := fs.String("require", "", "regexp at least one compared benchmark must match (catches renamed/dropped series)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+		return fmt.Errorf("usage: benchdiff [-threshold 0.10] [-require REGEXP] OLD.json NEW.json")
+	}
+	var requireRE *regexp.Regexp
+	if *require != "" {
+		re, err := regexp.Compile(*require)
+		if err != nil {
+			return fmt.Errorf("bad -require regexp: %w", err)
+		}
+		requireRE = re
 	}
 	oldDoc, err := benchfmt.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -48,6 +65,18 @@ func run(args []string, stdout io.Writer) error {
 	deltas := benchfmt.Compare(oldDoc, newDoc, *threshold)
 	if len(deltas) == 0 {
 		return fmt.Errorf("no shared throughput metrics between %s and %s", fs.Arg(0), fs.Arg(1))
+	}
+	if requireRE != nil {
+		matched := false
+		for _, d := range deltas {
+			if requireRE.MatchString(d.Bench) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return fmt.Errorf("no compared benchmark matches -require %q — the gated series was renamed or dropped", *require)
+		}
 	}
 	regressions := 0
 	fmt.Fprintf(stdout, "%-44s %-12s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "ratio")

@@ -92,3 +92,64 @@ func TestBenchdiffRejectsDisjointRecords(t *testing.T) {
 		t.Fatalf("err = %v, want no-shared-metrics failure", err)
 	}
 }
+
+func TestBenchdiffRequireCatchesDroppedSeries(t *testing.T) {
+	// The fleet series exists in the old record but was renamed in the
+	// new one: Compare silently skips it, so without -require the gate
+	// passes on the surviving kernel benchmark alone.
+	oldFleet := `{
+	  "pr": 9,
+	  "benchmarks": {
+	    "BenchmarkFleetScaling/strong/workers=1": {"granules_per_s": 4.8},
+	    "BenchmarkMatMulBlocked/blocked_256": {"gflops": 30}
+	  }
+	}`
+	newFleet := `{
+	  "pr": 10,
+	  "benchmarks": {
+	    "BenchmarkFleetScaling/renamed/workers=1": {"granules_per_s": 1.0},
+	    "BenchmarkMatMulBlocked/blocked_256": {"gflops": 30}
+	  }
+	}`
+	oldPath := writeDoc(t, "old.json", oldFleet)
+	newPath := writeDoc(t, "new.json", newFleet)
+
+	var out strings.Builder
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatalf("without -require the rename should slip through, got: %v", err)
+	}
+	out.Reset()
+	err := run([]string{"-require", "FleetScaling/strong/", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "renamed or dropped") {
+		t.Fatalf("-require missed the dropped series: %v", err)
+	}
+}
+
+func TestBenchdiffRequirePassesWhenSeriesCompared(t *testing.T) {
+	oldFleet := `{
+	  "pr": 9,
+	  "benchmarks": {
+	    "BenchmarkFleetScaling/strong/workers=1": {"granules_per_s": 4.8}
+	  }
+	}`
+	newFleet := `{
+	  "pr": 10,
+	  "benchmarks": {
+	    "BenchmarkFleetScaling/strong/workers=1": {"granules_per_s": 9.0}
+	  }
+	}`
+	var out strings.Builder
+	err := run([]string{"-require", "FleetScaling/strong/",
+		writeDoc(t, "old.json", oldFleet), writeDoc(t, "new.json", newFleet)}, &out)
+	if err != nil {
+		t.Fatalf("compared fleet series should satisfy -require: %v\n%s", err, out.String())
+	}
+}
+
+func TestBenchdiffRequireRejectsBadRegexp(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-require", "(", "a.json", "b.json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bad -require regexp") {
+		t.Fatalf("bad regexp accepted: %v", err)
+	}
+}

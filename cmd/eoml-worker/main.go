@@ -9,6 +9,13 @@
 //	eoml serve -addr localhost:8080 -fleet        # control plane
 //	eoml-worker -coordinator http://localhost:8080
 //	eoml-worker -coordinator http://localhost:8080 -slots 4
+//	eoml-worker -coordinator http://localhost:8080 \
+//	    -prefetch 4 -cache-dir /var/cache/eoml -cache-max-bytes 1073741824
+//
+// -prefetch overlaps archive fetch with compute (granule N+1..N+k
+// stream in while N runs), and -cache-dir keeps fetched granules in a
+// content-addressed on-disk cache so re-leases and repeat runs hit disk
+// instead of the archive.
 //
 // Submit a run whose YAML declares `distribution: fleet` and the
 // coordinator leases its preprocess and inference work to every
@@ -34,6 +41,11 @@ func main() {
 	advertise := flag.String("advertise", "", "endpoint URL to register instead of the listen address (NAT / multi-facility)")
 	slots := flag.Int("slots", 1, "tasks this worker executes concurrently")
 	taskTimeout := flag.Duration("task-timeout", 0, "per-task execution bound (0 = none)")
+	prefetch := flag.Int("prefetch", 2, "granules fetched ahead of a free compute slot (0 = off); extends registered capacity by the same amount")
+	cacheDir := flag.String("cache-dir", "", "content-addressed download cache directory (empty = caching off)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "download cache size bound in bytes (0 = unbounded)")
+	archiveRPS := flag.Float64("archive-rps", 0, "per-tenant archive request-rate quota in requests/s (0 = unlimited)")
+	archiveBurst := flag.Int("archive-burst", 8, "per-tenant archive request burst when -archive-rps is set")
 	flag.Parse()
 
 	if *id == "" {
@@ -44,6 +56,10 @@ func main() {
 		*id = fmt.Sprintf("worker-%s-%d", host, os.Getpid())
 	}
 
+	var quota *eoml.QuotaPool
+	if *archiveRPS > 0 {
+		quota = eoml.NewQuotaPool(*archiveRPS, *archiveBurst)
+	}
 	w, err := eoml.NewFleetWorker(eoml.FleetWorkerConfig{
 		ID:             *id,
 		CoordinatorURL: *coordinator,
@@ -51,6 +67,10 @@ func main() {
 		AdvertiseURL:   *advertise,
 		Slots:          *slots,
 		TaskTimeout:    *taskTimeout,
+		PrefetchWindow: *prefetch,
+		CacheDir:       *cacheDir,
+		CacheMaxBytes:  *cacheMaxBytes,
+		ArchiveQuota:   quota,
 	})
 	if err != nil {
 		log.Fatalf("eoml-worker: %v", err)

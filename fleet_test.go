@@ -34,9 +34,11 @@ import (
 
 // Environment contract between the parent test and re-exec'd workers.
 const (
-	workerEnvCoord = "EOML_FLEET_WORKER_COORD"
-	workerEnvID    = "EOML_FLEET_WORKER_ID"
-	workerEnvSlots = "EOML_FLEET_WORKER_SLOTS"
+	workerEnvCoord    = "EOML_FLEET_WORKER_COORD"
+	workerEnvID       = "EOML_FLEET_WORKER_ID"
+	workerEnvSlots    = "EOML_FLEET_WORKER_SLOTS"
+	workerEnvPrefetch = "EOML_FLEET_WORKER_PREFETCH"
+	workerEnvCacheDir = "EOML_FLEET_WORKER_CACHE_DIR"
 )
 
 // TestMain turns this test binary into a fleet worker process when the
@@ -52,10 +54,13 @@ func TestMain(m *testing.M) {
 
 func runFleetWorkerProcess() {
 	slots, _ := strconv.Atoi(os.Getenv(workerEnvSlots))
+	prefetch, _ := strconv.Atoi(os.Getenv(workerEnvPrefetch))
 	w, err := fleet.NewWorker(fleet.WorkerConfig{
 		ID:             os.Getenv(workerEnvID),
 		CoordinatorURL: os.Getenv(workerEnvCoord),
 		Slots:          slots,
+		PrefetchWindow: prefetch,
+		CacheDir:       os.Getenv(workerEnvCacheDir),
 	})
 	if err == nil {
 		err = w.Start(context.Background())
@@ -75,9 +80,24 @@ type workerProc struct {
 	stdin io.WriteCloser
 }
 
+// workerOpts tunes spawned worker processes beyond slot count.
+type workerOpts struct {
+	// prefetch is the granule lease-ahead window (0 = off).
+	prefetch int
+	// cacheDir enables the content-addressed download cache.
+	cacheDir string
+}
+
 // startWorkerProcs re-execs this binary n times in worker mode against
-// the coordinator URL and waits until every worker reports ready.
+// the coordinator URL (prefetch on, cache off — the default fleet
+// configuration) and waits until every worker reports ready.
 func startWorkerProcs(tb testing.TB, coordURL string, n, slots int) []workerProc {
+	return startWorkerProcsOpts(tb, coordURL, n, slots, workerOpts{prefetch: 4})
+}
+
+// startWorkerProcsOpts is startWorkerProcs with explicit prefetch/cache
+// settings for the benchmark variants.
+func startWorkerProcsOpts(tb testing.TB, coordURL string, n, slots int, opts workerOpts) []workerProc {
 	tb.Helper()
 	procs := make([]workerProc, 0, n)
 	for i := 0; i < n; i++ {
@@ -86,6 +106,8 @@ func startWorkerProcs(tb testing.TB, coordURL string, n, slots int) []workerProc
 			workerEnvCoord+"="+coordURL,
 			workerEnvID+"="+fmt.Sprintf("proc-worker-%d", i),
 			workerEnvSlots+"="+strconv.Itoa(slots),
+			workerEnvPrefetch+"="+strconv.Itoa(opts.prefetch),
+			workerEnvCacheDir+"="+opts.cacheDir,
 		)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -238,7 +260,9 @@ func TestFleetSmoke(t *testing.T) {
 	defer coord.Close()
 	cp := httptest.NewServer(coord.Handler())
 	defer cp.Close()
-	procs := startWorkerProcs(t, cp.URL, 2, 1)
+	// Workers share one download-cache directory so the warm second pass
+	// below can assert the cache, not worker affinity, serves the bytes.
+	procs := startWorkerProcsOpts(t, cp.URL, 2, 1, workerOpts{prefetch: 4, cacheDir: t.TempDir()})
 	defer stopWorkerProcs(t, procs)
 
 	if ws := coord.Workers(); len(ws) != 2 {
@@ -283,6 +307,29 @@ func TestFleetSmoke(t *testing.T) {
 			}
 		}
 	}
+
+	// Warm-cache second pass: the same granule set through fresh run
+	// directories must be served entirely from the workers' download
+	// cache — zero archive requests, zero archive bytes.
+	reqBefore, bytesBefore := srv.Stats()
+	cfg2 := fleetRunConfig(t, archive.URL, "smoke-token", granules, model, codebook)
+	run2, err := eng.NewRun(cfg2, core.RunOptions{ID: "smoke-warm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := run2.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.TilesProduced != rep.TilesProduced || rep2.TilesLabeled != rep.TilesLabeled {
+		t.Fatalf("warm pass produced %d/%d tiles, cold pass %d/%d",
+			rep2.TilesProduced, rep2.TilesLabeled, rep.TilesProduced, rep.TilesLabeled)
+	}
+	reqAfter, bytesAfter := srv.Stats()
+	if reqAfter != reqBefore || bytesAfter != bytesBefore {
+		t.Fatalf("warm pass hit the archive: %d requests, %d bytes (want 0, 0)",
+			reqAfter-reqBefore, bytesAfter-bytesBefore)
+	}
 }
 
 // BenchmarkFleetScaling measures whole-pipeline granules/s against
@@ -307,6 +354,29 @@ func BenchmarkFleetScaling(b *testing.B) {
 	granules := fleetDayGranules(b, 16)
 	model, codebook := fleetTrainArtifacts(b, granules[0])
 
+	// One timed run over set; returns granules processed.
+	runOnce := func(b *testing.B, eng *core.Engine, set []int) int64 {
+		b.Helper()
+		b.StopTimer()
+		cfg := fleetRunConfig(b, archive.URL, token, set, model, codebook)
+		run, err := eng.NewRun(cfg, core.RunOptions{ID: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := run.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.GranulesRequested != len(set) {
+			b.Fatalf("processed %d of %d granules", rep.GranulesRequested, len(set))
+		}
+		return int64(rep.GranulesRequested)
+	}
+
+	// Headline strong/weak series: prefetch + batched leases on, cache
+	// off — directly comparable against the BENCH_9 series of the same
+	// names, which ran without prefetching or batching.
 	for _, mode := range []string{"strong", "weak"} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			set := granules[:8] // strong: fixed work
@@ -326,24 +396,78 @@ func BenchmarkFleetScaling(b *testing.B) {
 				var nGranules int64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					b.StopTimer()
-					cfg := fleetRunConfig(b, archive.URL, token, set, model, codebook)
-					run, err := eng.NewRun(cfg, core.RunOptions{ID: "bench"})
-					if err != nil {
-						b.Fatal(err)
-					}
-					b.StartTimer()
-					rep, err := run.Run(context.Background())
-					if err != nil {
-						b.Fatal(err)
-					}
-					if rep.GranulesRequested != len(set) {
-						b.Fatalf("processed %d of %d granules", rep.GranulesRequested, len(set))
-					}
-					nGranules += int64(rep.GranulesRequested)
+					nGranules += runOnce(b, eng, set)
 				}
 				b.ReportMetric(float64(nGranules)/b.Elapsed().Seconds(), "granules/s")
 			})
 		}
 	}
+
+	// Ablation: the same workload with the prefetch pipeline disabled,
+	// isolating its contribution from batching's.
+	b.Run("prefetchoff/workers=1", func(b *testing.B) {
+		coord := fleet.NewCoordinator(fleet.Config{})
+		defer coord.Close()
+		cp := httptest.NewServer(coord.Handler())
+		defer cp.Close()
+		procs := startWorkerProcsOpts(b, cp.URL, 1, 1, workerOpts{})
+		defer stopWorkerProcs(b, procs)
+		eng := core.NewEngine(core.EngineOptions{Fleet: coord})
+
+		var nGranules int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nGranules += runOnce(b, eng, granules[:8])
+		}
+		b.ReportMetric(float64(nGranules)/b.Elapsed().Seconds(), "granules/s")
+	})
+
+	// Cold cache: the download cache is on but starts empty every
+	// iteration (fresh directory, restarted worker), measuring the
+	// cache's ingest overhead on first contact.
+	b.Run("coldcache/workers=1", func(b *testing.B) {
+		coord := fleet.NewCoordinator(fleet.Config{})
+		defer coord.Close()
+		cp := httptest.NewServer(coord.Handler())
+		defer cp.Close()
+		eng := core.NewEngine(core.EngineOptions{Fleet: coord})
+
+		var nGranules int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			procs := startWorkerProcsOpts(b, cp.URL, 1, 1, workerOpts{prefetch: 4, cacheDir: b.TempDir()})
+			nGranules += runOnce(b, eng, granules[:8])
+			b.StopTimer()
+			stopWorkerProcs(b, procs)
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(nGranules)/b.Elapsed().Seconds(), "granules/s")
+	})
+
+	// Warm cache: one un-timed pass fills the cache, then every timed
+	// run is served from disk — and the archive must see zero traffic
+	// while the timer runs.
+	b.Run("warmcache/workers=1", func(b *testing.B) {
+		coord := fleet.NewCoordinator(fleet.Config{})
+		defer coord.Close()
+		cp := httptest.NewServer(coord.Handler())
+		defer cp.Close()
+		procs := startWorkerProcsOpts(b, cp.URL, 1, 1, workerOpts{prefetch: 4, cacheDir: b.TempDir()})
+		defer stopWorkerProcs(b, procs)
+		eng := core.NewEngine(core.EngineOptions{Fleet: coord})
+
+		runOnce(b, eng, granules[:8]) // warm the cache, un-timed
+		_, bytesBefore := srv.Stats()
+		var nGranules int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nGranules += runOnce(b, eng, granules[:8])
+		}
+		b.StopTimer()
+		if _, bytesAfter := srv.Stats(); bytesAfter != bytesBefore {
+			b.Fatalf("warm-cache runs fetched %d archive bytes, want 0", bytesAfter-bytesBefore)
+		}
+		b.ReportMetric(float64(nGranules)/b.Elapsed().Seconds(), "granules/s")
+	})
 }

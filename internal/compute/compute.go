@@ -152,6 +152,12 @@ type EndpointConfig struct {
 	// OnWorkerChange, when set, observes the active-worker count after
 	// every change — the hook the Fig. 6 timeline recorder uses.
 	OnWorkerChange func(active int)
+	// OnEnqueue, when set, observes every accepted task right after it
+	// is queued (before a pool worker picks it up). The fleet worker's
+	// granule prefetcher hangs off this hook: it sees leased tasks while
+	// they wait for a compute slot and fetches their inputs ahead of
+	// execution. Called outside the endpoint lock; must not block.
+	OnEnqueue func(function string, args map[string]any)
 }
 
 // Endpoint executes registry functions on a worker pool.
@@ -299,12 +305,80 @@ func (e *Endpoint) Submit(function string, args map[string]any) (*Future, error)
 	select {
 	case e.queue <- &queued{fn: fn, arg: args, fut: fut}:
 		e.mu.Unlock()
+		if hook := e.cfg.OnEnqueue; hook != nil {
+			hook(function, args)
+		}
 		return fut, nil
 	default:
 		delete(e.futures, id)
 		e.mu.Unlock()
 		return nil, fmt.Errorf("compute: endpoint %q queue full", e.ID)
 	}
+}
+
+// Spec names one task of a batch submission.
+type Spec struct {
+	Function string         `json:"function"`
+	Args     map[string]any `json:"args"`
+}
+
+// SubmitBatch enqueues many tasks in one call, all or nothing: every
+// function is resolved and every queue slot reserved before any task is
+// accepted, so a draining endpoint or a full queue rejects the whole
+// batch and the caller's lease accounting stays simple. This is the
+// endpoint half of the fleet's batched lease RPC — one round-trip
+// carries a worker's whole lease window instead of one task.
+func (e *Endpoint) SubmitBatch(specs []Spec) ([]*Future, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("compute: empty batch")
+	}
+	fns := make([]Function, len(specs))
+	for i, s := range specs {
+		fn, err := e.reg.Lookup(s.Function)
+		if err != nil {
+			return nil, fmt.Errorf("compute: batch task %d: %w", i, err)
+		}
+		fns[i] = fn
+	}
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("compute: endpoint %q: %w", e.ID, ErrDraining)
+	}
+	if !e.started {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("compute: endpoint %q is not running", e.ID)
+	}
+	if free := cap(e.queue) - len(e.queue); free < len(specs) {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("compute: endpoint %q queue full (%d free, batch of %d)", e.ID, free, len(specs))
+	}
+	futs := make([]*Future, len(specs))
+	for i, s := range specs {
+		e.nextID++
+		id := fmt.Sprintf("%s-task-%06d", e.ID, e.nextID)
+		fut := newFuture(id)
+		e.futures[id] = fut
+		futs[i] = fut
+		// The free-capacity check above ran under the same lock Stop and
+		// Submit take, so this send cannot block; the default arm only
+		// guards the invariant.
+		select {
+		case e.queue <- &queued{fn: fns[i], arg: s.Args, fut: fut}:
+		default:
+			delete(e.futures, id)
+			e.mu.Unlock()
+			return nil, fmt.Errorf("compute: endpoint %q queue full mid-batch (task %d of %d)", e.ID, i+1, len(specs))
+		}
+	}
+	hook := e.cfg.OnEnqueue
+	e.mu.Unlock()
+	if hook != nil {
+		for _, s := range specs {
+			hook(s.Function, s.Args)
+		}
+	}
+	return futs, nil
 }
 
 // Future looks up a previously submitted task by ID.

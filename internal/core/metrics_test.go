@@ -165,6 +165,17 @@ func TestOperationsDocCoversAllMetrics(t *testing.T) {
 	for _, f := range fleetReg.Snapshot() {
 		names[f.Name] = true
 	}
+	// The worker-side cache/prefetch families register on each worker's
+	// kernel set (eoml-worker wires them); union an instrumented one.
+	kernReg := metrics.NewRegistry()
+	kern, err := fleet.NewKernelsWith(fleet.KernelConfig{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern.Instrument(kernReg)
+	for _, f := range kernReg.Snapshot() {
+		names[f.Name] = true
+	}
 	if len(names) < 20 {
 		t.Fatalf("only %d families registered — instrumentation regressed?", len(names))
 	}

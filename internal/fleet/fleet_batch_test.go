@@ -1,0 +1,397 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/eoml/eoml/internal/metrics"
+)
+
+// batchTransport is a test double implementing BatchTransport: Run
+// handles single leases (steals), RunBatch handles batched dispatch.
+type batchTransport struct {
+	run      func(ctx context.Context, url, fn string, args map[string]any) (any, error)
+	runBatch func(ctx context.Context, url string, specs []TaskSpec) ([]TaskResult, error)
+}
+
+func (b *batchTransport) Run(ctx context.Context, url, fn string, args map[string]any) (any, error) {
+	return b.run(ctx, url, fn, args)
+}
+
+func (b *batchTransport) RunBatch(ctx context.Context, url string, specs []TaskSpec) ([]TaskResult, error) {
+	return b.runBatch(ctx, url, specs)
+}
+
+func TestBatchedDispatchCollapsesRoundTrips(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		calls [][]TaskSpec
+	)
+	tr := &batchTransport{
+		run: func(_ context.Context, _, fn string, args map[string]any) (any, error) {
+			return args["n"], nil
+		},
+		runBatch: func(_ context.Context, _ string, specs []TaskSpec) ([]TaskResult, error) {
+			mu.Lock()
+			calls = append(calls, specs)
+			mu.Unlock()
+			out := make([]TaskResult, len(specs))
+			for i, s := range specs {
+				out[i] = TaskResult{Result: s.Args["n"]}
+			}
+			return out, nil
+		},
+	}
+	clock := newFakeClock()
+	c := NewCoordinator(Config{Transport: tr, Clock: clock.Now, LeaseBatch: 8})
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.Instrument(reg)
+
+	// Submit with no workers so everything queues, then register one
+	// worker with room for the whole backlog: dispatch should lease all
+	// eight tasks in one transport round-trip.
+	futs := make([]*Future, 8)
+	for i := range futs {
+		f, err := c.Submit(context.Background(), "echo", map[string]any{"n": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	if err := c.Register("w1", "http://w1", 8); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		v, err := f.Get(context.Background())
+		if err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+		if v.(int) != i {
+			t.Fatalf("task %d returned %v", i, v)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || len(calls[0]) != 8 {
+		sizes := make([]int, len(calls))
+		for i, b := range calls {
+			sizes[i] = len(b)
+		}
+		t.Fatalf("batch round-trips %v, want one batch of 8", sizes)
+	}
+	// Both batch-size histograms observed the batch.
+	for _, name := range []string{"eoml_fleet_lease_batch_size", "eoml_fleet_result_batch_size"} {
+		found := false
+		for _, fam := range reg.Snapshot() {
+			if fam.Name != name {
+				continue
+			}
+			found = true
+			if n := fam.Series[0].Histogram.Count; n != 1 {
+				t.Fatalf("%s count = %d, want 1", name, n)
+			}
+		}
+		if !found {
+			t.Fatalf("histogram %s not registered", name)
+		}
+	}
+}
+
+func TestBatchedDispatchBoundedByFreeCapacity(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		sizes []int
+	)
+	tr := &batchTransport{
+		run: func(_ context.Context, _, _ string, args map[string]any) (any, error) { return "ok", nil },
+		runBatch: func(_ context.Context, _ string, specs []TaskSpec) ([]TaskResult, error) {
+			mu.Lock()
+			sizes = append(sizes, len(specs))
+			mu.Unlock()
+			out := make([]TaskResult, len(specs))
+			for i := range out {
+				out[i] = TaskResult{Result: "ok"}
+			}
+			return out, nil
+		},
+	}
+	clock := newFakeClock()
+	c := NewCoordinator(Config{Transport: tr, Clock: clock.Now, LeaseBatch: 8})
+	defer c.Close()
+	futs := make([]*Future, 6)
+	for i := range futs {
+		f, err := c.Submit(context.Background(), "echo", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	// Capacity 3 < LeaseBatch 8: the first dispatch must lease only 3.
+	if err := c.Register("w1", "http://w1", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if _, err := f.Get(context.Background()); err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, n := range sizes {
+		if n > 3 {
+			t.Fatalf("batch of %d exceeds worker capacity 3 (sizes %v)", n, sizes)
+		}
+	}
+}
+
+func TestBatchMixedOutcomes(t *testing.T) {
+	tr := &batchTransport{
+		run: func(_ context.Context, _, _ string, args map[string]any) (any, error) { return "ok", nil },
+		runBatch: func(_ context.Context, _ string, specs []TaskSpec) ([]TaskResult, error) {
+			out := make([]TaskResult, len(specs))
+			for i, s := range specs {
+				if s.Args["boom"] == true {
+					out[i] = TaskResult{Err: &TaskError{Msg: "kernel exploded"}}
+					continue
+				}
+				out[i] = TaskResult{Result: "ok"}
+			}
+			return out, nil
+		},
+	}
+	clock := newFakeClock()
+	c := NewCoordinator(Config{Transport: tr, Clock: clock.Now, LeaseBatch: 4})
+	defer c.Close()
+	good1, _ := c.Submit(context.Background(), "t", map[string]any{"boom": false})
+	bad, _ := c.Submit(context.Background(), "t", map[string]any{"boom": true})
+	good2, _ := c.Submit(context.Background(), "t", map[string]any{"boom": false})
+	if err := c.Register("w1", "http://w1", 4); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := good1.Get(context.Background()); err != nil || v != "ok" {
+		t.Fatalf("good1 = %v, %v", v, err)
+	}
+	if _, err := bad.Get(context.Background()); err == nil {
+		t.Fatal("bad task succeeded")
+	}
+	if v, err := good2.Get(context.Background()); err != nil || v != "ok" {
+		t.Fatalf("good2 = %v, %v", v, err)
+	}
+}
+
+func TestBatchTransportFailureRequeuesAllAndEvicts(t *testing.T) {
+	var mu sync.Mutex
+	done := map[string]int{}
+	tr := &batchTransport{
+		run: func(_ context.Context, _, _ string, args map[string]any) (any, error) { return "ok", nil },
+		runBatch: func(_ context.Context, url string, specs []TaskSpec) ([]TaskResult, error) {
+			if url == "http://dead" {
+				return nil, fmt.Errorf("connection refused")
+			}
+			out := make([]TaskResult, len(specs))
+			for i, s := range specs {
+				mu.Lock()
+				done[s.Args["id"].(string)]++
+				mu.Unlock()
+				out[i] = TaskResult{Result: "ok"}
+			}
+			return out, nil
+		},
+	}
+	clock := newFakeClock()
+	c := NewCoordinator(Config{Transport: tr, Clock: clock.Now, LeaseBatch: 4, MaxAttempts: 3})
+	defer c.Close()
+	futs := make([]*Future, 4)
+	for i := range futs {
+		f, err := c.Submit(context.Background(), "t", map[string]any{"id": fmt.Sprintf("task-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	// The dead worker takes the whole batch and fails it; the coordinator
+	// must requeue all four leases and evict it. Registering a live
+	// worker then drains the queue.
+	if err := c.Register("dead", "http://dead", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("live", "http://live", 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if _, err := f.Get(context.Background()); err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if got := c.requeued.Load(); got < 4 {
+		t.Fatalf("requeued %d leases, want >= 4", got)
+	}
+	if got := c.evicted.Load(); got != 1 {
+		t.Fatalf("evicted %d workers, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range done {
+		if n != 1 {
+			t.Fatalf("%s executed %d times on the live worker", id, n)
+		}
+	}
+}
+
+// TestStolenTaskCacheHitExactlyOnce pins the satellite scenario from
+// the worker's result memo: the primary lease blocks, the coordinator
+// steals the task, the thief computes and memoizes, and when the
+// blocked primary finally runs it lands a cache hit — the duplicate
+// result must be discarded, not delivered twice, and nothing may
+// recompute.
+func TestStolenTaskCacheHitExactlyOnce(t *testing.T) {
+	clock := newFakeClock()
+	rc := NewResultCache(0)
+	var computes int64
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	primaryIn := make(chan struct{})
+	tr := transportFunc(func(_ context.Context, url, _ string, args map[string]any) (any, error) {
+		if url == "http://w1" {
+			close(primaryIn)
+			<-gate // hold the primary lease so the steal fires first
+		}
+		if v, ok := rc.Get("granule-A"); ok {
+			return v, nil
+		}
+		mu.Lock()
+		computes++
+		mu.Unlock()
+		rc.Put("granule-A", 42)
+		return 42, nil
+	})
+	c := NewCoordinator(Config{
+		HeartbeatTimeout: time.Hour,
+		StealAfter:       time.Millisecond,
+		Transport:        tr,
+		Clock:            clock.Now,
+	})
+	defer c.Close()
+	if err := c.Register("w1", "http://w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("w2", "http://w2", 1); err != nil {
+		t.Fatal(err)
+	}
+	fut, err := c.Submit(context.Background(), "preprocess", map[string]any{"g": "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-primaryIn
+	clock.Advance(time.Second)
+	c.Sweep() // steal the stale lease onto w2
+
+	v, err := fut.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("result = %v, want 42", v)
+	}
+	close(gate) // release the primary; its cache-hit duplicate must be discarded
+	c.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if computes != 1 {
+		t.Fatalf("kernel computed %d times, want 1 (thief only)", computes)
+	}
+	hits, _, _ := rc.Stats()
+	if hits != 1 {
+		t.Fatalf("result cache hits = %d, want 1 (the released primary)", hits)
+	}
+	if got := c.completed.Load(); got != 1 {
+		t.Fatalf("completed = %d, want exactly once", got)
+	}
+}
+
+// TestFleetStealCacheHammer is the steal hammer with a memoizing batch
+// transport: batched leases, aggressive stealing, and a shared result
+// cache standing in for the workers' memo. Every task must deliver its
+// own result exactly once no matter how many duplicate leases hit the
+// cache.
+func TestFleetStealCacheHammer(t *testing.T) {
+	const tasks = 120
+	rc := NewResultCache(0)
+	runOne := func(args map[string]any) any {
+		n := args["n"].(int)
+		key := fmt.Sprintf("task-%d", n)
+		if v, ok := rc.Get(key); ok {
+			return v
+		}
+		rc.Put(key, n)
+		return n
+	}
+	tr := &batchTransport{
+		run: func(_ context.Context, _, _ string, args map[string]any) (any, error) {
+			return runOne(args), nil
+		},
+		runBatch: func(_ context.Context, _ string, specs []TaskSpec) ([]TaskResult, error) {
+			out := make([]TaskResult, len(specs))
+			for i, s := range specs {
+				out[i] = TaskResult{Result: runOne(s.Args)}
+			}
+			return out, nil
+		},
+	}
+	c := NewCoordinator(Config{
+		HeartbeatTimeout: time.Hour,
+		StealAfter:       time.Nanosecond, // everything outstanding is stealable
+		LeaseBatch:       8,
+		Transport:        tr,
+	})
+	for i := 0; i < 4; i++ {
+		if err := c.Register(fmt.Sprintf("w%d", i), fmt.Sprintf("http://w%d", i), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stopSweeps := make(chan struct{})
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopSweeps:
+					return
+				default:
+					c.Sweep()
+				}
+			}
+		}()
+	}
+	futs := make([]*Future, tasks)
+	for i := 0; i < tasks; i++ {
+		fut, err := c.Submit(ctx, "work", map[string]any{"n": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		v, err := fut.Get(ctx)
+		if err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("task %d returned %v (cross-task result mixup)", i, v)
+		}
+	}
+	close(stopSweeps)
+	wg.Wait()
+	c.Close()
+	if got := c.completed.Load(); got != tasks {
+		t.Fatalf("completed = %d, want %d (exactly once each)", got, tasks)
+	}
+}

@@ -2,15 +2,20 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"github.com/eoml/eoml/internal/aicca"
 	"github.com/eoml/eoml/internal/compute"
 	"github.com/eoml/eoml/internal/hdf"
 	"github.com/eoml/eoml/internal/laads"
+	"github.com/eoml/eoml/internal/metrics"
 	"github.com/eoml/eoml/internal/modis"
 	"github.com/eoml/eoml/internal/ricc"
 	"github.com/eoml/eoml/internal/tensor"
@@ -99,22 +104,117 @@ func ParseLabelResult(v any) (LabelResult, error) {
 	return LabelResult{Labeled: intFrom(m, "labeled")}, nil
 }
 
+// KernelConfig tunes the worker kernel set's caches and archive access.
+// The zero value disables the on-disk download cache and admits every
+// archive request (no quota), matching the PR-9 behavior.
+type KernelConfig struct {
+	// CacheDir, when set, enables the content-addressed on-disk download
+	// cache: archive fetches land there and re-leases hit disk instead
+	// of the archive.
+	CacheDir string
+	// CacheMaxBytes bounds the download cache; <= 0 means unbounded.
+	CacheMaxBytes int64
+	// ResultCacheSize bounds memoized task results; 0 means 1024.
+	ResultCacheSize int
+	// Quota, when set, gates archive fetches on the owning tenant's
+	// token bucket — the prefetcher shares it with the compute slots, so
+	// overlap never exceeds the facility's request-rate agreement.
+	Quota *laads.QuotaPool
+}
+
 // Kernels hosts the worker-side task implementations against shared
-// per-process state: one decode arena for tile extraction and a
+// per-process state: one decode arena for tile extraction, a
 // model/codebook cache for inference (loaded once per pair, like
-// core.Engine's weights cache).
+// core.Engine's weights cache), a content-addressed download cache, and
+// a bounded memo of completed task results so requeued or stolen tasks
+// skip redone work.
 type Kernels struct {
-	arena *tensor.ShardedArena
+	arena     *tensor.ShardedArena
+	downloads *DownloadCache // nil when CacheDir is unset
+	results   *ResultCache
+	quota     *laads.QuotaPool // nil admits everything
 
 	mu sync.Mutex
 	// models caches loaded labelers keyed "modelPath|codebookPath".
 	// guarded by mu
 	models map[string]*aicca.Labeler
+	// clients caches archive clients keyed "url|token" so every fetch —
+	// prefetch or in-slot — shares one connection pool and one quota
+	// hook per tenant. guarded by mu
+	clients map[string]*laads.Client
+	// fetches coalesces concurrent cache-less downloads of one
+	// destination path: the prefetcher and a compute slot racing on the
+	// same granule must cost one archive fetch, not two concurrent
+	// writers. (With the cache enabled its own singleflight covers
+	// this.) guarded by mu
+	fetches map[string]*fetchCall
+
+	prefetchInflight atomic.Int64
 }
 
-// NewKernels builds the worker kernel set.
+// NewKernels builds the worker kernel set with caching and quota off.
 func NewKernels() *Kernels {
-	return &Kernels{arena: tensor.NewShardedArena(), models: map[string]*aicca.Labeler{}}
+	k, err := NewKernelsWith(KernelConfig{})
+	if err != nil {
+		panic(err) // unreachable: only CacheDir setup can fail
+	}
+	return k
+}
+
+// NewKernelsWith builds the worker kernel set.
+func NewKernelsWith(cfg KernelConfig) (*Kernels, error) {
+	k := &Kernels{
+		arena:   tensor.NewShardedArena(),
+		results: NewResultCache(cfg.ResultCacheSize),
+		quota:   cfg.Quota,
+		models:  map[string]*aicca.Labeler{},
+		clients: map[string]*laads.Client{},
+		fetches: map[string]*fetchCall{},
+	}
+	if cfg.CacheDir != "" {
+		dc, err := NewDownloadCache(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		k.downloads = dc
+	}
+	return k, nil
+}
+
+// Instrument registers the worker-side cache and prefetch series on
+// reg: eoml_fleet_cache_{hits,misses,evictions}_total broken out by
+// cache={download,result}, and the eoml_fleet_prefetch_inflight gauge.
+func (k *Kernels) Instrument(reg *metrics.Registry) {
+	dl := metrics.L("cache", "download")
+	rs := metrics.L("cache", "result")
+	pick := func(sel func(h, m, e int64) int64, download bool) func() float64 {
+		return func() float64 {
+			if download {
+				if k.downloads == nil {
+					return 0
+				}
+				return float64(sel(k.downloads.Stats()))
+			}
+			return float64(sel(k.results.Stats()))
+		}
+	}
+	hitsOf := func(h, _, _ int64) int64 { return h }
+	missesOf := func(_, m, _ int64) int64 { return m }
+	evictionsOf := func(_, _, e int64) int64 { return e }
+	const (
+		hitsHelp      = "Cache hits, by cache (download = archive bytes served from disk, result = task results served from memo)."
+		missesHelp    = "Cache misses, by cache (download = archive fetches that went to the network, result = tasks computed fresh)."
+		evictionsHelp = "Cache evictions, by cache (LRU size bound or integrity failure)."
+	)
+	reg.CounterFunc("eoml_fleet_cache_hits_total", hitsHelp, pick(hitsOf, true), dl)
+	reg.CounterFunc("eoml_fleet_cache_hits_total", hitsHelp, pick(hitsOf, false), rs)
+	reg.CounterFunc("eoml_fleet_cache_misses_total", missesHelp, pick(missesOf, true), dl)
+	reg.CounterFunc("eoml_fleet_cache_misses_total", missesHelp, pick(missesOf, false), rs)
+	reg.CounterFunc("eoml_fleet_cache_evictions_total", evictionsHelp, pick(evictionsOf, true), dl)
+	reg.CounterFunc("eoml_fleet_cache_evictions_total", evictionsHelp, pick(evictionsOf, false), rs)
+	reg.GaugeFunc("eoml_fleet_prefetch_inflight",
+		"Granule input fetches currently running ahead of their compute slot.",
+		func() float64 { return float64(k.prefetchInflight.Load()) })
 }
 
 // Register adds both task functions to a compute registry.
@@ -125,16 +225,113 @@ func (k *Kernels) Register(reg *compute.Registry) error {
 	return reg.Register(LabelFunction, k.label)
 }
 
-// preprocess is the tile-extraction kernel. Inputs absent from DataDir
-// are fetched from the archive when credentials are supplied, so a
-// worker at another facility only needs the granule reference. The
-// output NetCDF is written via an atomic temp+rename with fully
-// deterministic content, which is what makes duplicated leases (steal,
-// requeue-after-partial) safe.
-func (k *Kernels) preprocess(ctx context.Context, args map[string]any) (any, error) {
+// clientFor finds or creates the archive client for one url+token pair,
+// so prefetch and in-slot fetches share a connection pool and the
+// tenant's quota bucket. Tenants are keyed to the archive credential
+// (hashed — the secret never becomes a metric label).
+func (k *Kernels) clientFor(url, token string) *laads.Client {
+	key := url + "|" + token
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if c, ok := k.clients[key]; ok {
+		return c
+	}
+	c := laads.NewClient(url, token)
+	if k.quota != nil {
+		tok := sha256.Sum256([]byte(token))
+		c.Quota = k.quota.Tenant(hex.EncodeToString(tok[:6]))
+	}
+	k.clients[key] = c
+	return c
+}
+
+// fetchGranuleInputs fetches the granule's product files missing from
+// dataDir, all three concurrently — against a latency-shaped archive
+// the triple costs one round-trip instead of three. Each fetch goes
+// through the download cache (when enabled), so re-leases and restarted
+// runs hit disk. No archive URL means shared storage; missing files
+// surface later as read errors.
+func (k *Kernels) fetchGranuleInputs(ctx context.Context, g modis.GranuleID, dataDir, url, token string) error {
+	if url == "" {
+		return nil
+	}
+	client := k.clientFor(url, token)
+	kinds := []modis.Kind{modis.L1B, modis.Geo, modis.Cloud}
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, len(kinds))
+	)
+	for i, kind := range kinds {
+		prod := modis.Product{Satellite: g.Satellite, Kind: kind}
+		name := modis.FileName(prod, g)
+		if _, err := os.Stat(filepath.Join(dataDir, name)); err == nil {
+			continue
+		}
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, prod modis.Product, name string) {
+			defer wg.Done()
+			fill := func(ctx context.Context) (string, error) {
+				if _, err := client.Download(ctx, prod, g.Year, g.DOY, name, dataDir); err != nil {
+					return "", fmt.Errorf("fetch %s: %w", name, err)
+				}
+				return filepath.Join(dataDir, name), nil
+			}
+			if k.downloads == nil {
+				errs[i] = k.fetchDirect(ctx, filepath.Join(dataDir, name), fill)
+				return
+			}
+			key := CacheKey{ArchiveURL: url, Token: token, Name: name}
+			_, _, errs[i] = k.downloads.Fetch(ctx, key, dataDir, fill)
+		}(i, prod, name)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// fetchDirect runs fill for dest, coalescing concurrent callers: the
+// first becomes the leader, the rest wait and succeed when it does. A
+// waiter whose leader failed (possibly on the leader's own canceled
+// context) loops and retries as leader, so a compute slot never fails
+// a fetch just because the prefetcher's attempt died.
+func (k *Kernels) fetchDirect(ctx context.Context, dest string, fill func(context.Context) (string, error)) error {
+	for {
+		if _, err := os.Stat(dest); err == nil {
+			return nil
+		}
+		k.mu.Lock()
+		if call, ok := k.fetches[dest]; ok {
+			k.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if call.err == nil {
+				return nil
+			}
+			continue
+		}
+		call := &fetchCall{done: make(chan struct{})}
+		k.fetches[dest] = call
+		k.mu.Unlock()
+		_, call.err = fill(ctx)
+		k.mu.Lock()
+		delete(k.fetches, dest)
+		k.mu.Unlock()
+		close(call.done)
+		return call.err
+	}
+}
+
+// parsePreprocessRef validates the granule reference shared by the
+// preprocess kernel and the prefetcher.
+func parsePreprocessRef(args map[string]any) (modis.GranuleID, string, string, error) {
 	sat, err := parseSatellite(stringFrom(args, "satellite"))
 	if err != nil {
-		return nil, err
+		return modis.GranuleID{}, "", "", err
 	}
 	g := modis.GranuleID{
 		Satellite: sat,
@@ -143,31 +340,62 @@ func (k *Kernels) preprocess(ctx context.Context, args map[string]any) (any, err
 		Index:     intFrom(args, "index"),
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return modis.GranuleID{}, "", "", err
 	}
 	dataDir := stringFrom(args, "data_dir")
 	tileDir := stringFrom(args, "tile_dir")
 	if dataDir == "" || tileDir == "" {
-		return nil, fmt.Errorf("fleet: preprocess needs data_dir and tile_dir")
+		return modis.GranuleID{}, "", "", fmt.Errorf("fleet: preprocess needs data_dir and tile_dir")
+	}
+	return g, dataDir, tileDir, nil
+}
+
+// prefetchInputs fetches one enqueued preprocess task's inputs ahead of
+// its compute slot. Errors are dropped: the kernel repeats the fetch
+// (cache-assisted) and reports failures through the normal task path.
+func (k *Kernels) prefetchInputs(ctx context.Context, args map[string]any) {
+	g, dataDir, _, err := parsePreprocessRef(args)
+	if err != nil {
+		return
+	}
+	k.prefetchInflight.Add(1)
+	defer k.prefetchInflight.Add(-1)
+	_ = k.fetchGranuleInputs(ctx, g, dataDir, stringFrom(args, "archive_url"), stringFrom(args, "archive_token"))
+}
+
+// preprocess is the tile-extraction kernel. Inputs absent from DataDir
+// are fetched from the archive when credentials are supplied, so a
+// worker at another facility only needs the granule reference. The
+// output NetCDF is written via an atomic temp+rename with fully
+// deterministic content, which is what makes duplicated leases (steal,
+// requeue-after-partial) safe — and completed results are memoized on
+// the granule ref, so a duplicate lease that already ran here returns
+// without recomputing at all.
+func (k *Kernels) preprocess(ctx context.Context, args map[string]any) (any, error) {
+	g, dataDir, tileDir, err := parsePreprocessRef(args)
+	if err != nil {
+		return nil, err
+	}
+	memoKey := fmt.Sprintf("preprocess|%s|%04d%03d.%d|%s|%d|%g",
+		stringFrom(args, "satellite"), g.Year, g.DOY, g.Index,
+		tileDir, intFrom(args, "tile_pixels"), floatFrom(args, "min_cloud_frac"))
+	if v, ok := k.results.Get(memoKey); ok {
+		r := v.(PreprocessResult)
+		if r.File == "" {
+			return r.asMap(), nil // memoized empty granule
+		}
+		if _, err := os.Stat(r.File); err == nil {
+			return r.asMap(), nil
+		}
+		k.results.Delete(memoKey) // output vanished; recompute
 	}
 
-	var client *laads.Client
-	if url := stringFrom(args, "archive_url"); url != "" {
-		client = laads.NewClient(url, stringFrom(args, "archive_token"))
+	if err := k.fetchGranuleInputs(ctx, g, dataDir, stringFrom(args, "archive_url"), stringFrom(args, "archive_token")); err != nil {
+		return nil, err
 	}
 	read := func(kind modis.Kind) (*hdf.File, error) {
 		prod := modis.Product{Satellite: g.Satellite, Kind: kind}
-		name := modis.FileName(prod, g)
-		path := filepath.Join(dataDir, name)
-		if _, err := os.Stat(path); os.IsNotExist(err) && client != nil {
-			if err := os.MkdirAll(dataDir, 0o755); err != nil {
-				return nil, err
-			}
-			if _, err := client.Download(ctx, prod, g.Year, g.DOY, name, dataDir); err != nil {
-				return nil, fmt.Errorf("fetch %s: %w", name, err)
-			}
-		}
-		return hdf.ReadFile(path)
+		return hdf.ReadFile(filepath.Join(dataDir, modis.FileName(prod, g)))
 	}
 	mod02, err := read(modis.L1B)
 	if err != nil {
@@ -190,7 +418,9 @@ func (k *Kernels) preprocess(ctx context.Context, args map[string]any) (any, err
 		return nil, err
 	}
 	if len(res.Tiles) == 0 {
-		return PreprocessResult{}.asMap(), nil // night granule or no ocean clouds
+		out := PreprocessResult{}
+		k.results.Put(memoKey, out)
+		return out.asMap(), nil // night granule or no ocean clouds
 	}
 	if err := os.MkdirAll(tileDir, 0o755); err != nil {
 		return nil, err
@@ -202,7 +432,9 @@ func (k *Kernels) preprocess(ctx context.Context, args map[string]any) (any, err
 	if err := tile.WriteNetCDF(path, res.Tiles); err != nil {
 		return nil, err
 	}
-	return PreprocessResult{Tiles: len(res.Tiles), File: path}.asMap(), nil
+	out := PreprocessResult{Tiles: len(res.Tiles), File: path}
+	k.results.Put(memoKey, out)
+	return out.asMap(), nil
 }
 
 func (r PreprocessResult) asMap() map[string]any {
@@ -212,7 +444,10 @@ func (r PreprocessResult) asMap() map[string]any {
 // label is the inference kernel: load (or reuse) the labeler for the
 // model/codebook pair and label the tile file in place. AppendLabels
 // rewrites via temp+rename, and labels are deterministic for a given
-// precision, so duplicated leases are idempotent here too.
+// precision, so duplicated leases are idempotent here too — and, like
+// preprocess, memoized: a stolen or requeued task whose file this
+// worker already labeled returns the cached count without rerunning
+// inference.
 func (k *Kernels) label(ctx context.Context, args map[string]any) (any, error) {
 	file := stringFrom(args, "file")
 	model := stringFrom(args, "model")
@@ -223,6 +458,13 @@ func (k *Kernels) label(ctx context.Context, args map[string]any) (any, error) {
 	prec, err := aicca.ParsePrecision(stringFrom(args, "precision"))
 	if err != nil {
 		return nil, err
+	}
+	memoKey := fmt.Sprintf("label|%s|%s|%s|%v", file, model, codebook, prec)
+	if v, ok := k.results.Get(memoKey); ok {
+		if _, err := os.Stat(file); err == nil {
+			return map[string]any{"labeled": v.(int)}, nil
+		}
+		k.results.Delete(memoKey) // labeled file vanished; recompute
 	}
 	l, err := k.labelerFor(model, codebook)
 	if err != nil {
@@ -239,6 +481,7 @@ func (k *Kernels) label(ctx context.Context, args map[string]any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	k.results.Put(memoKey, n)
 	return map[string]any{"labeled": n}, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"github.com/eoml/eoml/internal/compute"
+	"github.com/eoml/eoml/internal/laads"
+	"github.com/eoml/eoml/internal/metrics"
 )
 
 // WorkerConfig tunes one worker process.
@@ -34,6 +36,23 @@ type WorkerConfig struct {
 	Heartbeat time.Duration
 	// TaskTimeout bounds each task's execution; 0 disables.
 	TaskTimeout time.Duration
+	// PrefetchWindow is how many leased granules fetch their archive
+	// inputs ahead of a free compute slot. It also extends the capacity
+	// registered with the coordinator (Slots + PrefetchWindow) so extra
+	// leases queue at the endpoint where the prefetcher can see them.
+	// 0 disables prefetching.
+	PrefetchWindow int
+	// CacheDir, when set, enables the content-addressed on-disk download
+	// cache so re-leased granules hit disk instead of the archive.
+	CacheDir string
+	// CacheMaxBytes bounds the download cache; <= 0 means unbounded.
+	CacheMaxBytes int64
+	// ArchiveQuota, when set, gates every archive fetch — prefetch and
+	// in-slot — on the owning tenant's token bucket.
+	ArchiveQuota *laads.QuotaPool
+	// Metrics, when set, receives the worker-side cache and prefetch
+	// series (eoml_fleet_cache_*, eoml_fleet_prefetch_inflight).
+	Metrics *metrics.Registry
 	// Register, when set, adds extra functions to the worker's registry
 	// before the standard kernels (tests).
 	Register func(reg *compute.Registry) error
@@ -44,10 +63,13 @@ type WorkerConfig struct {
 // live by heartbeats. Start it, let the coordinator lease tasks to it,
 // Stop it to drain gracefully.
 type Worker struct {
-	cfg    WorkerConfig
-	client *Client
-	ep     *compute.Endpoint
-	srv    *http.Server
+	cfg      WorkerConfig
+	client   *Client
+	ep       *compute.Endpoint
+	srv      *http.Server
+	kernels  *Kernels
+	prefetch *Prefetcher
+	capacity int // Slots + PrefetchWindow, registered with the coordinator
 
 	mu sync.Mutex
 	// url is the advertised endpoint URL, known after Start. guarded by mu
@@ -69,24 +91,53 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 1
 	}
+	if cfg.PrefetchWindow < 0 {
+		cfg.PrefetchWindow = 0
+	}
 	reg := compute.NewRegistry()
 	if cfg.Register != nil {
 		if err := cfg.Register(reg); err != nil {
 			return nil, err
 		}
 	}
-	if err := NewKernels().Register(reg); err != nil {
-		return nil, err
-	}
-	ep, err := compute.NewEndpoint(cfg.ID, reg, compute.EndpointConfig{
-		Workers:     cfg.Slots,
-		TaskTimeout: cfg.TaskTimeout,
+	kernels, err := NewKernelsWith(KernelConfig{
+		CacheDir:      cfg.CacheDir,
+		CacheMaxBytes: cfg.CacheMaxBytes,
+		Quota:         cfg.ArchiveQuota,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{cfg: cfg, client: NewClient(cfg.CoordinatorURL), ep: ep}, nil
+	if err := kernels.Register(reg); err != nil {
+		return nil, err
+	}
+	if cfg.Metrics != nil {
+		kernels.Instrument(cfg.Metrics)
+	}
+	prefetch := NewPrefetcher(kernels, cfg.PrefetchWindow)
+	ep, err := compute.NewEndpoint(cfg.ID, reg, compute.EndpointConfig{
+		Workers:     cfg.Slots,
+		TaskTimeout: cfg.TaskTimeout,
+		OnEnqueue:   prefetch.OnEnqueue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		cfg:      cfg,
+		client:   NewClient(cfg.CoordinatorURL),
+		ep:       ep,
+		kernels:  kernels,
+		prefetch: prefetch,
+		// Lease-ahead: advertise more capacity than compute slots so the
+		// next PrefetchWindow granules queue here for the prefetcher.
+		capacity: cfg.Slots + cfg.PrefetchWindow,
+	}, nil
 }
+
+// Kernels exposes the worker's kernel state (cache statistics) for
+// tests and benchmarks.
+func (w *Worker) Kernels() *Kernels { return w.kernels }
 
 // URL reports the advertised endpoint URL (empty before Start).
 func (w *Worker) URL() string {
@@ -115,7 +166,7 @@ func (w *Worker) Start(ctx context.Context) error {
 		_ = w.srv.Serve(ln) // returns on Close/Shutdown
 	}()
 
-	cadence, err := w.client.Register(ctx, w.cfg.ID, url, w.cfg.Slots)
+	cadence, err := w.client.Register(ctx, w.cfg.ID, url, w.capacity)
 	if err != nil {
 		_ = w.srv.Close()
 		w.ep.Stop()
@@ -153,7 +204,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, url string, cadence time.Dur
 			err := w.client.Heartbeat(ctx, w.cfg.ID)
 			var unknown *ErrUnknownWorker
 			if errors.As(err, &unknown) {
-				_, _ = w.client.Register(ctx, w.cfg.ID, url, w.cfg.Slots)
+				_, _ = w.client.Register(ctx, w.cfg.ID, url, w.capacity)
 			}
 		}
 	}
@@ -175,6 +226,7 @@ func (w *Worker) Stop() {
 	defer cancel()
 	_ = w.client.Deregister(dctx, w.cfg.ID)
 	w.ep.Stop()
+	w.prefetch.Close()
 	if w.srv != nil {
 		_ = w.srv.Shutdown(dctx)
 		_ = w.srv.Close()

@@ -202,7 +202,11 @@ func (c *Client) fetchOnce(ctx context.Context, url, name, destDir string) (int6
 		return 0, "", err
 	}
 	final := filepath.Join(destDir, name)
-	tmp := final + ".part"
+	// The temp name carries the pid: fleet workers share run
+	// directories, and a stolen lease can put two processes on the same
+	// file at once — each must stage privately, with rename settling the
+	// winner (identical bytes either way).
+	tmp := fmt.Sprintf("%s.part.%d", final, os.Getpid())
 	out, err := os.Create(tmp)
 	if err != nil {
 		return 0, "", err
